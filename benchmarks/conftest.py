@@ -1,0 +1,33 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures,
+asserts its shape claims (who wins, by roughly what factor), and writes
+the paper-vs-reproduced comparison to ``benchmarks/results/<name>.txt``
+so the artifacts survive the run (``--benchmark-only`` captures stdout).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_table(results_dir):
+    """save_table(name, text): persist + echo one regenerated table."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

@@ -1,0 +1,81 @@
+"""Ablation — SMO working-set heuristics (DESIGN.md: PhiSVM's adaptive
+choice).
+
+Measures real solver iterations and wall time per heuristic across a
+batch of FCMA-shaped problems (few hundred samples, noisy labels), the
+empirical basis for the SVM model's iteration factors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import render_table
+from repro.svm import (
+    AdaptiveSelector,
+    FirstOrderSelector,
+    SecondOrderSelector,
+    linear_kernel,
+    solve_smo,
+)
+
+SELECTORS = {
+    "first-order": FirstOrderSelector,
+    "second-order": SecondOrderSelector,
+    "adaptive": AdaptiveSelector,
+}
+
+
+def make_problems(n_problems=6, m=120, d=60):
+    problems = []
+    for seed in range(n_problems):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((m, d)).astype(np.float32)
+        w = rng.standard_normal(d)
+        y = np.where(x @ w + 0.8 * rng.standard_normal(m) > 0, 1, -1)
+        problems.append((linear_kernel(x.astype(np.float64)), y))
+    return problems
+
+
+@pytest.fixture(scope="module")
+def problems():
+    return make_problems()
+
+
+@pytest.mark.parametrize("name", list(SELECTORS))
+def test_heuristic_solve_batch(benchmark, problems, name):
+    factory = SELECTORS[name]
+
+    def solve_all():
+        return [
+            solve_smo(k, y, selector=factory(), tol=1e-4) for k, y in problems
+        ]
+
+    results = benchmark(solve_all)
+    assert all(r.converged for r in results)
+
+
+def test_heuristic_iteration_comparison(benchmark, problems, save_table):
+    def iteration_counts():
+        out = {}
+        for name, factory in SELECTORS.items():
+            iters = [
+                solve_smo(k, y, selector=factory(), tol=1e-4).iterations
+                for k, y in problems
+            ]
+            out[name] = float(np.mean(iters))
+        return out
+
+    means = benchmark(iteration_counts)
+    rows = [[name, f"{mean:.0f}"] for name, mean in means.items()]
+    save_table(
+        "ablation_heuristics",
+        render_table(
+            ["heuristic", "mean SMO iterations"],
+            rows,
+            title="Ablation: working-set selection heuristics (6 FCMA-shaped problems)",
+        ),
+    )
+    # Fan et al.'s result, reproduced: second-order needs fewer
+    # iterations than first-order; the adaptive policy lands between.
+    assert means["second-order"] < means["first-order"]
+    assert means["adaptive"] <= means["first-order"] * 1.1

@@ -1,0 +1,57 @@
+"""Fig. 8 — speedup curves of the offline analysis.
+
+Derived from the same simulations as Table 3: speedup relative to one
+coprocessor, for both datasets.  Headline: 59.8x (face-scene) / 73.5x
+(attention) at 96 coprocessors, attention scaling better because its
+tasks are larger relative to the fixed overheads.
+"""
+
+import pytest
+
+from repro.bench import paperdata, render_table, within_factor
+from repro.cluster import offline_workload, speedup_curve
+from repro.data import ATTENTION, FACE_SCENE
+from repro.hw import PHI_5110P
+from repro.perf.task_model import offline_task_seconds
+
+TASK_VOXELS = {"face-scene": 120, "attention": 60}
+SPECS = {"face-scene": FACE_SCENE, "attention": ATTENTION}
+
+
+def _curve(name):
+    spec = SPECS[name]
+    t_task = offline_task_seconds(spec, PHI_5110P, TASK_VOXELS[name])
+    workload = offline_workload(spec, t_task, TASK_VOXELS[name])
+    return speedup_curve(workload, paperdata.NODE_COUNTS)
+
+
+def test_fig8_speedup(benchmark, save_table):
+    curves = benchmark(lambda: {name: _curve(name) for name in SPECS})
+
+    rows = []
+    for n in paperdata.NODE_COUNTS:
+        rows.append(
+            [
+                str(n),
+                f"{curves['face-scene'][n][1]:.1f}x",
+                f"{curves['attention'][n][1]:.1f}x",
+            ]
+        )
+    save_table(
+        "fig8_speedup",
+        render_table(
+            ["#coprocessors", "face-scene speedup", "attention speedup"],
+            rows,
+            title="Fig 8: speedup of the optimized implementation",
+        ),
+    )
+
+    fs96 = curves["face-scene"][96][1]
+    att96 = curves["attention"][96][1]
+    assert within_factor(fs96, paperdata.FIG8_SPEEDUP_96["face-scene"], 1.25)
+    assert within_factor(att96, paperdata.FIG8_SPEEDUP_96["attention"], 1.25)
+    # Attention scales better (its larger tasks amortize overheads).
+    assert att96 > fs96
+    # Near-linear through 32 nodes for both datasets.
+    for name in SPECS:
+        assert curves[name][32][1] > 32 * 0.8

@@ -1,0 +1,47 @@
+"""Measured benchmarks of the parallel runtime on real FCMA work.
+
+Runs the actual master-worker protocol and the process-pool executor
+over a small synthetic dataset.  On a multi-core machine the pool shows
+real speedup; on a single-core CI box these still verify the protocol's
+overhead stays bounded and the outputs stay identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FCMAConfig
+from repro.data import SyntheticConfig, generate_dataset
+from repro.parallel import (
+    mpi_voxel_selection,
+    parallel_voxel_selection,
+    serial_voxel_selection,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    cfg = SyntheticConfig(
+        n_voxels=90, n_subjects=3, epochs_per_subject=6, epoch_length=12,
+        n_informative=12, n_groups=3, seed=5, name="bench",
+    )
+    return generate_dataset(cfg), FCMAConfig(task_voxels=30, target_block=64)
+
+
+def test_serial_selection(benchmark, workload):
+    ds, cfg = workload
+    scores = benchmark(serial_voxel_selection, ds, cfg)
+    assert len(scores) == 90
+
+
+def test_mpi_protocol_selection(benchmark, workload):
+    ds, cfg = workload
+    scores = benchmark(mpi_voxel_selection, ds, cfg, 2)
+    reference = serial_voxel_selection(ds, cfg)
+    np.testing.assert_allclose(scores.accuracies, reference.accuracies)
+
+
+def test_process_pool_selection(benchmark, workload):
+    ds, cfg = workload
+    scores = benchmark(parallel_voxel_selection, ds, cfg, 2)
+    reference = serial_voxel_selection(ds, cfg)
+    np.testing.assert_allclose(scores.accuracies, reference.accuracies)

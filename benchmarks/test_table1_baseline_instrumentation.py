@@ -1,0 +1,51 @@
+"""Table 1 — baseline instrumentation on the coprocessor.
+
+Regenerates the three instrumented rows (matrix multiplication,
+normalization, LibSVM) for a 120-voxel face-scene task: elapsed time,
+memory references, L2 misses, vectorization intensity.
+"""
+
+from repro.bench import paperdata, render_table, within_factor
+from repro.data import FACE_SCENE
+from repro.hw import PHI_5110P
+from repro.perf.vtune import baseline_report
+
+
+def test_table1_baseline_instrumentation(benchmark, save_table):
+    rows = benchmark(baseline_report, FACE_SCENE, 120, PHI_5110P)
+    by_name = {
+        "matmul": rows[0],
+        "normalization": rows[1],
+        "libsvm": rows[2],
+    }
+
+    table_rows = []
+    for key, row in by_name.items():
+        p_time, p_refs, p_miss, p_vi = paperdata.TABLE1_BASELINE[key]
+        table_rows.append(
+            [
+                key,
+                f"{row.time_ms:.0f} / {p_time:.0f}",
+                f"{row.mem_refs / 1e9:.1f} / {p_refs / 1e9:.1f}",
+                f"{row.l2_misses / 1e6:.0f} / {p_miss / 1e6:.0f}",
+                f"{row.vector_intensity:.1f} / {p_vi}",
+            ]
+        )
+        assert within_factor(row.time_ms, p_time, 1.25), key
+        assert within_factor(row.mem_refs, p_refs, 1.2), key
+        assert within_factor(row.vector_intensity, p_vi, 1.05), key
+
+    # L2 misses: matmul and normalization are sweep-derived (tight);
+    # the paper's LibSVM 7M figure is a kernel-resident lower bound.
+    assert within_factor(by_name["matmul"].l2_misses, 709e6, 1.2)
+    assert within_factor(by_name["normalization"].l2_misses, 179e6, 1.2)
+    assert within_factor(by_name["libsvm"].l2_misses, 7e6, 2.0)
+
+    save_table(
+        "table1_baseline_instrumentation",
+        render_table(
+            ["kernel", "time ms (ours/paper)", "refs G", "L2 miss M", "VI"],
+            table_rows,
+            title="Table 1: baseline instrumentation (face-scene, 120-voxel task, Phi 5110P)",
+        ),
+    )

@@ -1,0 +1,53 @@
+"""Table 3 — offline analysis elapsed time vs coprocessor count.
+
+Per-task times come from the kernel performance models (optimized
+variant); the cluster simulator then schedules the full nested LOSO
+workload on 1..96 coprocessors.
+"""
+
+import pytest
+
+from repro.bench import paperdata, render_table, within_factor
+from repro.cluster import ClusterConfig, offline_workload, simulate
+from repro.data import ATTENTION, FACE_SCENE
+from repro.hw import PHI_5110P
+from repro.perf.task_model import offline_task_seconds
+
+TASK_VOXELS = {"face-scene": 120, "attention": 60}
+SPECS = {"face-scene": FACE_SCENE, "attention": ATTENTION}
+
+
+@pytest.mark.parametrize("name", ["face-scene", "attention"])
+def test_table3_offline_scaling(name, benchmark, save_table):
+    spec = SPECS[name]
+    t_task = offline_task_seconds(spec, PHI_5110P, TASK_VOXELS[name])
+    workload = offline_workload(spec, t_task, TASK_VOXELS[name])
+
+    def run_all():
+        return {
+            n: simulate(workload, ClusterConfig(n_workers=n)).elapsed_seconds
+            for n in paperdata.NODE_COUNTS
+        }
+
+    elapsed = benchmark(run_all)
+    paper = paperdata.TABLE3_OFFLINE_SECONDS[name]
+
+    rows = [
+        [str(n), f"{elapsed[n]:.0f}", f"{paper[n]}", f"{elapsed[n] / paper[n]:.2f}x"]
+        for n in paperdata.NODE_COUNTS
+    ]
+    save_table(
+        f"table3_offline_scaling_{name}",
+        render_table(
+            ["#coprocessors", "simulated s", "paper s", "ratio"],
+            rows,
+            title=f"Table 3 ({name}): offline analysis elapsed time",
+        ),
+    )
+
+    # Shape claims: every point within 1.5x of the paper; monotone
+    # decreasing; near-linear region preserved.
+    for n in paperdata.NODE_COUNTS:
+        assert within_factor(elapsed[n], paper[n], 1.5), f"{name}@{n}"
+    times = [elapsed[n] for n in paperdata.NODE_COUNTS]
+    assert all(a > b for a, b in zip(times, times[1:]))

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: run FCMA voxel selection on a synthetic dataset.
+
+Generates a small multi-subject fMRI dataset with planted
+condition-dependent correlation structure, runs the three-stage FCMA
+pipeline over every voxel, and checks that the top-ranked voxels
+recover the planted ROI.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import (
+    FCMAConfig,
+    generate_dataset,
+    ground_truth_voxels,
+    quickstart_config,
+    serial_voxel_selection,
+)
+from repro.analysis import selection_precision, selection_recall
+
+
+def main() -> None:
+    # 1. Data: 300 voxels, 4 subjects, 8 epochs each (2 conditions).
+    cfg = quickstart_config()
+    dataset = generate_dataset(cfg)
+    print(f"dataset: {dataset}")
+
+    # 2. Run the optimized three-stage pipeline over the whole brain.
+    fcma = FCMAConfig()  # blocked + merged + PhiSVM (the paper's fast path)
+    t0 = time.perf_counter()
+    scores = serial_voxel_selection(dataset, fcma)
+    elapsed = time.perf_counter() - t0
+    print(f"scored {len(scores)} voxels in {elapsed:.1f} s")
+
+    # 3. The ROI: voxels whose correlation patterns classify condition.
+    truth = ground_truth_voxels(cfg)
+    top = scores.top(len(truth))
+    print("\ntop 10 voxels (id, cross-validated accuracy):")
+    for voxel, acc in zip(top.voxels[:10], top.accuracies[:10]):
+        marker = "*" if voxel in truth else " "
+        print(f"  {marker} voxel {voxel:4d}  accuracy {acc:.3f}")
+    print("  (* = planted informative voxel)")
+
+    precision = selection_precision(top.voxels, truth)
+    recall = selection_recall(top.voxels, truth)
+    chance = scores.accuracies[~np.isin(scores.voxels, truth)].mean()
+    print(f"\nROI recovery: precision {precision:.2f}, recall {recall:.2f}")
+    print(f"mean accuracy of uninformative voxels: {chance:.3f} (~chance)")
+    assert precision > 0.7, "pipeline failed to recover the planted ROI"
+
+
+if __name__ == "__main__":
+    main()

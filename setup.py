@@ -1,0 +1,8 @@
+from setuptools import setup
+
+# Metadata lives in pyproject.toml; this shim exists for legacy
+# `python setup.py develop` installs on offline machines without the
+# `wheel` package (PEP-517 editable builds need it).
+setup(
+    entry_points={"console_scripts": ["fcma = repro.cli:main"]},
+)

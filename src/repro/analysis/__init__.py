@@ -1,0 +1,48 @@
+"""Analysis drivers: offline nested CV, online voxel selection, ROI and
+significance utilities."""
+
+from .mvpa import amplitude_features, pattern_accuracy, score_voxels_amplitude
+from .offline import (
+    FoldResult,
+    OfflineResult,
+    run_offline_analysis,
+    selected_voxel_features,
+)
+from .online import OnlineClassifier, OnlineResult, run_online_analysis
+from .permutation import (
+    PermutationResult,
+    permutation_test,
+    permute_labels_within_groups,
+)
+from .rois import (
+    accuracy_volume,
+    dice_coefficient,
+    overlap_count,
+    selection_precision,
+    selection_recall,
+)
+from .stats import accuracy_p_value, benjamini_hochberg, significant_voxels
+
+__all__ = [
+    "FoldResult",
+    "OfflineResult",
+    "OnlineClassifier",
+    "OnlineResult",
+    "PermutationResult",
+    "accuracy_p_value",
+    "accuracy_volume",
+    "amplitude_features",
+    "benjamini_hochberg",
+    "dice_coefficient",
+    "overlap_count",
+    "pattern_accuracy",
+    "permutation_test",
+    "permute_labels_within_groups",
+    "run_offline_analysis",
+    "run_online_analysis",
+    "selected_voxel_features",
+    "score_voxels_amplitude",
+    "selection_precision",
+    "selection_recall",
+    "significant_voxels",
+]

@@ -1,0 +1,78 @@
+"""ROI utilities: overlap, reliability, and recovery metrics.
+
+"The brain regions constituted by top voxels are identified as ROIs in
+terms of correlation for following studies" (Section 3.1.2).  These
+helpers quantify selections: agreement across folds, overlap with a
+ground-truth set (for the synthetic datasets), and volume rendering via
+a brain mask.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.mask import BrainMask
+
+__all__ = [
+    "overlap_count",
+    "dice_coefficient",
+    "selection_precision",
+    "selection_recall",
+    "accuracy_volume",
+]
+
+
+def _as_index_set(voxels: np.ndarray) -> np.ndarray:
+    voxels = np.asarray(voxels, dtype=np.int64).ravel()
+    uniq = np.unique(voxels)
+    if uniq.size != voxels.size:
+        raise ValueError("voxel set contains duplicates")
+    return uniq
+
+
+def overlap_count(a: np.ndarray, b: np.ndarray) -> int:
+    """Number of voxels common to two selections."""
+    return int(np.intersect1d(_as_index_set(a), _as_index_set(b)).size)
+
+
+def dice_coefficient(a: np.ndarray, b: np.ndarray) -> float:
+    """Dice overlap ``2|A n B| / (|A| + |B|)`` of two selections."""
+    a = _as_index_set(a)
+    b = _as_index_set(b)
+    denom = a.size + b.size
+    if denom == 0:
+        return 0.0
+    return 2.0 * overlap_count(a, b) / denom
+
+
+def selection_precision(selected: np.ndarray, truth: np.ndarray) -> float:
+    """Fraction of selected voxels that are truly informative."""
+    selected = _as_index_set(selected)
+    if selected.size == 0:
+        return 0.0
+    return overlap_count(selected, truth) / selected.size
+
+
+def selection_recall(selected: np.ndarray, truth: np.ndarray) -> float:
+    """Fraction of truly informative voxels that were selected."""
+    truth = _as_index_set(truth)
+    if truth.size == 0:
+        return 0.0
+    return overlap_count(selected, truth) / truth.size
+
+
+def accuracy_volume(
+    mask: BrainMask, voxels: np.ndarray, accuracies: np.ndarray
+) -> np.ndarray:
+    """Scatter per-voxel accuracies into a 3D volume (NaN elsewhere).
+
+    The volume a neuroscientist would overlay on anatomy to inspect the
+    selected ROIs.
+    """
+    voxels = np.asarray(voxels, dtype=np.int64)
+    accuracies = np.asarray(accuracies, dtype=np.float64)
+    if voxels.shape != accuracies.shape:
+        raise ValueError("voxels and accuracies must have the same shape")
+    values = np.full(mask.n_voxels, np.nan)
+    values[voxels] = accuracies
+    return mask.unflatten(values)

@@ -1,0 +1,15 @@
+"""Benchmark harness support: paper reference data and table rendering."""
+
+from . import paperdata
+from .experiments import EXPERIMENTS, list_experiments, run_experiment
+from .tables import compare_row, render_table, within_factor
+
+__all__ = [
+    "EXPERIMENTS",
+    "compare_row",
+    "list_experiments",
+    "paperdata",
+    "render_table",
+    "run_experiment",
+    "within_factor",
+]

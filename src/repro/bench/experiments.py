@@ -1,0 +1,277 @@
+"""Experiment registry: regenerate any paper table/figure by id.
+
+Backs the ``fcma reproduce`` CLI command.  Each entry returns the
+rendered paper-vs-reproduced table as text; the same computations run
+(with assertions and timing) in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..data.presets import ATTENTION, FACE_SCENE
+from . import paperdata
+from .tables import render_table
+
+__all__ = ["EXPERIMENTS", "run_experiment", "list_experiments"]
+
+_SPECS = {"face-scene": FACE_SCENE, "attention": ATTENTION}
+_TASK_VOXELS = {"face-scene": 120, "attention": 60}
+
+
+def _table1() -> str:
+    from ..hw import PHI_5110P
+    from ..perf.vtune import baseline_report
+
+    rows = baseline_report(FACE_SCENE, 120, PHI_5110P)
+    keys = ["matmul", "normalization", "libsvm"]
+    out = []
+    for key, row in zip(keys, rows):
+        p_time, p_refs, p_miss, p_vi = paperdata.TABLE1_BASELINE[key]
+        out.append([
+            row.name,
+            f"{row.time_ms:.0f} / {p_time:.0f}",
+            f"{row.mem_refs / 1e9:.1f} / {p_refs / 1e9:.1f}",
+            f"{row.l2_misses / 1e6:.0f} / {p_miss / 1e6:.0f}",
+            f"{row.vector_intensity:.1f} / {p_vi}",
+        ])
+    return render_table(
+        ["kernel", "time ms (repro/paper)", "refs G", "L2 miss M", "VI"],
+        out,
+        title="Table 1: baseline instrumentation (face-scene, 120 voxels, Phi)",
+    )
+
+
+def _scaling(mode: str) -> str:
+    from ..cluster import ClusterConfig, offline_workload, online_workload, simulate
+    from ..hw import PHI_5110P
+    from ..perf.task_model import offline_task_seconds, online_task_seconds
+
+    rows = []
+    for name, spec in _SPECS.items():
+        tv = _TASK_VOXELS[name]
+        if mode == "offline":
+            workload = offline_workload(
+                spec, offline_task_seconds(spec, PHI_5110P, tv), tv
+            )
+            paper = paperdata.TABLE3_OFFLINE_SECONDS[name]
+        else:
+            workload = online_workload(
+                spec, online_task_seconds(spec, PHI_5110P, tv), tv
+            )
+            paper = paperdata.TABLE4_ONLINE_SECONDS[name]
+        for n in paperdata.NODE_COUNTS:
+            sim = simulate(workload, ClusterConfig(n_workers=n)).elapsed_seconds
+            ref = paper.get(n)
+            rows.append([
+                name, str(n), f"{sim:.2f}",
+                f"{ref:.2f}" if ref is not None else "-",
+            ])
+    title = (
+        "Table 3: offline elapsed seconds" if mode == "offline"
+        else "Table 4: online voxel-selection seconds"
+    )
+    return render_table(
+        ["dataset", "#coprocessors", "simulated s", "paper s"], rows, title=title
+    )
+
+
+def _fig8() -> str:
+    from ..cluster import offline_workload, speedup_curve
+    from ..hw import PHI_5110P
+    from ..perf.task_model import offline_task_seconds
+
+    rows = []
+    curves = {}
+    for name, spec in _SPECS.items():
+        tv = _TASK_VOXELS[name]
+        workload = offline_workload(
+            spec, offline_task_seconds(spec, PHI_5110P, tv), tv
+        )
+        curves[name] = speedup_curve(workload, paperdata.NODE_COUNTS)
+    for n in paperdata.NODE_COUNTS:
+        rows.append([
+            str(n),
+            f"{curves['face-scene'][n][1]:.1f}x",
+            f"{curves['attention'][n][1]:.1f}x",
+        ])
+    return render_table(
+        ["#coprocessors", "face-scene", "attention"], rows,
+        title="Fig 8: speedup (paper at 96: 59.8x / 73.5x)",
+    )
+
+
+def _table5() -> str:
+    from ..hw import PHI_5110P
+    from ..perf.matmul_model import model_correlation_matmul, model_kernel_syrk
+
+    rows = []
+    for impl in ("ours", "mkl"):
+        for kind, fn in (("corr", model_correlation_matmul), ("syrk", model_kernel_syrk)):
+            est = fn(FACE_SCENE, 120, PHI_5110P, impl)
+            p_time, p_gf = paperdata.TABLE5_MATMUL[(impl, kind)]
+            rows.append([
+                f"{impl}/{kind}",
+                f"{est.milliseconds:.0f} / {p_time:.0f}",
+                f"{est.gflops:.0f} / {p_gf:.0f}",
+            ])
+    return render_table(
+        ["kernel", "time ms (repro/paper)", "GFLOPS"], rows,
+        title="Table 5: matmul routines",
+    )
+
+
+def _table6() -> str:
+    from ..hw import PHI_5110P
+    from ..perf.matmul_model import model_correlation_matmul, model_kernel_syrk
+
+    rows = []
+    for impl in ("ours", "mkl"):
+        c = (
+            model_correlation_matmul(FACE_SCENE, 120, PHI_5110P, impl).counters
+            + model_kernel_syrk(FACE_SCENE, 120, PHI_5110P, impl).counters
+        )
+        p_refs, p_miss, p_vi = paperdata.TABLE6_COUNTERS[impl]
+        rows.append([
+            impl,
+            f"{c.mem_refs / 1e9:.2f} / {p_refs / 1e9:.2f}",
+            f"{c.l2_misses / 1e6:.1f} / {p_miss / 1e6:.1f}",
+            f"{c.vectorization_intensity:.1f} / {p_vi}",
+        ])
+    return render_table(
+        ["impl", "refs G (repro/paper)", "L2 miss M", "VI"], rows,
+        title="Table 6: matmul counters",
+    )
+
+
+def _table7() -> str:
+    from ..hw import PHI_5110P
+    from ..perf.matmul_model import model_correlation_matmul
+    from ..perf.norm_model import model_normalization
+
+    corr = model_correlation_matmul(FACE_SCENE, 120, PHI_5110P, "ours")
+    rows = []
+    for variant in ("merged", "separated"):
+        norm = model_normalization(FACE_SCENE, 120, PHI_5110P, variant)
+        t = corr.milliseconds + norm.milliseconds
+        c = corr.counters + norm.counters
+        p_time, p_refs, p_miss = paperdata.TABLE7_MERGING[variant]
+        rows.append([
+            variant,
+            f"{t:.0f} / {p_time:.0f}",
+            f"{c.mem_refs / 1e9:.2f} / {p_refs / 1e9:.2f}",
+            f"{c.l2_misses / 1e6:.1f} / {p_miss / 1e6:.1f}",
+        ])
+    return render_table(
+        ["method", "time ms (repro/paper)", "refs G", "L2 miss M"], rows,
+        title="Table 7: merged vs separated stages",
+    )
+
+
+def _table8() -> str:
+    from ..hw import PHI_5110P
+    from ..perf.svm_model import model_svm_cv
+
+    rows = []
+    for variant in ("libsvm", "libsvm-opt", "phisvm"):
+        est = model_svm_cv(FACE_SCENE, 120, PHI_5110P, variant)
+        p_time, p_vi = paperdata.TABLE8_SVM[variant]
+        rows.append([
+            variant,
+            f"{est.milliseconds:.0f} / {p_time:.0f}",
+            f"{est.counters.vectorization_intensity:.1f} / {p_vi}",
+        ])
+    return render_table(
+        ["implementation", "time ms (repro/paper)", "VI"], rows,
+        title="Table 8: SVM cross-validation",
+    )
+
+
+def _fig9() -> str:
+    from ..hw import PHI_5110P
+    from ..perf.task_model import per_voxel_seconds
+
+    rows = []
+    for name, spec in _SPECS.items():
+        base = per_voxel_seconds(spec, PHI_5110P, "baseline")
+        opt = per_voxel_seconds(spec, PHI_5110P, "optimized")
+        rows.append([
+            name, f"{base / opt:.2f}x", f"{paperdata.FIG9_SPEEDUP[name]}x",
+        ])
+    return render_table(
+        ["dataset", "repro", "paper"], rows,
+        title="Fig 9: optimized vs baseline, one coprocessor (per voxel)",
+    )
+
+
+def _fig10() -> str:
+    from ..hw import E5_2670
+    from ..perf.task_model import per_voxel_seconds
+
+    rows = []
+    for name, spec in _SPECS.items():
+        base = per_voxel_seconds(spec, E5_2670, "baseline")
+        opt = per_voxel_seconds(spec, E5_2670, "optimized")
+        rows.append([
+            name, f"{base / opt:.2f}x", f"{paperdata.FIG10_XEON_SPEEDUP[name]}x",
+        ])
+    return render_table(
+        ["dataset", "repro", "paper"], rows,
+        title="Fig 10: optimized vs baseline on the E5-2670",
+    )
+
+
+def _fig11() -> str:
+    from ..hw import E5_2670, PHI_5110P
+    from ..perf.task_model import model_task
+
+    rows = []
+    for name, spec in _SPECS.items():
+        cells = {
+            (hw_name, variant): model_task(spec, hw, variant).seconds_per_voxel
+            for hw_name, hw in (("xeon", E5_2670), ("phi", PHI_5110P))
+            for variant in ("baseline", "optimized")
+        }
+        ref = cells[("xeon", "baseline")]
+        rows.append([
+            name,
+            "1.00x",
+            f"{ref / cells[('xeon', 'optimized')]:.2f}x",
+            f"{ref / cells[('phi', 'baseline')]:.2f}x",
+            f"{ref / cells[('phi', 'optimized')]:.2f}x",
+        ])
+    return render_table(
+        ["dataset", "E5 base", "E5 opt", "Phi base", "Phi opt"], rows,
+        title="Fig 11: relative performance (E5 baseline = 1)",
+    )
+
+
+EXPERIMENTS: dict[str, Callable[[], str]] = {
+    "table1": _table1,
+    "table3": lambda: _scaling("offline"),
+    "table4": lambda: _scaling("online"),
+    "table5": _table5,
+    "table6": _table6,
+    "table7": _table7,
+    "table8": _table8,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "fig11": _fig11,
+}
+
+
+def list_experiments() -> list[str]:
+    """Known experiment ids, sorted."""
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(exp_id: str) -> str:
+    """Regenerate one experiment's table; KeyError lists known ids."""
+    try:
+        fn = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {', '.join(list_experiments())}"
+        ) from None
+    return fn()

@@ -1,0 +1,269 @@
+"""Command-line interface: ``python -m repro <command>`` (or ``fcma``).
+
+Commands
+--------
+``generate``  write a synthetic dataset to a .npz file
+``select``    run FCMA voxel selection on a dataset file
+``offline``   nested leave-one-subject-out analysis
+``online``    single-subject voxel selection + classifier summary
+``report``    the paper's Table-1 style instrumentation report
+``simulate``  cluster scaling simulation (Tables 3-4 / Fig. 8 style)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fcma",
+        description="Full Correlation Matrix Analysis (Wang et al., SC'15 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a synthetic dataset (.npz)")
+    gen.add_argument("output", help="output .npz path")
+    gen.add_argument("--preset", choices=["quickstart", "face-scene", "attention"],
+                     default="quickstart")
+    gen.add_argument("--voxels", type=int, default=None,
+                     help="override voxel count")
+    gen.add_argument("--subjects", type=int, default=None,
+                     help="override subject count")
+    gen.add_argument("--seed", type=int, default=None)
+
+    sel = sub.add_parser("select", help="run voxel selection on a dataset")
+    sel.add_argument("dataset", help="input .npz dataset")
+    sel.add_argument("--top", type=int, default=20, help="voxels to report")
+    sel.add_argument("--variant", choices=["optimized", "baseline"],
+                     default="optimized")
+    sel.add_argument("--workers", type=int, default=1,
+                     help="process-pool workers (1 = serial)")
+    sel.add_argument("--task-voxels", type=int, default=120)
+    sel.add_argument("--output", default=None,
+                     help="optional CSV of all voxel scores")
+
+    off = sub.add_parser("offline", help="nested LOSO analysis")
+    off.add_argument("dataset")
+    off.add_argument("--top", type=int, default=20)
+    off.add_argument("--task-voxels", type=int, default=120)
+
+    onl = sub.add_parser("online", help="single-subject voxel selection")
+    onl.add_argument("dataset")
+    onl.add_argument("--subject", type=int, default=0)
+    onl.add_argument("--top", type=int, default=20)
+    onl.add_argument("--folds", type=int, default=4)
+
+    rep = sub.add_parser("report", help="instrumentation report (Table 1)")
+    rep.add_argument("--dataset", choices=["face-scene", "attention"],
+                     default="face-scene")
+    rep.add_argument("--machine", choices=["phi", "xeon", "knl"], default="phi")
+    rep.add_argument("--task-voxels", type=int, default=120)
+
+    rep2 = sub.add_parser(
+        "reproduce", help="regenerate a paper table/figure by id"
+    )
+    rep2.add_argument(
+        "experiment", nargs="?", default=None,
+        help="e.g. table1, table3, fig8; omit to list all",
+    )
+
+    sim = sub.add_parser("simulate", help="cluster scaling simulation")
+    sim.add_argument("--dataset", choices=["face-scene", "attention"],
+                     default="face-scene")
+    sim.add_argument("--mode", choices=["offline", "online"], default="offline")
+    sim.add_argument("--nodes", type=int, nargs="+",
+                     default=[1, 8, 16, 32, 64, 96])
+    sim.add_argument("--task-voxels", type=int, default=None,
+                     help="defaults to the paper's 120/60 per dataset")
+    return parser
+
+
+def _spec_for(name: str):
+    from .data import ATTENTION, FACE_SCENE
+
+    return FACE_SCENE if name == "face-scene" else ATTENTION
+
+
+def _machine_for(name: str):
+    from .hw import E5_2670, KNL_7250, PHI_5110P
+
+    return {"phi": PHI_5110P, "xeon": E5_2670, "knl": KNL_7250}[name]
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .data import (
+        attention_scaled,
+        face_scene_scaled,
+        generate_dataset,
+        quickstart_config,
+        save_dataset,
+    )
+
+    if args.preset == "quickstart":
+        cfg = quickstart_config()
+    elif args.preset == "face-scene":
+        cfg = face_scene_scaled()
+    else:
+        cfg = attention_scaled()
+    overrides = {}
+    if args.voxels is not None:
+        overrides["n_voxels"] = args.voxels
+        overrides["n_informative"] = max(8, args.voxels // 25)
+    if args.subjects is not None:
+        overrides["n_subjects"] = args.subjects
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        cfg = cfg.scaled(**overrides)
+    dataset = generate_dataset(cfg)
+    path = save_dataset(dataset, args.output)
+    print(f"wrote {dataset} -> {path}")
+    return 0
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    from .core import FCMAConfig
+    from .data import load_dataset
+    from .parallel import parallel_voxel_selection, serial_voxel_selection
+
+    dataset = load_dataset(args.dataset)
+    config = FCMAConfig(variant=args.variant, task_voxels=args.task_voxels)
+    if args.workers > 1:
+        scores = parallel_voxel_selection(dataset, config, n_workers=args.workers)
+    else:
+        scores = serial_voxel_selection(dataset, config)
+    top = scores.top(args.top)
+    print(f"dataset: {dataset}")
+    print(f"top {len(top)} voxels by cross-validated accuracy:")
+    for voxel, acc in zip(top.voxels, top.accuracies):
+        print(f"  voxel {voxel:6d}  accuracy {acc:.3f}")
+    if args.output:
+        ordered = scores.sorted_by_accuracy()
+        with open(args.output, "w") as fh:
+            fh.write("voxel,accuracy\n")
+            for voxel, acc in zip(ordered.voxels, ordered.accuracies):
+                fh.write(f"{voxel},{acc:.6f}\n")
+        print(f"wrote all {len(scores)} scores to {args.output}")
+    return 0
+
+
+def _cmd_offline(args: argparse.Namespace) -> int:
+    from .analysis import run_offline_analysis
+    from .core import FCMAConfig
+    from .data import load_dataset
+
+    dataset = load_dataset(args.dataset)
+    config = FCMAConfig(task_voxels=args.task_voxels)
+    result = run_offline_analysis(dataset, config, top_k=args.top)
+    print(f"nested LOSO over {len(result.folds)} subjects:")
+    for fold in result.folds:
+        print(f"  held-out subject {fold.held_out_subject}: "
+              f"test accuracy {fold.test_accuracy:.3f}")
+    print(f"mean held-out accuracy: {result.mean_test_accuracy:.3f}")
+    counts = result.selection_counts(dataset.n_voxels)
+    stable = int((counts >= len(result.folds) - 1).sum())
+    print(f"voxels selected in >= {len(result.folds) - 1} folds: {stable}")
+    return 0
+
+
+def _cmd_online(args: argparse.Namespace) -> int:
+    from .analysis import run_online_analysis
+    from .core import FCMAConfig
+    from .data import load_dataset
+
+    dataset = load_dataset(args.dataset)
+    config = FCMAConfig(online_folds=args.folds)
+    result = run_online_analysis(
+        dataset, subject=args.subject, config=config, top_k=args.top
+    )
+    print(f"subject {args.subject}: selected {len(result.selected)} voxels")
+    print(f"  mean selection accuracy: {result.selected.accuracies.mean():.3f}")
+    print(f"  classifier training accuracy: {result.training_accuracy:.3f}")
+    print(f"  voxels: {result.selected.voxels.tolist()}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .perf import baseline_report, format_report, model_task
+
+    spec = _spec_for(args.dataset)
+    hw = _machine_for(args.machine)
+    print(f"machine: {hw}")
+    rows = baseline_report(spec, args.task_voxels, hw)
+    print(format_report(rows, title=f"Baseline instrumentation ({spec.name})"))
+    base = model_task(spec, hw, "baseline")
+    opt = model_task(spec, hw, "optimized")
+    print(f"\noptimized-over-baseline speedup (per voxel): "
+          f"{base.seconds_per_voxel / opt.seconds_per_voxel:.2f}x")
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from .bench import list_experiments, run_experiment
+
+    if args.experiment is None:
+        print("experiments:", ", ".join(list_experiments()))
+        return 0
+    try:
+        print(run_experiment(args.experiment))
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .cluster import ClusterConfig, offline_workload, online_workload, simulate
+    from .hw import PHI_5110P
+    from .perf import offline_task_seconds, online_task_seconds
+
+    spec = _spec_for(args.dataset)
+    task_voxels = args.task_voxels
+    if task_voxels is None:
+        task_voxels = 120 if spec.name == "face-scene" else 60
+    if args.mode == "offline":
+        t_task = offline_task_seconds(spec, PHI_5110P, task_voxels)
+        workload = offline_workload(spec, t_task, task_voxels)
+    else:
+        t_task = online_task_seconds(spec, PHI_5110P, task_voxels)
+        workload = online_workload(spec, t_task, task_voxels)
+    print(f"{args.mode} workload on {spec.name}: "
+          f"{workload.n_tasks} tasks x {t_task * 1e3:.1f} ms")
+    base = None
+    for n in args.nodes:
+        res = simulate(workload, ClusterConfig(n_workers=n))
+        if base is None:
+            base = res.elapsed_seconds
+        print(f"  {n:4d} coprocessors: {res.elapsed_seconds:10.2f} s  "
+              f"(speedup {base / res.elapsed_seconds:6.1f}x, "
+              f"utilization {res.utilization:.0%})")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "select": _cmd_select,
+    "offline": _cmd_offline,
+    "online": _cmd_online,
+    "report": _cmd_report,
+    "reproduce": _cmd_reproduce,
+    "simulate": _cmd_simulate,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    np.set_printoptions(precision=3, suppress=True)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Network model for the simulated cluster.
+
+The paper's testbed interconnect is an Arista 10 GbE switch.  We model a
+full-bisection switch where each endpoint has one 10 Gb/s link: a
+point-to-point transfer costs latency plus bytes/bandwidth, and a
+master-rooted broadcast is serialized on the master's uplink (the
+distribution pattern of the paper's master-worker framework).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NetworkModel", "TEN_GBE"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latency/bandwidth cost model of the cluster fabric."""
+
+    #: One-way message latency in seconds (switch + stack).
+    latency_s: float = 50e-6
+    #: Per-link sustained bandwidth in bytes/second.
+    bandwidth_bytes_per_s: float = 1.25e9  # 10 Gb/s
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError("latency must be >= 0")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def transfer_time(self, nbytes: int | float) -> float:
+        """Seconds for one point-to-point message of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        return self.latency_s + nbytes / self.bandwidth_bytes_per_s
+
+    def broadcast_time(self, nbytes: int | float, n_receivers: int) -> float:
+        """Master-serialized broadcast: n sequential sends on one uplink.
+
+        This is the paper's data-distribution step ("the master node
+        first distributes brain data to the worker nodes"); with a flat
+        send loop the master's link carries ``n`` copies.
+        """
+        if n_receivers < 0:
+            raise ValueError("n_receivers must be >= 0")
+        if n_receivers == 0:
+            return 0.0
+        return self.latency_s + n_receivers * nbytes / self.bandwidth_bytes_per_s
+
+
+#: The paper's interconnect.
+TEN_GBE = NetworkModel()

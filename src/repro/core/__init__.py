@@ -1,0 +1,48 @@
+"""The FCMA core: the paper's three-stage pipeline and its two
+implementations (baseline and optimized)."""
+
+from .blocking import BlockingPlan, plan_blocks
+from .correlation import (
+    correlate_baseline,
+    correlate_blocked,
+    epoch_windows,
+    iter_blocks,
+    normalize_epoch_data,
+)
+from .kernels import (
+    kernel_matrix_baseline,
+    kernel_matrix_blocked,
+    symmetrize_from_triangle,
+)
+from .normalization import (
+    MergedNormalizer,
+    fisher_z,
+    normalize_separated,
+    zscore_within_subject,
+)
+from .pipeline import FCMAConfig, make_backend, run_task, task_partition
+from .results import VoxelScores
+from .voxel_selection import score_voxels
+
+__all__ = [
+    "BlockingPlan",
+    "FCMAConfig",
+    "MergedNormalizer",
+    "VoxelScores",
+    "correlate_baseline",
+    "correlate_blocked",
+    "epoch_windows",
+    "fisher_z",
+    "iter_blocks",
+    "kernel_matrix_baseline",
+    "kernel_matrix_blocked",
+    "make_backend",
+    "normalize_epoch_data",
+    "normalize_separated",
+    "plan_blocks",
+    "run_task",
+    "score_voxels",
+    "symmetrize_from_triangle",
+    "task_partition",
+    "zscore_within_subject",
+]

@@ -1,0 +1,131 @@
+"""FCMA stage 2: within-subject normalization (Sections 3.1, 4.3).
+
+Correlation coefficients are Fisher-transformed (equation 4) and then
+z-scored within subject (equation 5): for each (voxel, target-voxel,
+subject) triple, the population is that subject's ``E`` epoch values —
+the "sub-column of E values" of Fig. 4.
+
+Two execution strategies, numerically identical:
+
+* :func:`normalize_separated` — a standalone pass over the full
+  correlation array (the baseline; re-reads everything from memory).
+* :func:`MergedNormalizer` — a tile callback for
+  :func:`repro.core.correlation.correlate_blocked` that normalizes each
+  tile while it is still cache-resident (optimization idea #2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "fisher_z",
+    "zscore_within_subject",
+    "normalize_separated",
+    "MergedNormalizer",
+]
+
+#: Correlations are clipped to +-(1 - _CLIP_EPS) before arctanh so that
+#: degenerate +-1 coefficients (a voxel correlated with itself, or
+#: duplicated time courses) map to a large finite z instead of inf.
+_CLIP_EPS = 1e-6
+
+
+def fisher_z(corr: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Equation 4: ``z = arctanh(r)``, computed in float32.
+
+    Values are clipped into the open interval (-1, 1) first; see
+    ``_CLIP_EPS``.  ``out`` may alias ``corr`` for in-place operation.
+    """
+    corr = np.asarray(corr)
+    if out is None:
+        out = np.empty_like(corr, dtype=np.float32)
+    limit = np.float32(1.0 - _CLIP_EPS)
+    np.clip(corr, -limit, limit, out=out)
+    return np.arctanh(out, out=out)
+
+
+def zscore_within_subject(
+    z: np.ndarray, epochs_per_subject: int, eps: float = 1e-12
+) -> np.ndarray:
+    """Equation 5 applied in place along subject-contiguous epochs.
+
+    ``z`` has voxel-major shape ``(V, M, N)`` with the ``M`` epochs
+    grouped by subject (``M = n_subjects * epochs_per_subject``).  For
+    every (voxel, subject, target) the ``epochs_per_subject`` values are
+    standardized with the population standard deviation.  Zero-variance
+    populations become 0.
+    """
+    z = np.asarray(z)
+    if z.ndim != 3:
+        raise ValueError(f"expected (V, M, N) correlations, got {z.shape}")
+    n_rows, m, n = z.shape
+    if epochs_per_subject < 1:
+        raise ValueError("epochs_per_subject must be >= 1")
+    if m % epochs_per_subject != 0:
+        raise ValueError(
+            f"epoch count {m} not divisible by epochs_per_subject "
+            f"{epochs_per_subject}"
+        )
+    grouped = z.reshape(n_rows, m // epochs_per_subject, epochs_per_subject, n)
+    mean = grouped.mean(axis=2, keepdims=True)
+    std = grouped.std(axis=2, keepdims=True)
+    grouped -= mean
+    np.divide(grouped, std, out=grouped, where=std > eps)
+    grouped[np.broadcast_to(std <= eps, grouped.shape)] = 0.0
+    return z
+
+
+def normalize_separated(
+    corr: np.ndarray, epochs_per_subject: int
+) -> np.ndarray:
+    """Baseline stage 2: Fisher transform then z-score, full-array passes.
+
+    Operates in place on the float32 correlation array and returns it.
+    This is the "separated" variant of Table 7 — stage 1 finished
+    completely before this runs, so every element is re-fetched from
+    memory.
+    """
+    corr = np.asarray(corr)
+    if corr.dtype != np.float32:
+        raise TypeError(f"expected float32 correlations, got {corr.dtype}")
+    fisher_z(corr, out=corr)
+    return zscore_within_subject(corr, epochs_per_subject)
+
+
+class MergedNormalizer:
+    """Tile callback implementing the merged stage-1/stage-2 pipeline.
+
+    Pass an instance as ``tile_callback`` to
+    :func:`repro.core.correlation.correlate_blocked` with
+    ``epoch_block=epochs_per_subject``: each tile then contains exactly
+    one subject's worth of epochs for a (voxel-block x target-block)
+    region, i.e. complete normalization populations, and is Fisher- and
+    z-transformed before it leaves cache ("the data necessary for a
+    complete normalization should reside in the same block",
+    Section 4.3).
+    """
+
+    def __init__(self, epochs_per_subject: int):
+        if epochs_per_subject < 1:
+            raise ValueError("epochs_per_subject must be >= 1")
+        self.epochs_per_subject = epochs_per_subject
+        #: Number of tiles normalized (test/perf introspection).
+        self.tiles_processed = 0
+
+    def __call__(
+        self,
+        tile: np.ndarray,
+        voxel_block: tuple[int, int],
+        target_block: tuple[int, int],
+        epoch_block: tuple[int, int],
+    ) -> None:
+        e0, e1 = epoch_block
+        if (e1 - e0) != self.epochs_per_subject or e0 % self.epochs_per_subject:
+            raise ValueError(
+                "merged normalization requires epoch blocks aligned to one "
+                f"subject ({self.epochs_per_subject} epochs); got [{e0}, {e1})"
+            )
+        fisher_z(tile, out=tile)
+        zscore_within_subject(tile, self.epochs_per_subject)
+        self.tiles_processed += 1

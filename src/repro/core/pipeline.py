@@ -1,0 +1,170 @@
+"""The three-stage FCMA pipeline on one worker (Sections 3.1.2, 4).
+
+:func:`run_task` executes what a single worker node does for one task:
+given a dataset and an assigned set of voxels, it computes those voxels'
+correlation vectors for every epoch (stage 1), normalizes them (stage 2),
+and scores each voxel by SVM cross-validation (stage 3), returning the
+accuracies the worker would send back to the master.
+
+:class:`FCMAConfig` selects between the *baseline* implementation
+(per-epoch gemm, separated normalization, LibSVM-like solver — Section
+3.2) and the *optimized* one (L2-blocked tiles, merged normalization,
+blocked syrk, PhiSVM — Section 4); both produce the same voxel ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Literal
+
+import numpy as np
+
+from ..data.dataset import FMRIDataset
+from ..svm.cross_validation import KernelBackend, kfold_ids
+from ..svm.libsvm_like import LibSVMClassifier
+from ..svm.multiclass import as_multiclass
+from ..svm.phisvm import PhiSVM
+from .correlation import correlate_baseline, correlate_blocked, epoch_windows
+from .kernels import kernel_matrix_baseline, kernel_matrix_blocked
+from .normalization import MergedNormalizer, normalize_separated
+from .results import VoxelScores
+from .voxel_selection import score_voxels
+
+__all__ = ["FCMAConfig", "run_task", "make_backend", "task_partition"]
+
+Variant = Literal["baseline", "optimized"]
+Backend = Literal["phisvm", "libsvm", "libsvm-float32"]
+
+
+@dataclass(frozen=True)
+class FCMAConfig:
+    """Knobs of the single-worker pipeline.
+
+    The defaults are the paper's optimized configuration.  Setting
+    ``variant="baseline"`` switches all three stages to the Section 3.2
+    implementation (and ``svm_backend`` to the LibSVM-like solver unless
+    explicitly overridden).
+    """
+
+    variant: Variant = "optimized"
+    #: SVM backend; None picks the variant's native one (PhiSVM for
+    #: optimized, LibSVM-like for baseline).
+    svm_backend: Backend | None = None
+    svm_c: float = 1.0
+    svm_tol: float = 1e-3
+    #: Assigned voxels per worker task (120 for face-scene in the paper).
+    task_voxels: int = 120
+    #: Stage-1 tile sizes for the optimized variant.
+    voxel_block: int = 16
+    target_block: int = 512
+    #: Folds for single-subject (online) CV, used when the dataset has
+    #: only one subject and LOSO is impossible.
+    online_folds: int = 4
+
+    def __post_init__(self) -> None:
+        if self.variant not in ("baseline", "optimized"):
+            raise ValueError(f"unknown variant {self.variant!r}")
+        if self.svm_backend not in (None, "phisvm", "libsvm", "libsvm-float32"):
+            raise ValueError(f"unknown svm_backend {self.svm_backend!r}")
+        if self.svm_c <= 0 or self.svm_tol <= 0:
+            raise ValueError("svm_c and svm_tol must be positive")
+        if self.task_voxels < 1:
+            raise ValueError("task_voxels must be >= 1")
+        if self.voxel_block < 1 or self.target_block < 1:
+            raise ValueError("block sizes must be >= 1")
+        if self.online_folds < 2:
+            raise ValueError("online_folds must be >= 2")
+
+    def resolved_backend(self) -> Backend:
+        """The backend actually used, resolving the variant default."""
+        if self.svm_backend is not None:
+            return self.svm_backend
+        return "phisvm" if self.variant == "optimized" else "libsvm"
+
+    def with_variant(self, variant: Variant) -> "FCMAConfig":
+        """Copy with a different variant (backend default re-resolves)."""
+        return replace(self, variant=variant)
+
+
+def make_backend(config: FCMAConfig) -> KernelBackend:
+    """Instantiate the configured SVM backend.
+
+    The backend is wrapped for one-vs-one multiclass voting; binary
+    problems (the paper's two-condition experiments) pass through to
+    the bare solver with no overhead.
+    """
+    name = config.resolved_backend()
+    if name == "phisvm":
+        base: KernelBackend = PhiSVM(c=config.svm_c, tol=config.svm_tol)
+    elif name == "libsvm":
+        base = LibSVMClassifier(c=config.svm_c, tol=config.svm_tol)
+    else:
+        base = LibSVMClassifier(
+            c=config.svm_c, tol=config.svm_tol, single_precision=True
+        )
+    return as_multiclass(base)
+
+
+def task_partition(n_voxels: int, task_voxels: int) -> list[np.ndarray]:
+    """Partition all brain voxels into master-assignable tasks.
+
+    "The tasks are defined by partitioning the correlation matrices
+    along their rows" (Section 3.1.1).
+    """
+    if n_voxels < 1:
+        raise ValueError("n_voxels must be >= 1")
+    if task_voxels < 1:
+        raise ValueError("task_voxels must be >= 1")
+    return [
+        np.arange(start, min(start + task_voxels, n_voxels), dtype=np.int64)
+        for start in range(0, n_voxels, task_voxels)
+    ]
+
+
+def run_task(
+    dataset: FMRIDataset,
+    assigned: np.ndarray,
+    config: FCMAConfig = FCMAConfig(),
+) -> VoxelScores:
+    """Run the three-stage pipeline for one task's assigned voxels.
+
+    The dataset's epochs are re-grouped subject-contiguously first (the
+    layout stage 2 requires).  With a single-subject dataset the CV folds
+    are contiguous epoch k-folds (online mode); otherwise folds are
+    subjects (offline LOSO).
+    """
+    assigned = np.asarray(assigned, dtype=np.int64)
+    if assigned.ndim != 1 or assigned.size == 0:
+        raise ValueError("assigned must be a non-empty 1D index array")
+
+    ds = dataset.grouped_by_subject()
+    z = epoch_windows(ds)
+    epochs = ds.epochs
+    labels = epochs.labels()
+    e_per_subject = epochs.epochs_per_subject()
+
+    if config.variant == "baseline":
+        corr = correlate_baseline(z, assigned)
+        normalize_separated(corr, e_per_subject)
+        kernel_fn = kernel_matrix_baseline
+    else:
+        merger = MergedNormalizer(e_per_subject)
+        corr = correlate_blocked(
+            z,
+            assigned,
+            voxel_block=config.voxel_block,
+            target_block=config.target_block,
+            epoch_block=e_per_subject,
+            tile_callback=merger,
+        )
+        kernel_fn = kernel_matrix_blocked
+
+    if epochs.n_subjects >= 2:
+        fold_ids = epochs.subjects()
+    else:
+        fold_ids = kfold_ids(len(epochs), config.online_folds)
+
+    backend = make_backend(config)
+    return score_voxels(
+        corr, assigned, labels, fold_ids, backend, kernel_fn=kernel_fn
+    )

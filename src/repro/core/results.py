@@ -1,0 +1,66 @@
+"""Result containers for voxel selection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["VoxelScores"]
+
+
+@dataclass(frozen=True)
+class VoxelScores:
+    """Cross-validation accuracies for a set of voxels.
+
+    This is what a worker returns to the master and what the master
+    aggregates and sorts ("the master node collects all voxels and sorts
+    them by their resulting accuracies", Section 3.1.2).
+    """
+
+    #: Flat voxel indices, shape (n,).
+    voxels: np.ndarray
+    #: Held-out classification accuracy per voxel, shape (n,).
+    accuracies: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.voxels.shape != self.accuracies.shape or self.voxels.ndim != 1:
+            raise ValueError("voxels and accuracies must be 1D and equal length")
+        if self.voxels.size and (
+            self.accuracies.min() < 0.0 or self.accuracies.max() > 1.0
+        ):
+            raise ValueError("accuracies must lie in [0, 1]")
+
+    def __len__(self) -> int:
+        return self.voxels.size
+
+    @staticmethod
+    def concatenate(parts: list["VoxelScores"]) -> "VoxelScores":
+        """Merge per-task results (master-side aggregation)."""
+        if not parts:
+            raise ValueError("nothing to concatenate")
+        voxels = np.concatenate([p.voxels for p in parts])
+        accs = np.concatenate([p.accuracies for p in parts])
+        if np.unique(voxels).size != voxels.size:
+            raise ValueError("duplicate voxel ids across task results")
+        return VoxelScores(voxels=voxels, accuracies=accs)
+
+    def sorted_by_accuracy(self) -> "VoxelScores":
+        """Descending accuracy order (ties broken by voxel id)."""
+        order = np.lexsort((self.voxels, -self.accuracies))
+        return VoxelScores(self.voxels[order], self.accuracies[order])
+
+    def top(self, k: int) -> "VoxelScores":
+        """The ``k`` best-classifying voxels (the selected ROI)."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        ranked = self.sorted_by_accuracy()
+        k = min(k, len(ranked))
+        return VoxelScores(ranked.voxels[:k], ranked.accuracies[:k])
+
+    def accuracy_of(self, voxel: int) -> float:
+        """Accuracy of one voxel id; raises KeyError if absent."""
+        hits = np.nonzero(self.voxels == voxel)[0]
+        if hits.size == 0:
+            raise KeyError(f"voxel {voxel} not in results")
+        return float(self.accuracies[hits[0]])

@@ -1,0 +1,71 @@
+"""FCMA stage 3: voxel-wise SVM cross-validation (Section 3.1).
+
+Each assigned voxel's normalized correlation vectors form an ``(M, N)``
+data matrix (M epochs, N brain voxels).  The voxel's score is the
+cross-validated accuracy of a linear SVM classifying those vectors by
+epoch condition — computed over the precomputed linear kernel so the CV
+folds are pure submatrix slices.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..svm.cross_validation import KernelBackend, grouped_cross_validation
+from .kernels import kernel_matrix_baseline
+from .results import VoxelScores
+
+__all__ = ["score_voxels"]
+
+KernelFn = Callable[[np.ndarray], np.ndarray]
+
+
+def score_voxels(
+    correlations: np.ndarray,
+    voxel_ids: np.ndarray,
+    labels: np.ndarray,
+    fold_ids: np.ndarray,
+    backend: KernelBackend,
+    kernel_fn: KernelFn = kernel_matrix_baseline,
+) -> VoxelScores:
+    """Score every assigned voxel by grouped-CV accuracy.
+
+    Parameters
+    ----------
+    correlations:
+        Normalized voxel-major correlations, shape ``(V, M, N)``.
+    voxel_ids:
+        The flat brain indices of the ``V`` assigned voxels (reported in
+        the result).
+    labels:
+        Condition labels per epoch, shape ``(M,)``.
+    fold_ids:
+        CV fold assignment per epoch — subject ids for the offline LOSO
+        analysis, k-fold ids for single-subject online analysis.
+    backend:
+        An SVM backend with ``fit_kernel`` (PhiSVM or LibSVMClassifier).
+    kernel_fn:
+        Kernel precompute: baseline or blocked syrk.
+    """
+    correlations = np.asarray(correlations)
+    if correlations.ndim != 3:
+        raise ValueError(
+            f"correlations must be (V, M, N), got {correlations.shape}"
+        )
+    voxel_ids = np.asarray(voxel_ids, dtype=np.int64)
+    v, m, _ = correlations.shape
+    if voxel_ids.shape != (v,):
+        raise ValueError(f"voxel_ids must have shape ({v},)")
+    labels = np.asarray(labels)
+    fold_ids = np.asarray(fold_ids)
+    if labels.shape != (m,) or fold_ids.shape != (m,):
+        raise ValueError("labels and fold_ids must have one entry per epoch")
+
+    accuracies = np.empty(v, dtype=np.float64)
+    for i in range(v):
+        kernel = kernel_fn(correlations[i])
+        result = grouped_cross_validation(backend, kernel, labels, fold_ids)
+        accuracies[i] = result.accuracy
+    return VoxelScores(voxels=voxel_ids, accuracies=accuracies)

@@ -1,0 +1,71 @@
+"""fMRI data substrate: datasets, epochs, masks, synthesis, and I/O."""
+
+from .dataset import FMRIDataset
+from .epochs import Epoch, EpochTable
+from .io import load_dataset, load_epochs, save_dataset, save_epochs
+from .mask import BrainMask
+from .nifti import (
+    NiftiImage,
+    accuracy_map_to_nifti,
+    bold_from_nifti,
+    read_nifti,
+    write_nifti,
+)
+from .noise import (
+    NoiseConfig,
+    add_motion_spikes,
+    add_physiological_noise,
+    add_scanner_drift,
+    corrupt_dataset,
+)
+from .preprocessing import (
+    detrend,
+    highpass_filter,
+    preprocess_dataset,
+    regress_nuisance,
+    variance_normalize,
+)
+from .presets import (
+    ATTENTION,
+    FACE_SCENE,
+    DatasetSpec,
+    attention_scaled,
+    face_scene_scaled,
+    quickstart_config,
+)
+from .synthetic import SyntheticConfig, generate_dataset, ground_truth_voxels
+
+__all__ = [
+    "ATTENTION",
+    "BrainMask",
+    "DatasetSpec",
+    "Epoch",
+    "EpochTable",
+    "FACE_SCENE",
+    "FMRIDataset",
+    "NiftiImage",
+    "NoiseConfig",
+    "SyntheticConfig",
+    "accuracy_map_to_nifti",
+    "add_motion_spikes",
+    "add_physiological_noise",
+    "add_scanner_drift",
+    "attention_scaled",
+    "bold_from_nifti",
+    "corrupt_dataset",
+    "detrend",
+    "face_scene_scaled",
+    "generate_dataset",
+    "ground_truth_voxels",
+    "highpass_filter",
+    "load_dataset",
+    "load_epochs",
+    "preprocess_dataset",
+    "quickstart_config",
+    "read_nifti",
+    "regress_nuisance",
+    "save_dataset",
+    "save_epochs",
+    "variance_normalize",
+    "write_nifti",
+]

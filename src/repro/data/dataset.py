@@ -1,0 +1,199 @@
+"""The fMRI dataset model consumed by FCMA.
+
+An :class:`FMRIDataset` bundles per-subject BOLD time series with the
+:class:`~repro.data.epochs.EpochTable` that labels the epochs of interest.
+All numeric data is stored in single precision, matching the paper
+("All floating point values are represented in single precision").
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .epochs import Epoch, EpochTable
+from .mask import BrainMask
+
+__all__ = ["FMRIDataset"]
+
+
+class FMRIDataset:
+    """Multi-subject fMRI data with labeled epochs.
+
+    Parameters
+    ----------
+    data:
+        Mapping from subject id to that subject's BOLD array of shape
+        ``(n_voxels, n_timepoints)``.  All subjects must share the same
+        number of voxels (same brain-space registration, as the paper's
+        cross-subject classification requires).
+    epochs:
+        Epoch table referencing only subjects present in ``data`` and
+        time windows that fit inside each subject's scan.
+    mask:
+        Optional 3D brain mask whose voxel count matches ``n_voxels``.
+    name:
+        Optional human-readable dataset name (e.g. ``"face-scene"``).
+    """
+
+    def __init__(
+        self,
+        data: Mapping[int, np.ndarray],
+        epochs: EpochTable,
+        mask: BrainMask | None = None,
+        name: str = "unnamed",
+    ):
+        if not data:
+            raise ValueError("dataset requires at least one subject")
+        converted: dict[int, np.ndarray] = {}
+        n_voxels: int | None = None
+        for subject, arr in data.items():
+            arr = np.ascontiguousarray(arr, dtype=np.float32)
+            if arr.ndim != 2:
+                raise ValueError(
+                    f"subject {subject}: data must be 2D (voxels, time), "
+                    f"got shape {arr.shape}"
+                )
+            if n_voxels is None:
+                n_voxels = arr.shape[0]
+            elif arr.shape[0] != n_voxels:
+                raise ValueError(
+                    f"subject {subject}: voxel count {arr.shape[0]} differs "
+                    f"from {n_voxels}"
+                )
+            converted[int(subject)] = arr
+        assert n_voxels is not None
+
+        for e in epochs:
+            if e.subject not in converted:
+                raise ValueError(f"epoch references unknown subject {e.subject}")
+            scan_len = converted[e.subject].shape[1]
+            if e.stop > scan_len:
+                raise ValueError(
+                    f"epoch {e} exceeds subject {e.subject}'s scan length "
+                    f"{scan_len}"
+                )
+        if mask is not None and mask.n_voxels != n_voxels:
+            raise ValueError(
+                f"mask selects {mask.n_voxels} voxels but data has {n_voxels}"
+            )
+
+        self._data = converted
+        self._epochs = epochs
+        self._mask = mask
+        self._name = name
+        self._n_voxels = n_voxels
+
+    # -- accessors ------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Dataset name."""
+        return self._name
+
+    @property
+    def n_voxels(self) -> int:
+        """Number of voxels shared by all subjects."""
+        return self._n_voxels
+
+    @property
+    def n_epochs(self) -> int:
+        """Total number of labeled epochs across subjects."""
+        return len(self._epochs)
+
+    @property
+    def n_subjects(self) -> int:
+        """Number of subjects with data."""
+        return len(self._data)
+
+    @property
+    def epochs(self) -> EpochTable:
+        """The epoch table."""
+        return self._epochs
+
+    @property
+    def mask(self) -> BrainMask | None:
+        """Optional brain mask."""
+        return self._mask
+
+    @property
+    def epoch_length(self) -> int:
+        """Common epoch length (time points per epoch)."""
+        return self._epochs.epoch_length
+
+    def subject_data(self, subject: int) -> np.ndarray:
+        """The ``(n_voxels, n_timepoints)`` float32 array for a subject."""
+        try:
+            return self._data[subject]
+        except KeyError:
+            raise KeyError(f"no data for subject {subject}") from None
+
+    def subject_ids(self) -> list[int]:
+        """Sorted subject ids."""
+        return sorted(self._data)
+
+    def epoch_matrix(self, epoch: Epoch) -> np.ndarray:
+        """Raw BOLD window for one epoch: shape ``(n_voxels, length)``."""
+        return self._data[epoch.subject][:, epoch.as_slice()]
+
+    def epoch_stack(self, epochs: Sequence[Epoch] | None = None) -> np.ndarray:
+        """Raw BOLD windows stacked: shape ``(n_epochs, n_voxels, length)``.
+
+        Requires uniform epoch length.  This is the input of FCMA stage 1
+        (before the equation-2 normalization applied in
+        :mod:`repro.core.correlation`).
+        """
+        table = list(self._epochs) if epochs is None else list(epochs)
+        length = {e.length for e in table}
+        if len(length) != 1:
+            raise ValueError("epoch_stack requires uniform epoch length")
+        out = np.empty(
+            (len(table), self._n_voxels, next(iter(length))), dtype=np.float32
+        )
+        for i, e in enumerate(table):
+            out[i] = self.epoch_matrix(e)
+        return out
+
+    # -- restriction / reordering ----------------------------------------
+
+    def subset_subjects(self, subjects: Sequence[int]) -> "FMRIDataset":
+        """New dataset restricted to ``subjects`` (order-preserving ids).
+
+        Used by leave-one-subject-out cross-validation in the offline
+        analysis: the training dataset is the full set minus one subject.
+        """
+        subjects = list(subjects)
+        missing = [s for s in subjects if s not in self._data]
+        if missing:
+            raise KeyError(f"no data for subjects {missing}")
+        keep = set(subjects)
+        epochs = EpochTable([e for e in self._epochs if e.subject in keep])
+        data = {s: self._data[s] for s in subjects}
+        return FMRIDataset(data, epochs, mask=self._mask, name=self._name)
+
+    def single_subject(self, subject: int) -> "FMRIDataset":
+        """New dataset containing only ``subject`` (online-analysis input)."""
+        return self.subset_subjects([subject])
+
+    def grouped_by_subject(self) -> "FMRIDataset":
+        """Dataset with the epoch table reordered subject-contiguously."""
+        return FMRIDataset(
+            self._data,
+            self._epochs.grouped_by_subject(),
+            mask=self._mask,
+            name=self._name,
+        )
+
+    # -- summary ----------------------------------------------------------
+
+    def nbytes(self) -> int:
+        """Total bytes of BOLD data across subjects."""
+        return sum(arr.nbytes for arr in self._data.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"FMRIDataset(name={self._name!r}, n_voxels={self._n_voxels}, "
+            f"n_subjects={self.n_subjects}, n_epochs={self.n_epochs}, "
+            f"epoch_length={self._epochs.epoch_length})"
+        )

@@ -1,0 +1,302 @@
+"""Epoch tables: labeled time windows of an fMRI scan.
+
+The paper's datasets (Section 5.1, Table 2) consist of continuous BOLD
+time series in which *epochs of interest* are marked: contiguous runs of
+time points during which the subject performed one of two task conditions
+(e.g. viewing a face vs. a scene).  FCMA computes one full correlation
+matrix per epoch and labels it with the epoch's condition.
+
+This module provides :class:`Epoch` and :class:`EpochTable`, plus parsing
+and serialization of the simple text format the paper's pipeline reads
+("the text files specifying the labeled time epochs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Epoch", "EpochTable"]
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """One labeled time window of one subject's scan.
+
+    Parameters
+    ----------
+    subject:
+        Zero-based subject index the epoch belongs to.
+    condition:
+        Zero-based condition label (the paper uses two conditions).
+    start:
+        First time point (inclusive) of the epoch in the subject's scan.
+    length:
+        Number of time points in the epoch (the paper uses 12).
+    """
+
+    subject: int
+    condition: int
+    start: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.subject < 0:
+            raise ValueError(f"subject must be >= 0, got {self.subject}")
+        if self.condition < 0:
+            raise ValueError(f"condition must be >= 0, got {self.condition}")
+        if self.start < 0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.length < 2:
+            raise ValueError(
+                f"length must be >= 2 to define a correlation, got {self.length}"
+            )
+
+    @property
+    def stop(self) -> int:
+        """One past the last time point of the epoch."""
+        return self.start + self.length
+
+    def as_slice(self) -> slice:
+        """The epoch's time window as a :class:`slice`."""
+        return slice(self.start, self.stop)
+
+
+class EpochTable:
+    """An ordered collection of :class:`Epoch` records.
+
+    The table is the ground truth that drives all three FCMA stages: the
+    correlation stage iterates over epochs, the normalization stage groups
+    a voxel's correlation vectors by subject, and the SVM stage uses the
+    condition labels as classification targets and the subject ids for
+    leave-one-subject-out cross-validation.
+    """
+
+    def __init__(self, epochs: Iterable[Epoch]):
+        self._epochs: tuple[Epoch, ...] = tuple(epochs)
+        if not self._epochs:
+            raise ValueError("EpochTable requires at least one epoch")
+
+    # -- basic container protocol -------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._epochs)
+
+    def __iter__(self) -> Iterator[Epoch]:
+        return iter(self._epochs)
+
+    def __getitem__(self, index: int) -> Epoch:
+        return self._epochs[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EpochTable):
+            return NotImplemented
+        return self._epochs == other._epochs
+
+    def __repr__(self) -> str:
+        return (
+            f"EpochTable(n_epochs={len(self)}, n_subjects={self.n_subjects}, "
+            f"n_conditions={self.n_conditions})"
+        )
+
+    # -- derived properties -------------------------------------------
+
+    @property
+    def n_subjects(self) -> int:
+        """Number of distinct subjects referenced by the table."""
+        return len({e.subject for e in self._epochs})
+
+    @property
+    def n_conditions(self) -> int:
+        """Number of distinct condition labels."""
+        return len({e.condition for e in self._epochs})
+
+    @property
+    def epoch_length(self) -> int:
+        """Common epoch length; raises if epochs have mixed lengths."""
+        lengths = {e.length for e in self._epochs}
+        if len(lengths) != 1:
+            raise ValueError(f"epochs have mixed lengths: {sorted(lengths)}")
+        return next(iter(lengths))
+
+    def labels(self) -> np.ndarray:
+        """Condition labels as an int array of shape (n_epochs,)."""
+        return np.array([e.condition for e in self._epochs], dtype=np.int64)
+
+    def subjects(self) -> np.ndarray:
+        """Subject ids as an int array of shape (n_epochs,)."""
+        return np.array([e.subject for e in self._epochs], dtype=np.int64)
+
+    def subject_ids(self) -> list[int]:
+        """Sorted list of distinct subject ids."""
+        return sorted({e.subject for e in self._epochs})
+
+    def epochs_per_subject(self) -> int:
+        """Common number of epochs per subject; raises on imbalance.
+
+        The within-subject z-scoring of stage 2 (Fig. 4) assumes every
+        subject contributed the same number ``E`` of epochs.
+        """
+        counts = {
+            s: sum(1 for e in self._epochs if e.subject == s)
+            for s in self.subject_ids()
+        }
+        distinct = set(counts.values())
+        if len(distinct) != 1:
+            raise ValueError(f"subjects have unequal epoch counts: {counts}")
+        return next(iter(distinct))
+
+    def for_subject(self, subject: int) -> "EpochTable":
+        """Sub-table containing only ``subject``'s epochs."""
+        selected = [e for e in self._epochs if e.subject == subject]
+        if not selected:
+            raise KeyError(f"no epochs for subject {subject}")
+        return EpochTable(selected)
+
+    def without_subject(self, subject: int) -> "EpochTable":
+        """Sub-table excluding ``subject``'s epochs (LOSO training set)."""
+        selected = [e for e in self._epochs if e.subject != subject]
+        if not selected:
+            raise ValueError(f"removing subject {subject} leaves no epochs")
+        return EpochTable(selected)
+
+    def indices_for_subject(self, subject: int) -> np.ndarray:
+        """Positions (row indices) of ``subject``'s epochs in this table."""
+        idx = [i for i, e in enumerate(self._epochs) if e.subject == subject]
+        return np.array(idx, dtype=np.int64)
+
+    def grouped_by_subject(self) -> "EpochTable":
+        """Reordered table: all of subject 0's epochs, then subject 1's, ...
+
+        Stage 2 requires a voxel's correlation vectors to be contiguous per
+        subject (the dashed partitions in Fig. 4); this produces that order
+        while keeping each subject's epochs in their original relative order.
+        """
+        ordered: list[Epoch] = []
+        for s in self.subject_ids():
+            ordered.extend(e for e in self._epochs if e.subject == s)
+        return EpochTable(ordered)
+
+    def is_grouped_by_subject(self) -> bool:
+        """True if epochs are already contiguous per subject."""
+        seen: list[int] = []
+        for e in self._epochs:
+            if not seen or seen[-1] != e.subject:
+                if e.subject in seen:
+                    return False
+                seen.append(e.subject)
+        return True
+
+    # -- construction helpers -----------------------------------------
+
+    @classmethod
+    def regular(
+        cls,
+        n_subjects: int,
+        epochs_per_subject: int,
+        epoch_length: int,
+        gap: int = 0,
+        n_conditions: int = 2,
+        start_offset: int = 0,
+        order: str = "alternating",
+        seed: int = 0,
+    ) -> "EpochTable":
+        """Build a balanced block-design table.
+
+        Each subject performs ``epochs_per_subject`` epochs of
+        ``epoch_length`` time points with ``gap`` rest time points
+        between consecutive epochs.  ``order`` controls the condition
+        sequence:
+
+        * ``"alternating"`` — 0, 1, ..., k-1, 0, 1, ... (simple block
+          design);
+        * ``"shuffled"`` — a per-subject random permutation of the same
+          balanced multiset (avoids order/time confounds; deterministic
+          given ``seed``).
+        """
+        if n_subjects < 1:
+            raise ValueError("n_subjects must be >= 1")
+        if epochs_per_subject < n_conditions:
+            raise ValueError(
+                "epochs_per_subject must be >= n_conditions for a balanced design"
+            )
+        if epochs_per_subject % n_conditions != 0:
+            raise ValueError(
+                "epochs_per_subject must be divisible by n_conditions "
+                f"({epochs_per_subject} % {n_conditions} != 0)"
+            )
+        if gap < 0:
+            raise ValueError("gap must be >= 0")
+        if order not in ("alternating", "shuffled"):
+            raise ValueError(f"unknown order {order!r}")
+        rng = np.random.default_rng(seed)
+        epochs = []
+        for s in range(n_subjects):
+            conditions = [k % n_conditions for k in range(epochs_per_subject)]
+            if order == "shuffled":
+                conditions = list(rng.permutation(conditions))
+            t = start_offset
+            for condition in conditions:
+                epochs.append(
+                    Epoch(
+                        subject=s,
+                        condition=int(condition),
+                        start=t,
+                        length=epoch_length,
+                    )
+                )
+                t += epoch_length + gap
+        return cls(epochs)
+
+    # -- text format (paper-style epoch files) -------------------------
+
+    def to_text(self) -> str:
+        """Serialize to the line-oriented epoch file format.
+
+        Format: one epoch per line, ``subject condition start length``,
+        with ``#`` comments allowed.
+        """
+        lines = ["# subject condition start length"]
+        lines.extend(
+            f"{e.subject} {e.condition} {e.start} {e.length}" for e in self._epochs
+        )
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_text(cls, text: str) -> "EpochTable":
+        """Parse the line-oriented epoch file format (see :meth:`to_text`)."""
+        epochs = []
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 4:
+                raise ValueError(
+                    f"line {lineno}: expected 4 fields "
+                    f"'subject condition start length', got {len(parts)}"
+                )
+            try:
+                subject, condition, start, length = (int(p) for p in parts)
+            except ValueError as exc:
+                raise ValueError(f"line {lineno}: non-integer field") from exc
+            epochs.append(Epoch(subject, condition, start, length))
+        if not epochs:
+            raise ValueError("epoch file contains no epochs")
+        return cls(epochs)
+
+    def scan_length_required(self, subject: int | None = None) -> int:
+        """Minimum number of time points a scan must contain.
+
+        If ``subject`` is given, only that subject's epochs are considered
+        (per-subject scans); otherwise the max over all epochs is returned
+        (shared time axis).
+        """
+        epochs: Sequence[Epoch] = self._epochs
+        if subject is not None:
+            epochs = [e for e in self._epochs if e.subject == subject]
+            if not epochs:
+                raise KeyError(f"no epochs for subject {subject}")
+        return max(e.stop for e in epochs)

@@ -1,0 +1,82 @@
+"""Dataset persistence: .npz round-trip and epoch text files.
+
+The paper's pipeline "reads in the preprocessed fMRI data ... and the
+text files specifying the labeled time epochs".  We persist datasets as a
+single ``.npz`` archive (one array per subject plus the epoch table and
+optional mask) and support the standalone epoch text format of
+:meth:`repro.data.epochs.EpochTable.to_text`.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from .dataset import FMRIDataset
+from .epochs import Epoch, EpochTable
+from .mask import BrainMask
+
+__all__ = ["save_dataset", "load_dataset", "save_epochs", "load_epochs"]
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: FMRIDataset, path: str | os.PathLike) -> Path:
+    """Write a dataset to a ``.npz`` archive; returns the written path."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    arrays: dict[str, np.ndarray] = {
+        "format_version": np.array(_FORMAT_VERSION, dtype=np.int64),
+        "name": np.array(dataset.name),
+        "subjects": np.array(dataset.subject_ids(), dtype=np.int64),
+        "epoch_records": np.array(
+            [
+                (e.subject, e.condition, e.start, e.length)
+                for e in dataset.epochs
+            ],
+            dtype=np.int64,
+        ),
+    }
+    for subject in dataset.subject_ids():
+        arrays[f"bold_{subject}"] = dataset.subject_data(subject)
+    if dataset.mask is not None:
+        arrays["mask"] = dataset.mask.array
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_dataset(path: str | os.PathLike) -> FMRIDataset:
+    """Load a dataset written by :func:`save_dataset`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported dataset format version {version}; "
+                f"this build reads version {_FORMAT_VERSION}"
+            )
+        name = str(archive["name"])
+        subjects = archive["subjects"].tolist()
+        records = archive["epoch_records"]
+        epochs = EpochTable(
+            Epoch(int(s), int(c), int(t0), int(n)) for s, c, t0, n in records
+        )
+        data = {s: archive[f"bold_{s}"] for s in subjects}
+        mask = BrainMask(archive["mask"]) if "mask" in archive else None
+    return FMRIDataset(data, epochs, mask=mask, name=name)
+
+
+def save_epochs(epochs: EpochTable, path: str | os.PathLike) -> Path:
+    """Write an epoch table in the paper-style text format."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(epochs.to_text())
+    return path
+
+
+def load_epochs(path: str | os.PathLike) -> EpochTable:
+    """Read an epoch table written by :func:`save_epochs`."""
+    return EpochTable.from_text(Path(path).read_text())

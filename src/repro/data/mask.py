@@ -1,0 +1,135 @@
+"""Brain masks: mapping between 3D voxel grids and flat voxel indices.
+
+fMRI scanners produce 3D volumes; FCMA operates on the flat list of
+in-brain voxels.  :class:`BrainMask` records which grid cells are inside
+the brain and converts between the two representations, so ROI results
+(top voxels) can be mapped back to 3D coordinates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BrainMask"]
+
+
+class BrainMask:
+    """A boolean 3D mask selecting in-brain voxels.
+
+    Parameters
+    ----------
+    mask:
+        Boolean array of shape ``(nx, ny, nz)``; ``True`` marks in-brain
+        voxels.  The flat voxel ordering used everywhere else in the
+        library is the C-order traversal of the ``True`` cells.
+    """
+
+    def __init__(self, mask: np.ndarray):
+        mask = np.asarray(mask)
+        if mask.ndim != 3:
+            raise ValueError(f"mask must be 3D, got shape {mask.shape}")
+        if mask.dtype != np.bool_:
+            if not np.isin(mask, (0, 1)).all():
+                raise ValueError("mask values must be boolean or 0/1")
+            mask = mask.astype(bool)
+        if not mask.any():
+            raise ValueError("mask selects no voxels")
+        self._mask = mask
+        self._flat_to_grid = np.argwhere(mask)  # (n_voxels, 3)
+        grid_to_flat = np.full(mask.shape, -1, dtype=np.int64)
+        grid_to_flat[mask] = np.arange(self.n_voxels)
+        self._grid_to_flat = grid_to_flat
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """Grid dimensions ``(nx, ny, nz)``."""
+        return self._mask.shape  # type: ignore[return-value]
+
+    @property
+    def n_voxels(self) -> int:
+        """Number of in-brain voxels."""
+        return int(self._mask.sum())
+
+    @property
+    def array(self) -> np.ndarray:
+        """Read-only view of the boolean mask array."""
+        view = self._mask.view()
+        view.flags.writeable = False
+        return view
+
+    def coordinates(self, flat_indices: np.ndarray | None = None) -> np.ndarray:
+        """3D grid coordinates for flat voxel indices.
+
+        Returns an ``(n, 3)`` int array.  With no argument, coordinates of
+        all in-brain voxels in flat order.
+        """
+        if flat_indices is None:
+            return self._flat_to_grid.copy()
+        flat_indices = np.asarray(flat_indices, dtype=np.int64)
+        if flat_indices.size and (
+            flat_indices.min() < 0 or flat_indices.max() >= self.n_voxels
+        ):
+            raise IndexError("flat voxel index out of range")
+        return self._flat_to_grid[flat_indices]
+
+    def flat_index(self, coords: np.ndarray) -> np.ndarray:
+        """Flat voxel indices for ``(n, 3)`` grid coordinates.
+
+        Raises ``ValueError`` if any coordinate is outside the brain.
+        """
+        coords = np.atleast_2d(np.asarray(coords, dtype=np.int64))
+        if coords.shape[1] != 3:
+            raise ValueError("coords must have shape (n, 3)")
+        flat = self._grid_to_flat[coords[:, 0], coords[:, 1], coords[:, 2]]
+        if (flat < 0).any():
+            raise ValueError("coordinate outside the brain mask")
+        return flat
+
+    def unflatten(self, values: np.ndarray, fill: float = np.nan) -> np.ndarray:
+        """Scatter per-voxel values back onto the 3D grid.
+
+        Out-of-brain cells receive ``fill``.  Useful for writing accuracy
+        maps back into volume space.
+        """
+        values = np.asarray(values)
+        if values.shape[0] != self.n_voxels:
+            raise ValueError(
+                f"expected {self.n_voxels} values, got {values.shape[0]}"
+            )
+        volume = np.full(self.shape + values.shape[1:], fill, dtype=np.result_type(values, type(fill)))
+        volume[self._mask] = values
+        return volume
+
+    @classmethod
+    def full(cls, shape: tuple[int, int, int]) -> "BrainMask":
+        """Mask selecting every cell of the grid."""
+        return cls(np.ones(shape, dtype=bool))
+
+    @classmethod
+    def ellipsoid(cls, shape: tuple[int, int, int]) -> "BrainMask":
+        """Brain-like ellipsoidal mask inscribed in the grid.
+
+        A crude stand-in for a real anatomical mask: selects cells within
+        the ellipsoid inscribed in the bounding box, which yields roughly
+        the ~52% fill factor typical of brain masks in scanner volumes.
+        """
+        nx, ny, nz = shape
+        x = (np.arange(nx) - (nx - 1) / 2) / max(nx / 2, 1e-9)
+        y = (np.arange(ny) - (ny - 1) / 2) / max(ny / 2, 1e-9)
+        z = (np.arange(nz) - (nz - 1) / 2) / max(nz / 2, 1e-9)
+        r2 = (
+            x[:, None, None] ** 2
+            + y[None, :, None] ** 2
+            + z[None, None, :] ** 2
+        )
+        return cls(r2 <= 1.0)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BrainMask):
+            return NotImplemented
+        return self.shape == other.shape and bool(
+            (self._mask == other._mask).all()
+        )
+
+    def __repr__(self) -> str:
+        return f"BrainMask(shape={self.shape}, n_voxels={self.n_voxels})"

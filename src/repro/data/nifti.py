@@ -1,0 +1,221 @@
+"""Minimal pure-numpy NIfTI-1 I/O.
+
+Real fMRI data arrives as NIfTI volumes; this module reads and writes
+the single-file (``.nii``) NIfTI-1 format without external dependencies
+so the pipeline can ingest scanner exports and emit accuracy maps that
+neuroimaging viewers open directly.
+
+Scope: single-file NIfTI-1, uncompressed, float32/float64/int16/uint8
+data, 3D or 4D, with the affine stored in the s-form.  That covers the
+interchange need of this library; it is not a general neuroimaging IO
+layer.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .mask import BrainMask
+
+__all__ = [
+    "NiftiImage",
+    "accuracy_map_to_nifti",
+    "bold_from_nifti",
+    "read_nifti",
+    "write_nifti",
+]
+
+_HEADER_SIZE = 348
+_MAGIC = b"n+1\x00"
+
+#: NIfTI datatype codes we support: code -> numpy dtype.
+_DTYPES = {
+    2: np.dtype(np.uint8),
+    4: np.dtype(np.int16),
+    16: np.dtype(np.float32),
+    64: np.dtype(np.float64),
+}
+_CODES = {v: k for k, v in _DTYPES.items()}
+
+
+@dataclass(frozen=True)
+class NiftiImage:
+    """A loaded NIfTI volume."""
+
+    #: Image data, shape (nx, ny, nz) or (nx, ny, nz, nt).
+    data: np.ndarray
+    #: 4x4 voxel-to-world affine (s-form).
+    affine: np.ndarray
+    #: Voxel dimensions (mm) and TR (s) as stored in pixdim[1:5].
+    pixdim: tuple[float, float, float, float]
+
+    @property
+    def is_4d(self) -> bool:
+        """True for time-series images."""
+        return self.data.ndim == 4
+
+    @property
+    def tr_seconds(self) -> float:
+        """Repetition time (pixdim[4]); 0 for 3D images."""
+        return self.pixdim[3]
+
+
+def write_nifti(
+    path: str | os.PathLike,
+    data: np.ndarray,
+    affine: np.ndarray | None = None,
+    voxel_size_mm: tuple[float, float, float] = (3.0, 3.0, 3.0),
+    tr_seconds: float = 0.0,
+) -> Path:
+    """Write a 3D/4D array as a single-file NIfTI-1 image.
+
+    The affine defaults to a scaling by ``voxel_size_mm`` centered at
+    the origin.  Returns the written path (suffix ``.nii`` enforced).
+    """
+    data = np.asarray(data)
+    if data.ndim not in (3, 4):
+        raise ValueError(f"data must be 3D or 4D, got shape {data.shape}")
+    if data.dtype not in _CODES:
+        if np.issubdtype(data.dtype, np.floating):
+            data = data.astype(np.float32)
+        elif np.issubdtype(data.dtype, np.integer):
+            data = data.astype(np.int16)
+        else:
+            raise TypeError(f"unsupported dtype {data.dtype}")
+    if affine is None:
+        affine = np.diag([*voxel_size_mm, 1.0])
+    affine = np.asarray(affine, dtype=np.float64)
+    if affine.shape != (4, 4):
+        raise ValueError("affine must be 4x4")
+
+    path = Path(path)
+    if path.suffix != ".nii":
+        path = path.with_suffix(path.suffix + ".nii")
+
+    dim = np.ones(8, dtype=np.int16)
+    dim[0] = data.ndim
+    dim[1 : 1 + data.ndim] = data.shape
+    pixdim = np.zeros(8, dtype=np.float32)
+    pixdim[1:4] = voxel_size_mm
+    pixdim[4] = tr_seconds
+
+    header = bytearray(_HEADER_SIZE)
+    struct.pack_into("<i", header, 0, _HEADER_SIZE)      # sizeof_hdr
+    struct.pack_into("<8h", header, 40, *dim)            # dim
+    struct.pack_into("<h", header, 70, _CODES[data.dtype])  # datatype
+    struct.pack_into("<h", header, 72, data.dtype.itemsize * 8)  # bitpix
+    struct.pack_into("<8f", header, 76, *pixdim)         # pixdim
+    struct.pack_into("<f", header, 108, 352.0)           # vox_offset
+    struct.pack_into("<f", header, 112, 1.0)             # scl_slope
+    struct.pack_into("<f", header, 116, 0.0)             # scl_inter
+    struct.pack_into("<h", header, 254, 1)               # sform_code
+    struct.pack_into("<4f", header, 280, *affine[0])     # srow_x
+    struct.pack_into("<4f", header, 296, *affine[1])     # srow_y
+    struct.pack_into("<4f", header, 312, *affine[2])     # srow_z
+    header[344:348] = _MAGIC
+
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as fh:
+        fh.write(header)
+        fh.write(b"\x00" * 4)  # extension flag
+        # NIfTI data is Fortran-ordered on disk.
+        fh.write(np.asfortranarray(data).tobytes(order="F"))
+    return path
+
+
+def read_nifti(path: str | os.PathLike) -> NiftiImage:
+    """Read a single-file NIfTI-1 image written by this module (or any
+    conforming uncompressed ``.nii`` with a supported datatype)."""
+    raw = Path(path).read_bytes()
+    if len(raw) < _HEADER_SIZE + 4:
+        raise ValueError("file too small to be a NIfTI-1 image")
+    (sizeof_hdr,) = struct.unpack_from("<i", raw, 0)
+    if sizeof_hdr != _HEADER_SIZE:
+        raise ValueError(
+            f"bad sizeof_hdr {sizeof_hdr} (big-endian or non-NIfTI file?)"
+        )
+    if raw[344:348] not in (_MAGIC, b"ni1\x00"):
+        raise ValueError("missing NIfTI magic")
+
+    dim = struct.unpack_from("<8h", raw, 40)
+    ndim = dim[0]
+    if ndim not in (3, 4):
+        raise ValueError(f"unsupported dimensionality {ndim}")
+    shape = tuple(int(d) for d in dim[1 : 1 + ndim])
+    (datatype,) = struct.unpack_from("<h", raw, 70)
+    if datatype not in _DTYPES:
+        raise ValueError(f"unsupported NIfTI datatype code {datatype}")
+    dtype = _DTYPES[datatype]
+    pixdim = struct.unpack_from("<8f", raw, 76)
+    (vox_offset,) = struct.unpack_from("<f", raw, 108)
+    (slope,) = struct.unpack_from("<f", raw, 112)
+    (inter,) = struct.unpack_from("<f", raw, 116)
+
+    offset = int(vox_offset)
+    count = int(np.prod(shape))
+    data = np.frombuffer(
+        raw, dtype=dtype, count=count, offset=offset
+    ).reshape(shape, order="F").copy()
+    if slope not in (0.0, 1.0) or inter != 0.0:
+        data = data.astype(np.float32) * (slope or 1.0) + inter
+
+    affine = np.eye(4)
+    (sform_code,) = struct.unpack_from("<h", raw, 254)
+    if sform_code > 0:
+        affine[0] = struct.unpack_from("<4f", raw, 280)
+        affine[1] = struct.unpack_from("<4f", raw, 296)
+        affine[2] = struct.unpack_from("<4f", raw, 312)
+    else:
+        affine = np.diag([pixdim[1] or 1.0, pixdim[2] or 1.0, pixdim[3] or 1.0, 1.0])
+
+    return NiftiImage(
+        data=data,
+        affine=affine,
+        pixdim=(
+            float(pixdim[1]), float(pixdim[2]), float(pixdim[3]), float(pixdim[4])
+        ),
+    )
+
+
+def bold_from_nifti(image: NiftiImage, mask: BrainMask) -> np.ndarray:
+    """Extract the masked BOLD matrix ``(n_voxels, n_timepoints)``.
+
+    The flat voxel order matches :class:`~repro.data.mask.BrainMask`'s
+    (C-order traversal of in-brain cells), so the output feeds directly
+    into :class:`~repro.data.dataset.FMRIDataset`.
+    """
+    if not image.is_4d:
+        raise ValueError("BOLD extraction needs a 4D image")
+    if image.data.shape[:3] != mask.shape:
+        raise ValueError(
+            f"image grid {image.data.shape[:3]} != mask grid {mask.shape}"
+        )
+    return np.ascontiguousarray(
+        image.data[mask.array], dtype=np.float32
+    )
+
+
+def accuracy_map_to_nifti(
+    path: str | os.PathLike,
+    mask: BrainMask,
+    voxels: np.ndarray,
+    accuracies: np.ndarray,
+    affine: np.ndarray | None = None,
+) -> Path:
+    """Write per-voxel accuracies as a 3D NIfTI overlay.
+
+    Unselected voxels get 0 (viewers threshold at > 0), out-of-brain
+    cells get 0 as well.
+    """
+    values = np.zeros(mask.n_voxels, dtype=np.float32)
+    values[np.asarray(voxels, dtype=np.int64)] = np.asarray(
+        accuracies, dtype=np.float32
+    )
+    volume = mask.unflatten(values, fill=0.0).astype(np.float32)
+    return write_nifti(path, volume, affine=affine)
+

@@ -1,0 +1,30 @@
+"""Hardware-model substrate: specs, caches, counters, timing.
+
+The paper's evaluation quantities (memory references, L2 misses,
+vectorization intensity, GFLOPS, elapsed ms) are produced by the models
+in :mod:`repro.perf` running on top of the machine descriptions here.
+"""
+
+from .cache import CacheHierarchy, CacheStats, SetAssociativeCache, element_trace
+from .counters import PerfCounters
+from .presets import E5_2670, KNL_7250, PHI_5110P, e5_2670, knl_7250, phi_5110p
+from .spec import CacheLevel, HardwareSpec
+from .timing import TimeBreakdown, TimeModel
+
+__all__ = [
+    "CacheHierarchy",
+    "CacheLevel",
+    "CacheStats",
+    "E5_2670",
+    "KNL_7250",
+    "HardwareSpec",
+    "PHI_5110P",
+    "PerfCounters",
+    "SetAssociativeCache",
+    "TimeBreakdown",
+    "TimeModel",
+    "e5_2670",
+    "knl_7250",
+    "element_trace",
+    "phi_5110p",
+]

@@ -1,0 +1,119 @@
+"""Performance counters in the paper's vocabulary.
+
+The paper's vTune instrumentation reports four quantities per kernel
+(Tables 1, 6, 7, 8): elapsed time, number of memory references, number of
+L2 cache misses, and *vectorization intensity* — defined in Section 2 as
+"the number of vectorized elements divided by the number of executed VPU
+instructions" (ideal: 16 on the Phi).  :class:`PerfCounters` accumulates
+the raw event counts those quantities derive from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["PerfCounters"]
+
+
+@dataclass
+class PerfCounters:
+    """Raw event counts for one kernel execution (or model thereof)."""
+
+    #: Element-granular loads issued by the kernel.
+    mem_reads: float = 0.0
+    #: Element-granular stores issued by the kernel.
+    mem_writes: float = 0.0
+    #: L1 data-cache misses (line granular).
+    l1_misses: float = 0.0
+    #: L2 misses served from DRAM (line granular).
+    l2_misses: float = 0.0
+    #: L2 misses served from a remote L2 (Phi ring), line granular.
+    l2_remote_hits: float = 0.0
+    #: Floating-point operations executed (FMA counts as 2).
+    flops: float = 0.0
+    #: VPU (SIMD) instructions executed.
+    vpu_instructions: float = 0.0
+    #: Total elements processed by those VPU instructions.
+    vector_elements: float = 0.0
+    #: Scalar ALU/FPU instructions executed outside the VPU.
+    scalar_instructions: float = 0.0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            if getattr(self, f.name) < 0:
+                raise ValueError(f"{f.name} must be non-negative")
+
+    # -- derived metrics (the paper's table columns) --------------------
+
+    @property
+    def mem_refs(self) -> float:
+        """Total memory references (the "#mem refs" column)."""
+        return self.mem_reads + self.mem_writes
+
+    @property
+    def total_l2_misses(self) -> float:
+        """All L2 misses, remote-L2- plus DRAM-served."""
+        return self.l2_misses + self.l2_remote_hits
+
+    @property
+    def vectorization_intensity(self) -> float:
+        """Vectorized elements per VPU instruction (Section 2 definition).
+
+        Returns 0 for a kernel that issued no VPU instructions.
+        """
+        if self.vpu_instructions == 0:
+            return 0.0
+        return self.vector_elements / self.vpu_instructions
+
+    @property
+    def instructions(self) -> float:
+        """All executed instructions (VPU + scalar)."""
+        return self.vpu_instructions + self.scalar_instructions
+
+    def gflops_at(self, seconds: float) -> float:
+        """Achieved GFLOPS given an elapsed time."""
+        if seconds <= 0:
+            raise ValueError("seconds must be positive")
+        return self.flops / seconds / 1e9
+
+    # -- algebra ---------------------------------------------------------
+
+    def __add__(self, other: "PerfCounters") -> "PerfCounters":
+        if not isinstance(other, PerfCounters):
+            return NotImplemented
+        return PerfCounters(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def __iadd__(self, other: "PerfCounters") -> "PerfCounters":
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def scaled(self, factor: float) -> "PerfCounters":
+        """All counts multiplied by ``factor`` (e.g. per-epoch -> total)."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return PerfCounters(
+            **{f.name: getattr(self, f.name) * factor for f in fields(self)}
+        )
+
+    def approx_equal(self, other: "PerfCounters", rtol: float = 1e-6) -> bool:
+        """Field-wise relative comparison."""
+        for f in fields(self):
+            a, b = getattr(self, f.name), getattr(other, f.name)
+            if abs(a - b) > rtol * max(abs(a), abs(b), 1.0):
+                return False
+        return True
+
+    def summary(self) -> str:
+        """One-line human summary in the paper's units."""
+        return (
+            f"refs={self.mem_refs / 1e9:.2f}G "
+            f"L2miss={self.total_l2_misses / 1e6:.1f}M "
+            f"flops={self.flops / 1e9:.2f}G "
+            f"VI={self.vectorization_intensity:.1f}"
+        )

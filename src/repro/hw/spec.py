@@ -1,0 +1,134 @@
+"""Hardware specifications for the performance models.
+
+A :class:`HardwareSpec` captures the architectural parameters the paper's
+analysis turns on (Section 2): core/thread counts, clock, VPU width,
+cache geometry, miss latencies, and peak arithmetic/memory throughput.
+Two concrete machines are defined in :mod:`repro.hw.presets` — the Xeon
+Phi 5110P coprocessor and the Xeon E5-2670 host processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheLevel", "HardwareSpec"]
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """Geometry of one cache level.
+
+    ``size_bytes`` is the capacity *per sharing domain* (per core for
+    L1/L2 on both machines; the whole chip for the E5-2670's LLC).
+    """
+
+    size_bytes: int
+    line_bytes: int = 64
+    ways: int = 8
+    shared_by_threads: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0 or self.ways <= 0:
+            raise ValueError("cache parameters must be positive")
+        n_lines = self.size_bytes // self.line_bytes
+        if self.size_bytes % self.line_bytes:
+            raise ValueError("size must be a multiple of the line size")
+        if n_lines % self.ways:
+            raise ValueError("line count must be a multiple of ways")
+
+    @property
+    def n_lines(self) -> int:
+        """Total cache lines."""
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets (lines / ways)."""
+        return self.n_lines // self.ways
+
+    def per_thread_bytes(self) -> int:
+        """Effective capacity for one thread when fully subscribed."""
+        return self.size_bytes // self.shared_by_threads
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """Architectural parameters of one processor or coprocessor."""
+
+    name: str
+    cores: int
+    threads_per_core: int
+    clock_ghz: float
+    #: Single-precision lanes of the vector unit (16 on KNC, 8 on AVX).
+    vpu_width_sp: int
+    #: Independent FP pipes per core (KNL has two VPUs; Sandy Bridge has
+    #: separate add and multiply ports; KNC has one FMA pipe).
+    vpu_pipes: int
+    l1: CacheLevel
+    l2: CacheLevel
+    #: Optional shared last-level cache (E5-2670 has a 20 MB LLC).
+    llc: CacheLevel | None
+    #: Latency of an L2/LLC miss served from DRAM, in core cycles.
+    mem_latency_cycles: float
+    #: Latency of an L2 miss served by a remote L2, in core cycles
+    #: (the Phi's ring interconnect; equals mem latency when irrelevant).
+    remote_l2_latency_cycles: float
+    #: Sustained DRAM bandwidth in GB/s.
+    mem_bandwidth_gbs: float
+    #: DRAM available to applications, bytes.
+    usable_dram_bytes: int
+    #: Fraction of peak FLOPS a perfectly vectorized, cache-resident
+    #: kernel sustains (issue limitations, in-order stalls, etc.).
+    issue_efficiency: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0 or self.threads_per_core <= 0:
+            raise ValueError("core/thread counts must be positive")
+        if self.clock_ghz <= 0 or self.vpu_width_sp <= 0:
+            raise ValueError("clock and VPU width must be positive")
+        if self.mem_bandwidth_gbs <= 0:
+            raise ValueError("memory bandwidth must be positive")
+        if not 0.0 < self.issue_efficiency <= 1.0:
+            raise ValueError("issue_efficiency must be in (0, 1]")
+
+    @property
+    def total_threads(self) -> int:
+        """Hardware threads across the chip (240 on the 5110P)."""
+        return self.cores * self.threads_per_core
+
+    @property
+    def peak_sp_gflops(self) -> float:
+        """Peak SP GFLOPS: lanes x 2 (FMA) x pipes x clock x cores."""
+        return (
+            self.cores * self.vpu_width_sp * 2.0 * self.vpu_pipes * self.clock_ghz
+        )
+
+    @property
+    def peak_dp_gflops(self) -> float:
+        """Peak double-precision GFLOPS (half the SP lanes)."""
+        return self.peak_sp_gflops / 2.0
+
+    def l2_per_thread_bytes(self) -> int:
+        """L2 capacity available to one thread at full occupancy."""
+        return self.l2.size_bytes // self.threads_per_core
+
+    def mem_latency_seconds(self) -> float:
+        """DRAM miss latency in seconds."""
+        return self.mem_latency_cycles / (self.clock_ghz * 1e9)
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert core cycles to seconds."""
+        return cycles / (self.clock_ghz * 1e9)
+
+    def elements_per_line(self, dtype_bytes: int = 4) -> int:
+        """Elements of ``dtype_bytes`` brought in by one cache line."""
+        return self.l2.line_bytes // dtype_bytes
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.cores}c x {self.threads_per_core}t @ "
+            f"{self.clock_ghz:.3f} GHz, VPU {self.vpu_width_sp} sp lanes, "
+            f"peak {self.peak_sp_gflops:.0f} SP GFLOPS, "
+            f"L2 {self.l2.size_bytes // 1024} KB/core, "
+            f"BW {self.mem_bandwidth_gbs:.0f} GB/s"
+        )

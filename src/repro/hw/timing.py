@@ -1,0 +1,135 @@
+"""Analytic timing model: counters + hardware spec -> elapsed seconds.
+
+The model mirrors the paper's own back-of-envelope analysis (Section
+3.3.1): compute time follows from instruction issue on the VPU pipes,
+memory time from miss bandwidth, and a miss-latency term that is divided
+across hardware threads ("~880 ms if not well hidden" = 709 M misses x
+~300 ns / 240 threads) and scaled by how much of it the kernel overlaps
+with computation.
+
+``elapsed = max(t_issue, t_bandwidth) + (1 - latency_hiding) * t_latency``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .counters import PerfCounters
+from .spec import HardwareSpec
+
+__all__ = ["TimeBreakdown", "TimeModel"]
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Elapsed time and its components, all in seconds."""
+
+    issue: float
+    bandwidth: float
+    latency_raw: float
+    latency_exposed: float
+    elapsed: float
+
+    @property
+    def bound(self) -> str:
+        """Which term dominates: 'compute' or 'memory'."""
+        return "compute" if self.issue >= self.bandwidth else "memory"
+
+
+class TimeModel:
+    """Converts :class:`PerfCounters` into elapsed time on one chip.
+
+    Parameters
+    ----------
+    spec:
+        The machine being modeled.
+    issue_per_core_per_cycle:
+        Instructions one core can retire per cycle from the modeled
+        kernel's stream (1.0 for the in-order KNC VPU pipe; out-of-order
+        hosts are captured through ``spec.issue_efficiency`` instead).
+    """
+
+    def __init__(self, spec: HardwareSpec, issue_per_core_per_cycle: float = 1.0):
+        if issue_per_core_per_cycle <= 0:
+            raise ValueError("issue_per_core_per_cycle must be positive")
+        self._spec = spec
+        self._issue_rate = issue_per_core_per_cycle
+
+    @property
+    def spec(self) -> HardwareSpec:
+        """The hardware spec this model times against."""
+        return self._spec
+
+    def issue_time(self, counters: PerfCounters, threads: int | None = None) -> float:
+        """Seconds to issue the kernel's instruction stream.
+
+        Uses all cores by default; passing ``threads`` < total scales the
+        usable cores proportionally (thread starvation, Section 3.3.3).
+        """
+        spec = self._spec
+        cores = spec.cores
+        if threads is not None:
+            if threads <= 0:
+                raise ValueError("threads must be positive")
+            cores = cores * min(1.0, threads / spec.total_threads)
+        per_second = (
+            cores
+            * self._issue_rate
+            * spec.clock_ghz
+            * 1e9
+            * spec.issue_efficiency
+        )
+        return counters.instructions / per_second
+
+    def bandwidth_time(self, counters: PerfCounters) -> float:
+        """Seconds to move all missed lines at sustained DRAM bandwidth."""
+        bytes_moved = counters.l2_misses * self._spec.l2.line_bytes
+        return bytes_moved / (self._spec.mem_bandwidth_gbs * 1e9)
+
+    def latency_time(self, counters: PerfCounters, threads: int | None = None) -> float:
+        """Seconds of aggregate miss latency divided across threads.
+
+        This is the paper's "total latency of L2 cache misses" estimate:
+        each thread's misses serialize within the thread but overlap
+        across threads.
+        """
+        spec = self._spec
+        n_threads = spec.total_threads if threads is None else threads
+        if n_threads <= 0:
+            raise ValueError("threads must be positive")
+        cycles = (
+            counters.l2_misses * spec.mem_latency_cycles
+            + counters.l2_remote_hits * spec.remote_l2_latency_cycles
+        )
+        return spec.cycles_to_seconds(cycles) / n_threads
+
+    def estimate(
+        self,
+        counters: PerfCounters,
+        latency_hiding: float = 0.0,
+        threads: int | None = None,
+    ) -> TimeBreakdown:
+        """Full elapsed-time estimate.
+
+        ``latency_hiding`` in [0, 1] is the fraction of per-thread miss
+        latency overlapped with useful work (prefetching, other threads'
+        issue slots); 0 reproduces the paper's worst-case "not well
+        hidden" figure.
+        """
+        if not 0.0 <= latency_hiding <= 1.0:
+            raise ValueError("latency_hiding must be in [0, 1]")
+        issue = self.issue_time(counters, threads=threads)
+        bandwidth = self.bandwidth_time(counters)
+        latency_raw = self.latency_time(counters, threads=threads)
+        exposed = (1.0 - latency_hiding) * latency_raw
+        return TimeBreakdown(
+            issue=issue,
+            bandwidth=bandwidth,
+            latency_raw=latency_raw,
+            latency_exposed=exposed,
+            elapsed=max(issue, bandwidth) + exposed,
+        )
+
+    def gflops(self, counters: PerfCounters, breakdown: TimeBreakdown) -> float:
+        """Achieved GFLOPS implied by a time estimate."""
+        return counters.gflops_at(breakdown.elapsed)

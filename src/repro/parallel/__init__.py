@@ -1,0 +1,19 @@
+"""Parallel runtime: MPI-like comm, the master-worker protocol, and the
+multiprocessing executor."""
+
+from .comm import ANY_SOURCE, ANY_TAG, Comm, CommGroup, run_ranks
+from .executor import parallel_voxel_selection, serial_voxel_selection
+from .master_worker import master_loop, mpi_voxel_selection, worker_loop
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Comm",
+    "CommGroup",
+    "master_loop",
+    "mpi_voxel_selection",
+    "parallel_voxel_selection",
+    "run_ranks",
+    "serial_voxel_selection",
+    "worker_loop",
+]

@@ -1,0 +1,207 @@
+"""In-process MPI-like communicator.
+
+The paper's cluster framework communicates "via MPI calls".  mpi4py is
+not available in this environment, so this module provides a faithful
+subset of the MPI point-to-point and collective API over thread-backed
+rank groups: ``send``/``recv`` with tags, ``bcast``, ``scatter``,
+``gather``, ``allgather``, ``allreduce``, and ``barrier``.  The
+master-worker protocol in :mod:`repro.parallel.master_worker` is written
+against this interface, so it reads like the MPI original and is tested
+deterministically in a single process.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Sequence
+
+__all__ = ["Comm", "CommGroup", "run_ranks", "ANY_SOURCE", "ANY_TAG"]
+
+#: Wildcard source rank for :meth:`Comm.recv`.
+ANY_SOURCE = -1
+#: Wildcard message tag for :meth:`Comm.recv`.
+ANY_TAG = -1
+
+#: Seconds before a blocked collective/recv aborts (deadlock guard in
+#: tests; generous enough for real work).
+_DEFAULT_TIMEOUT = 120.0
+
+
+class CommGroup:
+    """Shared state of one communicator: mailboxes and barrier."""
+
+    def __init__(self, size: int, timeout: float = _DEFAULT_TIMEOUT):
+        if size < 1:
+            raise ValueError("communicator size must be >= 1")
+        self.size = size
+        self.timeout = timeout
+        # One mailbox per destination rank holding (source, tag, payload).
+        self._boxes: list[queue.Queue] = [queue.Queue() for _ in range(size)]
+        # Per-rank stash of messages popped while matching selectively.
+        self._stashes: list[list[tuple[int, int, Any]]] = [[] for _ in range(size)]
+        self._barrier = threading.Barrier(size)
+
+    def comm(self, rank: int) -> "Comm":
+        """The communicator endpoint for one rank."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range for size {self.size}")
+        return Comm(self, rank)
+
+
+class Comm:
+    """One rank's endpoint: the MPI-like API surface."""
+
+    def __init__(self, group: CommGroup, rank: int):
+        self._group = group
+        self._rank = rank
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """This endpoint's rank (``Get_rank``)."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks (``Get_size``)."""
+        return self._group.size
+
+    # -- point to point ----------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Deliver ``obj`` to ``dest``'s mailbox (non-blocking buffered)."""
+        if not 0 <= dest < self.size:
+            raise ValueError(f"dest {dest} out of range")
+        if not 0 <= tag < self._COLL_TAG_BASE:
+            raise ValueError(
+                f"user tags must be in [0, {self._COLL_TAG_BASE})"
+            )
+        self._group._boxes[dest].put((self._rank, tag, obj))
+
+    def _send_internal(self, obj: Any, dest: int, tag: int) -> None:
+        self._group._boxes[dest].put((self._rank, tag, obj))
+
+    def recv(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> tuple[int, int, Any]:
+        """Blocking receive; returns ``(source, tag, obj)``.
+
+        Supports selective receive by source and/or tag; non-matching
+        messages are stashed and re-examined first on later calls, so
+        ordering per (source, tag) pair is preserved.
+        """
+        stash = self._group._stashes[self._rank]
+        for idx, (src, t, obj) in enumerate(stash):
+            if (source in (ANY_SOURCE, src)) and (tag in (ANY_TAG, t)):
+                return stash.pop(idx)
+        box = self._group._boxes[self._rank]
+        while True:
+            try:
+                src, t, obj = box.get(timeout=self._group.timeout)
+            except queue.Empty:
+                raise TimeoutError(
+                    f"rank {self._rank}: recv(source={source}, tag={tag}) "
+                    f"timed out after {self._group.timeout}s"
+                ) from None
+            if (source in (ANY_SOURCE, src)) and (tag in (ANY_TAG, t)):
+                return src, t, obj
+            stash.append((src, t, obj))
+
+    # -- collectives -------------------------------------------------------
+
+    _COLL_TAG_BASE = 1_000_000
+
+    def barrier(self) -> None:
+        """Synchronize all ranks."""
+        self._group._barrier.wait(timeout=self._group.timeout)
+
+    def bcast(self, obj: Any = None, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root`` to everyone; returns it."""
+        tag = self._COLL_TAG_BASE + 1
+        if self._rank == root:
+            for dest in range(self.size):
+                if dest != root:
+                    self._send_internal(obj, dest, tag)
+            return obj
+        _, _, received = self.recv(source=root, tag=tag)
+        return received
+
+    def scatter(self, objs: Sequence[Any] | None = None, root: int = 0) -> Any:
+        """Scatter one element of ``objs`` to each rank."""
+        tag = self._COLL_TAG_BASE + 2
+        if self._rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError(f"scatter needs exactly {self.size} items")
+            for dest in range(self.size):
+                if dest != root:
+                    self._send_internal(objs[dest], dest, tag)
+            return objs[root]
+        _, _, received = self.recv(source=root, tag=tag)
+        return received
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Gather one object per rank at ``root`` (rank order preserved)."""
+        tag = self._COLL_TAG_BASE + 3
+        if self._rank == root:
+            out: list[Any] = [None] * self.size
+            out[root] = obj
+            for _ in range(self.size - 1):
+                src, _, payload = self.recv(tag=tag)
+                out[src] = payload
+            return out
+        self._send_internal(obj, root, tag)
+        return None
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Gather at rank 0, then broadcast the list."""
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any]) -> Any:
+        """Reduce with binary ``op`` across ranks; all ranks get the result."""
+        values = self.allgather(obj)
+        acc = values[0]
+        for v in values[1:]:
+            acc = op(acc, v)
+        return acc
+
+
+def run_ranks(
+    size: int,
+    target: Callable[[Comm], Any],
+    timeout: float = _DEFAULT_TIMEOUT,
+) -> list[Any]:
+    """SPMD launcher: run ``target(comm)`` on ``size`` thread ranks.
+
+    Returns each rank's return value in rank order.  Exceptions in any
+    rank are re-raised in the caller after all threads stop (the first
+    failing rank wins).
+    """
+    group = CommGroup(size, timeout=timeout)
+    results: list[Any] = [None] * size
+    errors: list[tuple[int, BaseException]] = []
+    lock = threading.Lock()
+
+    def runner(rank: int) -> None:
+        try:
+            results[rank] = target(group.comm(rank))
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            with lock:
+                errors.append((rank, exc))
+
+    threads = [
+        threading.Thread(target=runner, args=(r,), name=f"rank-{r}")
+        for r in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+    if any(t.is_alive() for t in threads):
+        raise TimeoutError("rank threads did not finish before timeout")
+    if errors:
+        rank, exc = min(errors, key=lambda e: e[0])
+        raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+    return results

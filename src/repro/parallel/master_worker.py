@@ -1,0 +1,175 @@
+"""The FCMA master-worker protocol (paper Section 3.1.1) over Comm.
+
+"The master node first distributes brain data to the worker nodes and
+then sends tasks to the workers to process in parallel.  A worker works
+on one task at a time.  When a worker finishes a task, it will receive a
+new task from the master."
+
+This module implements exactly that pull-based protocol against the
+MPI-like :class:`~repro.parallel.comm.Comm`:
+
+* rank 0 is the master: broadcasts the dataset, serves tasks on demand,
+  collects :class:`~repro.core.results.VoxelScores`, and returns the
+  sorted aggregate;
+* ranks 1..n-1 are workers: request a task, run the three-stage pipeline
+  on it, send the result back, repeat until a stop message.
+
+Beyond the paper, the protocol is fault tolerant: a worker whose task
+raises reports the failure instead of dying, and the master re-queues
+the task (up to ``max_retries`` attempts per task) so a transient
+failure on one node cannot lose voxels from the analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.pipeline import FCMAConfig, run_task, task_partition
+from ..core.results import VoxelScores
+from ..data.dataset import FMRIDataset
+from .comm import Comm, run_ranks
+
+__all__ = ["mpi_voxel_selection", "master_loop", "worker_loop", "TaskFailedError"]
+
+#: Message tags of the protocol.
+TAG_REQUEST = 1  # worker -> master: "give me work" (payload: None)
+TAG_TASK = 2     # master -> worker: (task_index, voxel ndarray)
+TAG_RESULT = 3   # worker -> master: (task_index, VoxelScores)
+TAG_STOP = 4     # master -> worker: no more tasks
+TAG_ERROR = 5    # worker -> master: (task_index, error message)
+
+
+class TaskFailedError(RuntimeError):
+    """A task exhausted its retries across workers."""
+
+
+def master_loop(
+    comm: Comm,
+    tasks: Sequence[np.ndarray],
+    max_retries: int = 2,
+) -> VoxelScores:
+    """Serve ``tasks`` to workers on demand and aggregate their results.
+
+    Runs on rank 0.  Each worker gets a new task the moment it asks;
+    results arrive in any order.  A reported task failure re-queues the
+    task until ``max_retries`` attempts are spent, after which the
+    master drains the workers and raises :class:`TaskFailedError`.
+    """
+    if comm.rank != 0:
+        raise ValueError("master_loop must run on rank 0")
+    if max_retries < 1:
+        raise ValueError("max_retries must be >= 1")
+    n_workers = comm.size - 1
+    if n_workers < 1:
+        raise ValueError("need at least one worker rank")
+
+    pending = list(range(len(tasks)))
+    attempts = {i: 0 for i in pending}
+    results: dict[int, VoxelScores] = {}
+    failure: tuple[int, str] | None = None
+    stopped = 0
+    while stopped < n_workers:
+        src, tag, payload = comm.recv()
+        if tag == TAG_REQUEST:
+            # Even after a permanent task failure the master keeps
+            # serving the remaining healthy tasks, so one bad task
+            # yields the maximum information before the raise below.
+            if pending:
+                idx = pending.pop(0)
+                attempts[idx] += 1
+                comm.send((idx, np.asarray(tasks[idx])), src, TAG_TASK)
+            else:
+                comm.send(None, src, TAG_STOP)
+                stopped += 1
+        elif tag == TAG_RESULT:
+            idx, scores = payload
+            results[idx] = scores
+        elif tag == TAG_ERROR:
+            idx, message = payload
+            if attempts[idx] < max_retries:
+                pending.insert(0, idx)  # retry promptly, likely transient
+            elif failure is None:
+                failure = (idx, message)
+        else:
+            raise RuntimeError(f"master got unexpected tag {tag} from {src}")
+
+    if failure is not None:
+        idx, message = failure
+        raise TaskFailedError(
+            f"task {idx} failed after {max_retries} attempts: {message}"
+        )
+    missing = [i for i in range(len(tasks)) if i not in results]
+    if missing:
+        raise RuntimeError(f"tasks without results: {missing}")
+    parts = [results[i] for i in range(len(tasks))]
+    return VoxelScores.concatenate(parts).sorted_by_accuracy()
+
+
+def worker_loop(
+    comm: Comm,
+    dataset: FMRIDataset,
+    config: FCMAConfig,
+    run: Callable[[FMRIDataset, np.ndarray, FCMAConfig], VoxelScores] = run_task,
+) -> int:
+    """Pull tasks from the master until stopped; returns tasks completed.
+
+    Exceptions raised by ``run`` are reported to the master (TAG_ERROR)
+    rather than killing the worker, which then asks for more work.
+    """
+    if comm.rank == 0:
+        raise ValueError("worker_loop must not run on rank 0")
+    completed = 0
+    while True:
+        comm.send(None, 0, TAG_REQUEST)
+        _, tag, payload = comm.recv(source=0)
+        if tag == TAG_STOP:
+            return completed
+        if tag != TAG_TASK:
+            raise RuntimeError(f"worker got unexpected tag {tag}")
+        idx, voxels = payload
+        try:
+            scores = run(dataset, voxels, config)
+        except Exception as exc:  # noqa: BLE001 - reported to master
+            comm.send((idx, f"{type(exc).__name__}: {exc}"), 0, TAG_ERROR)
+            continue
+        comm.send((idx, scores), 0, TAG_RESULT)
+        completed += 1
+
+
+def mpi_voxel_selection(
+    dataset: FMRIDataset,
+    config: FCMAConfig = FCMAConfig(),
+    n_workers: int = 2,
+    voxels: np.ndarray | None = None,
+    max_retries: int = 2,
+) -> VoxelScores:
+    """Full voxel selection through the master-worker protocol.
+
+    Spawns ``n_workers + 1`` thread ranks (threads, because the protocol
+    layer is what is being exercised; for real multi-core speedup use
+    :func:`repro.parallel.executor.parallel_voxel_selection`, which runs
+    the same task decomposition across processes).
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    if voxels is None:
+        all_tasks = task_partition(dataset.n_voxels, config.task_voxels)
+    else:
+        voxels = np.asarray(voxels, dtype=np.int64)
+        all_tasks = [
+            voxels[s : s + config.task_voxels]
+            for s in range(0, voxels.size, config.task_voxels)
+        ]
+
+    def spmd(comm: Comm):
+        # The paper's master "first distributes brain data to the worker
+        # nodes": here the broadcast shares the dataset object reference.
+        ds = comm.bcast(dataset if comm.rank == 0 else None)
+        if comm.rank == 0:
+            return master_loop(comm, all_tasks, max_retries=max_retries)
+        return worker_loop(comm, ds, config)
+
+    results = run_ranks(n_workers + 1, spmd)
+    return results[0]

@@ -1,0 +1,78 @@
+"""Performance models: kernel access-pattern models + machine timing.
+
+These regenerate the paper's instrumentation tables (1, 5, 6, 7, 8) and
+the single-node comparison figures (9, 10, 11); see DESIGN.md for which
+columns are first-principles vs calibrated.
+"""
+
+from .base import KernelEstimate, arch_key, calibration_for, estimate_kernel
+from .calibration import CALIBRATION, KernelCalibration, get_calibration
+from .memory_model import MemoryFootprint, max_resident_voxels, task_memory
+from .matmul_model import (
+    MKL_SYRK_COLUMN_BLOCK,
+    CorrShape,
+    SyrkShape,
+    corr_shape_for,
+    model_correlation_matmul,
+    model_kernel_syrk,
+    syrk_shape_for,
+)
+from .norm_model import NORM_SWEEPS, NormSweeps, model_normalization
+from .roofline import RooflinePoint, attainable_gflops, roofline_point
+from .svm_model import SVM_VARIANTS, SvmVariant, model_svm_cv, svm_problem_count
+from .task_model import (
+    OPTIMIZED_TASK_VOXELS,
+    TaskEstimate,
+    baseline_task_voxels,
+    model_task,
+    offline_task_seconds,
+    online_task_seconds,
+    per_voxel_seconds,
+)
+from .vtune import (
+    InstrumentationRow,
+    baseline_report,
+    format_report,
+    row_from_estimate,
+)
+
+__all__ = [
+    "CALIBRATION",
+    "CorrShape",
+    "InstrumentationRow",
+    "KernelCalibration",
+    "KernelEstimate",
+    "MKL_SYRK_COLUMN_BLOCK",
+    "MemoryFootprint",
+    "NORM_SWEEPS",
+    "NormSweeps",
+    "OPTIMIZED_TASK_VOXELS",
+    "RooflinePoint",
+    "SVM_VARIANTS",
+    "SvmVariant",
+    "SyrkShape",
+    "TaskEstimate",
+    "arch_key",
+    "attainable_gflops",
+    "baseline_report",
+    "baseline_task_voxels",
+    "calibration_for",
+    "corr_shape_for",
+    "estimate_kernel",
+    "format_report",
+    "get_calibration",
+    "max_resident_voxels",
+    "model_correlation_matmul",
+    "model_kernel_syrk",
+    "model_normalization",
+    "model_svm_cv",
+    "model_task",
+    "offline_task_seconds",
+    "online_task_seconds",
+    "per_voxel_seconds",
+    "roofline_point",
+    "row_from_estimate",
+    "svm_problem_count",
+    "syrk_shape_for",
+    "task_memory",
+]

@@ -1,0 +1,170 @@
+"""Calibrated per-kernel descriptors for the performance models.
+
+The perf models separate *first-principles* quantities from *calibrated*
+ones, and this module is the single home of everything calibrated:
+
+* **First principles** (computed in the models, never calibrated):
+  FLOP counts from the matrix shapes; L2 miss counts from cache-sweep
+  arithmetic over the kernels' documented blocking structure (validated
+  against the trace-driven cache simulator in the tests).
+* **Calibrated** (this file): vectorization intensity, memory-reference
+  density, instruction overhead per memory reference, and the fraction
+  of miss latency a kernel overlaps with compute.  VI and reference
+  counts are microarchitectural properties of code we cannot run (ICC's
+  KNC code generation, MKL's and LibSVM's binaries); we pin them to the
+  paper's vTune measurements and document the provenance per entry.
+
+With these descriptors fixed once, the machine model in
+:mod:`repro.hw.timing` *derives* every elapsed time, GFLOPS figure, and
+speedup ratio in the evaluation — none of those are pasted in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["KernelCalibration", "CALIBRATION", "get_calibration"]
+
+
+@dataclass(frozen=True)
+class KernelCalibration:
+    """Microarchitectural descriptor of one kernel implementation."""
+
+    #: Vectorization intensity (elements per VPU instruction; 16 ideal
+    #: on KNC).  Source: paper Tables 1, 6, 8 where measured.
+    vi: float
+    #: Memory-reference instructions issued per floating-point operation
+    #: (vTune "#mem refs" / FLOPs).  Matmul kernels only.
+    refs_per_flop: float = 0.0
+    #: Memory-reference instructions issued per element-sweep reference
+    #: (normalization / SVM kernels, whose work is sweep-shaped).
+    refs_per_element: float = 1.0
+    #: Non-memory instructions issued per memory reference (address
+    #: arithmetic, transcendental sequences, branches).
+    instr_per_ref: float = 1.0
+    #: Fraction of per-thread miss latency hidden by other work, in
+    #: [0, 1]; feeds TimeModel.estimate's latency_hiding.
+    latency_hiding: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.vi <= 0:
+            raise ValueError("vi must be positive")
+        if self.refs_per_flop < 0 or self.refs_per_element < 0:
+            raise ValueError("reference densities must be >= 0")
+        if self.instr_per_ref < 0:
+            raise ValueError("instr_per_ref must be >= 0")
+        if not 0.0 <= self.latency_hiding <= 1.0:
+            raise ValueError("latency_hiding must be in [0, 1]")
+
+
+#: Kernel id -> descriptor.  Provenance notes per entry.
+CALIBRATION: dict[str, KernelCalibration] = {
+    # --- stage 1 + 3a matrix multiplications -------------------------------
+    # Paper Table 6: our blocking reached VI 16 (theoretical peak) with
+    # 9.97e9 refs over 193.6 GFLOP -> 0.0515 refs/flop.  Stage-1 writes
+    # stall (write-allocate misses are not prefetched), so no hiding
+    # there; the syrk is issue-bound with panels L2-resident.
+    "matmul/ours/corr": KernelCalibration(
+        vi=16.0, refs_per_flop=0.0515, instr_per_ref=0.82, latency_hiding=0.0
+    ),
+    "matmul/ours/syrk": KernelCalibration(
+        vi=16.0, refs_per_flop=0.0515, instr_per_ref=0.82, latency_hiding=1.0
+    ),
+    # Paper Tables 1/6: MKL measured VI 3.6 and 34.86e9 refs over the
+    # same 193.6 GFLOP -> 0.18 refs/flop.  MKL software-prefetches its
+    # streams (partial hiding on the small-k gemm; full on syrk).
+    "matmul/mkl/corr": KernelCalibration(
+        vi=3.6, refs_per_flop=0.18, instr_per_ref=0.9, latency_hiding=0.8
+    ),
+    "matmul/mkl/syrk": KernelCalibration(
+        vi=3.6, refs_per_flop=0.18, instr_per_ref=0.9, latency_hiding=1.0
+    ),
+    # --- stage 2 normalization --------------------------------------------
+    # Table 1 baseline row: VI 8.5 (partially vectorized z-scoring).
+    # Element sweeps are derived in norm_model; instr_per_ref covers the
+    # arctanh/logf sequence (EMU-assisted on KNC).
+    "norm/baseline": KernelCalibration(
+        vi=8.5, refs_per_element=1.0, instr_per_ref=2.7, latency_hiding=0.0
+    ),
+    # Table 7 "separated": vectorized (SIMD pragma) but still re-reads
+    # everything from memory.
+    "norm/separated": KernelCalibration(
+        vi=16.0, refs_per_element=1.0, instr_per_ref=2.6, latency_hiding=1.0
+    ),
+    # Table 7 "merged": same vector code, data already L2-resident.
+    "norm/merged": KernelCalibration(
+        vi=16.0, refs_per_element=1.0, instr_per_ref=5.5, latency_hiding=0.0
+    ),
+    # --- stage 3b SVM cross-validation -------------------------------------
+    # Table 8: LibSVM VI 1.9 (sparse node walks defeat the VPU); the
+    # double-precision sparse representation roughly doubles per-element
+    # traffic (index+value) -> refs_per_element 2.0.
+    "svm/libsvm": KernelCalibration(
+        vi=1.9, refs_per_element=2.0, instr_per_ref=2.2, latency_hiding=1.0
+    ),
+    # Table 8 "optimized LibSVM": float32 + dense loops, VI 7.3.
+    "svm/libsvm-opt": KernelCalibration(
+        vi=7.3, refs_per_element=1.0, instr_per_ref=1.45, latency_hiding=1.0
+    ),
+    # Table 8 PhiSVM: VI 9.8, adaptive heuristic cuts iterations (the
+    # factor is measured by our own solver, not calibrated here).
+    "svm/phisvm": KernelCalibration(
+        vi=9.8, refs_per_element=1.0, instr_per_ref=1.7, latency_hiding=1.0
+    ),
+}
+
+
+#: Host-processor overrides: on the E5-2670 the foil libraries behave
+#: much better (MKL's AVX kernels are mature; 16 threads cannot starve),
+#: so the optimized/baseline gap shrinks — the paper's Fig. 10 point.
+CALIBRATION.update(
+    {
+        "matmul/mkl/corr@xeon": KernelCalibration(
+            vi=6.4, refs_per_flop=0.09, instr_per_ref=0.6, latency_hiding=0.9
+        ),
+        "matmul/mkl/syrk@xeon": KernelCalibration(
+            vi=6.4, refs_per_flop=0.09, instr_per_ref=0.6, latency_hiding=1.0
+        ),
+        "matmul/ours/corr@xeon": KernelCalibration(
+            vi=8.0, refs_per_flop=0.0515, instr_per_ref=0.82, latency_hiding=0.5
+        ),
+        "matmul/ours/syrk@xeon": KernelCalibration(
+            vi=8.0, refs_per_flop=0.0515, instr_per_ref=0.82, latency_hiding=1.0
+        ),
+        "norm/baseline@xeon": KernelCalibration(
+            vi=8.0, refs_per_element=1.0, instr_per_ref=1.2, latency_hiding=0.7
+        ),
+        "norm/separated@xeon": KernelCalibration(
+            vi=8.0, refs_per_element=1.0, instr_per_ref=2.0, latency_hiding=0.9
+        ),
+        "norm/merged@xeon": KernelCalibration(
+            vi=8.0, refs_per_element=1.0, instr_per_ref=2.6, latency_hiding=0.5
+        ),
+        "svm/libsvm@xeon": KernelCalibration(
+            vi=4.0, refs_per_element=1.2, instr_per_ref=1.0, latency_hiding=1.0
+        ),
+        "svm/libsvm-opt@xeon": KernelCalibration(
+            vi=6.0, refs_per_element=1.0, instr_per_ref=1.6, latency_hiding=1.0
+        ),
+        "svm/phisvm@xeon": KernelCalibration(
+            vi=5.0, refs_per_element=1.0, instr_per_ref=1.45, latency_hiding=1.0
+        ),
+    }
+)
+
+
+def get_calibration(kernel_id: str, arch: str | None = None) -> KernelCalibration:
+    """Look up a kernel descriptor, preferring an ``@arch`` override.
+
+    ``arch`` is e.g. ``"xeon"``; the bare id is the KNC (coprocessor)
+    calibration, matching the paper's vTune measurements.
+    """
+    if arch is not None:
+        override = CALIBRATION.get(f"{kernel_id}@{arch}")
+        if override is not None:
+            return override
+    try:
+        return CALIBRATION[kernel_id]
+    except KeyError:
+        known = ", ".join(sorted(CALIBRATION))
+        raise KeyError(f"unknown kernel id {kernel_id!r}; known: {known}") from None

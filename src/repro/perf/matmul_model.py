@@ -1,0 +1,231 @@
+"""Access-pattern models of the two FCMA matrix multiplications.
+
+Models the counters of Tables 1, 5 and 6 for both implementations:
+
+* **Stage-1 correlation gemm** — per epoch, ``A[V, T] x B[T, N]`` with a
+  tiny inner dimension (T = epoch length, ~12).  DRAM misses are the
+  write-allocated output plus one streaming read of B; the blocked
+  implementation re-reads B once per voxel block, but those re-reads hit
+  *remote L2* on the ring (another core fetched the line this pass), not
+  DRAM.
+* **Stage-3a kernel syrk** — per voxel, ``A[M, N] x A^T`` with N huge.
+  The optimized panel algorithm reads A exactly once per voxel; MKL's
+  square-blocking re-reads A once per ~16-column block of C, the
+  dominant source of its 5.8x higher miss count.
+
+FLOPs are exact; miss counts follow from this sweep arithmetic
+(validated against the cache simulator at small scale in the tests);
+reference counts and vectorization intensity come from the calibrated
+descriptors (see :mod:`repro.perf.calibration`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..data.presets import DatasetSpec
+from ..hw.counters import PerfCounters
+from ..hw.spec import HardwareSpec
+from .base import KernelEstimate, calibration_for, estimate_kernel
+from .calibration import KernelCalibration
+
+__all__ = [
+    "CorrShape",
+    "SyrkShape",
+    "corr_shape_for",
+    "syrk_shape_for",
+    "model_correlation_matmul",
+    "model_kernel_syrk",
+    "MKL_SYRK_COLUMN_BLOCK",
+]
+
+#: Effective C-column block of MKL's syrk on KNC: the register budget
+#: limits the output tile, so A is re-read once per ~16 columns of C.
+MKL_SYRK_COLUMN_BLOCK = 16
+
+#: Voxel-block depth of the optimized stage-1 tiling (Section 4.2).
+OURS_CORR_VOXEL_BLOCK = 16
+
+
+@dataclass(frozen=True)
+class CorrShape:
+    """Shape of one task's stage-1 work: epochs x (V x T x N)."""
+
+    n_epochs: int
+    n_assigned: int  # V
+    epoch_len: int   # T
+    n_voxels: int    # N
+
+    @property
+    def flops(self) -> float:
+        """Exact FLOPs: one multiply-add per (epoch, v, t, n)."""
+        return 2.0 * self.n_epochs * self.n_assigned * self.epoch_len * self.n_voxels
+
+    @property
+    def output_elements(self) -> float:
+        """Correlation elements written (V x N per epoch)."""
+        return float(self.n_epochs) * self.n_assigned * self.n_voxels
+
+    @property
+    def b_elements_per_epoch(self) -> int:
+        """Elements of one epoch's B panel (N x T)."""
+        return self.n_voxels * self.epoch_len
+
+
+@dataclass(frozen=True)
+class SyrkShape:
+    """Shape of one task's stage-3a work: n_problems x (M x N syrk)."""
+
+    n_problems: int  # voxels in the task
+    m: int           # training epochs
+    n: int           # brain voxels (the long dimension)
+
+    @property
+    def flops(self) -> float:
+        """FLOPs, triangle only: M^2/2 x N multiply-adds per problem.
+
+        Matches the paper's own count (172.14 GFLOP for 120 problems of
+        M=204, N=34,470).
+        """
+        return float(self.n_problems) * self.m * self.m * self.n
+
+    @property
+    def a_elements(self) -> int:
+        """Elements of one problem's data matrix."""
+        return self.m * self.n
+
+    @property
+    def output_elements(self) -> float:
+        """Kernel-matrix elements written (triangle)."""
+        return float(self.n_problems) * self.m * (self.m + 1) / 2.0
+
+
+def corr_shape_for(spec: DatasetSpec, n_assigned: int) -> CorrShape:
+    """Stage-1 shape of a task on a dataset (all epochs correlated)."""
+    return CorrShape(
+        n_epochs=spec.n_epochs,
+        n_assigned=n_assigned,
+        epoch_len=spec.epoch_length,
+        n_voxels=spec.n_voxels,
+    )
+
+
+def syrk_shape_for(spec: DatasetSpec, n_assigned: int) -> SyrkShape:
+    """Stage-3a shape: one syrk per voxel over the LOSO training epochs."""
+    return SyrkShape(
+        n_problems=n_assigned,
+        m=spec.training_epochs_loso,
+        n=spec.n_voxels,
+    )
+
+
+def _matmul_counters(
+    flops: float,
+    dram_miss_lines: float,
+    remote_lines: float,
+    write_fraction: float,
+    calib: KernelCalibration,
+) -> PerfCounters:
+    refs = flops * calib.refs_per_flop
+    vpu = flops / (2.0 * calib.vi)
+    return PerfCounters(
+        mem_reads=refs * (1.0 - write_fraction),
+        mem_writes=refs * write_fraction,
+        l2_misses=dram_miss_lines,
+        l2_remote_hits=remote_lines,
+        flops=flops,
+        vpu_instructions=vpu,
+        vector_elements=vpu * calib.vi,
+        scalar_instructions=refs * calib.instr_per_ref,
+    )
+
+
+def model_correlation_matmul(
+    spec: DatasetSpec,
+    n_assigned: int,
+    hw: HardwareSpec,
+    implementation: str = "ours",
+) -> KernelEstimate:
+    """Model stage 1 for one task (``implementation``: 'ours' or 'mkl').
+
+    Miss accounting (lines of ``hw.l2.line_bytes``):
+
+    * output write-allocate: every C element missed once;
+    * B streamed from DRAM once per epoch (both implementations);
+    * blocked-only: ``ceil(V / voxel_block) - 1`` extra passes over B
+      that hit remote L2 on the ring.
+    """
+    if implementation not in ("ours", "mkl"):
+        raise ValueError(f"implementation must be 'ours' or 'mkl', got {implementation!r}")
+    shape = corr_shape_for(spec, n_assigned)
+    line_elems = hw.elements_per_line()
+    c_write_lines = shape.output_elements / line_elems
+    b_lines_per_pass = shape.n_epochs * shape.b_elements_per_epoch / line_elems
+    a_lines = shape.n_epochs * shape.n_assigned * shape.epoch_len / line_elems
+
+    if implementation == "ours":
+        passes = math.ceil(n_assigned / OURS_CORR_VOXEL_BLOCK)
+        dram = c_write_lines + b_lines_per_pass + a_lines
+        remote = max(passes - 1, 0) * b_lines_per_pass
+    else:
+        dram = c_write_lines + b_lines_per_pass + a_lines
+        remote = 0.0
+
+    calib = calibration_for(f"matmul/{implementation}/corr", hw)
+    counters = _matmul_counters(
+        flops=shape.flops,
+        dram_miss_lines=dram,
+        remote_lines=remote,
+        write_fraction=0.5,
+        calib=calib,
+    )
+    return estimate_kernel(f"matmul/{implementation}/corr", hw, counters, calib)
+
+
+def model_kernel_syrk(
+    spec: DatasetSpec,
+    n_assigned: int,
+    hw: HardwareSpec,
+    implementation: str = "ours",
+) -> KernelEstimate:
+    """Model stage 3a (kernel precompute) for one task.
+
+    The optimized panel walk touches each A line exactly once per voxel;
+    MKL re-reads A once per :data:`MKL_SYRK_COLUMN_BLOCK` columns of C.
+    Output lines are negligible next to A (M^2 vs M x N elements) but
+    included.
+    """
+    if implementation not in ("ours", "mkl"):
+        raise ValueError(f"implementation must be 'ours' or 'mkl', got {implementation!r}")
+    shape = syrk_shape_for(spec, n_assigned)
+    line_elems = hw.elements_per_line()
+    a_lines = shape.n_problems * shape.a_elements / line_elems
+    c_lines = shape.output_elements / line_elems
+
+    remote = 0.0
+    if implementation == "ours":
+        dram = a_lines + c_lines
+    else:
+        passes = math.ceil(shape.m / MKL_SYRK_COLUMN_BLOCK)
+        reread_lines = (passes - 1) * a_lines
+        if hw.llc is not None:
+            # On a host with a big LLC, re-read passes mostly hit it
+            # (the paper's Fig. 10 discussion): the fraction of A the
+            # LLC retains services rereads at LLC latency.
+            a_bytes = shape.a_elements * 4
+            llc_fraction = min(1.0, hw.llc.size_bytes / a_bytes)
+            remote = llc_fraction * reread_lines
+            dram = a_lines + (1.0 - llc_fraction) * reread_lines + c_lines
+        else:
+            dram = a_lines + reread_lines + c_lines
+
+    calib = calibration_for(f"matmul/{implementation}/syrk", hw)
+    counters = _matmul_counters(
+        flops=shape.flops,
+        dram_miss_lines=dram,
+        remote_lines=remote,
+        write_fraction=0.02,
+        calib=calib,
+    )
+    return estimate_kernel(f"matmul/{implementation}/syrk", hw, counters, calib)

@@ -1,0 +1,106 @@
+"""Device-memory footprint model (paper Section 3.3.3 / 4.4).
+
+The baseline's task size is memory-bound: holding a task's full
+correlation data on the coprocessor costs ``V x M x N`` floats ("240
+voxels' correlation vectors will consume 8.3 GB"), which caps face-scene
+tasks at 120 voxels and starves the SVM stage of threads.  The
+optimized pipeline instead reduces correlations to ``M x M`` kernel
+matrices *portion by portion*, so only a small correlation slab is ever
+resident and 240+ voxel problems fit easily.
+
+This model quantifies both regimes so the task-sizing logic (and the
+paper's Fig. 9 thread-starvation mechanism) is auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data.presets import DatasetSpec
+from ..hw.spec import HardwareSpec
+
+__all__ = ["MemoryFootprint", "task_memory", "max_resident_voxels"]
+
+#: Voxels whose correlation slab is in flight at once in the optimized
+#: pipeline (one stage-1 voxel block).
+PORTION_VOXELS = 16
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Bytes resident on the device for one task."""
+
+    variant: str
+    n_voxels_task: int
+    #: The epoch-windowed input data (shared by all tasks).
+    input_bytes: int
+    #: Correlation vectors resident at peak.
+    correlation_bytes: int
+    #: Precomputed kernel matrices for the task's voxels.
+    kernel_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Peak resident footprint."""
+        return self.input_bytes + self.correlation_bytes + self.kernel_bytes
+
+    @property
+    def total_gb(self) -> float:
+        """Peak footprint in decimal GB (the paper's unit)."""
+        return self.total_bytes / 1e9
+
+
+def task_memory(
+    spec: DatasetSpec,
+    n_voxels_task: int,
+    variant: str = "optimized",
+    portion_voxels: int = PORTION_VOXELS,
+) -> MemoryFootprint:
+    """Footprint of one task under either memory regime."""
+    if n_voxels_task < 1:
+        raise ValueError("n_voxels_task must be >= 1")
+    if portion_voxels < 1:
+        raise ValueError("portion_voxels must be >= 1")
+    if variant not in ("baseline", "optimized"):
+        raise ValueError(f"unknown variant {variant!r}")
+
+    input_bytes = spec.n_voxels * spec.n_epochs * spec.epoch_length * 4
+    kernel_bytes = n_voxels_task * spec.training_epochs_loso**2 * 4
+    if variant == "baseline":
+        # All correlation vectors live until the SVM stage reads them.
+        corr_bytes = spec.correlation_bytes(n_voxels_task)
+    else:
+        # Only the in-flight portion's slab is resident.
+        corr_bytes = spec.correlation_bytes(min(portion_voxels, n_voxels_task))
+    return MemoryFootprint(
+        variant=variant,
+        n_voxels_task=n_voxels_task,
+        input_bytes=input_bytes,
+        correlation_bytes=corr_bytes,
+        kernel_bytes=kernel_bytes,
+    )
+
+
+def max_resident_voxels(
+    spec: DatasetSpec,
+    hw: HardwareSpec,
+    variant: str = "optimized",
+    portion_voxels: int = PORTION_VOXELS,
+) -> int:
+    """Largest task whose footprint fits the device's usable DRAM.
+
+    For the baseline this reproduces the paper's memory wall; for the
+    optimized pipeline the answer is bounded by the kernel matrices
+    alone and comfortably exceeds the 240 threads to fill.
+    """
+    budget = hw.usable_dram_bytes
+    lo, hi = 1, spec.n_voxels
+    if task_memory(spec, 1, variant, portion_voxels).total_bytes > budget:
+        return 0
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if task_memory(spec, mid, variant, portion_voxels).total_bytes <= budget:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo

@@ -1,0 +1,74 @@
+"""Roofline helpers: arithmetic intensity and attainable performance.
+
+Used by the ablation benchmarks to show where each kernel sits relative
+to the machine's compute and bandwidth ceilings — the lens behind the
+paper's observation that the correlation gemm (write-heavy) cannot reach
+the syrk's GFLOPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw.counters import PerfCounters
+from ..hw.spec import HardwareSpec
+
+__all__ = ["RooflinePoint", "roofline_point", "attainable_gflops"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel placed on a machine's roofline."""
+
+    #: FLOPs per byte of DRAM traffic.
+    arithmetic_intensity: float
+    #: min(peak, AI x bandwidth) in GFLOPS.
+    attainable_gflops: float
+    #: Achieved GFLOPS (if an elapsed time was supplied).
+    achieved_gflops: float | None
+    #: True when the bandwidth ceiling binds.
+    memory_bound: bool
+
+    @property
+    def efficiency(self) -> float | None:
+        """Achieved / attainable, if achieved is known."""
+        if self.achieved_gflops is None:
+            return None
+        return self.achieved_gflops / self.attainable_gflops
+
+
+def attainable_gflops(spec: HardwareSpec, arithmetic_intensity: float) -> float:
+    """The roofline: ``min(peak, AI x BW)``."""
+    if arithmetic_intensity < 0:
+        raise ValueError("arithmetic intensity must be >= 0")
+    bw_bound = arithmetic_intensity * spec.mem_bandwidth_gbs
+    return min(spec.peak_sp_gflops, bw_bound)
+
+
+def roofline_point(
+    spec: HardwareSpec,
+    counters: PerfCounters,
+    elapsed_seconds: float | None = None,
+) -> RooflinePoint:
+    """Place a kernel's counters on the machine's roofline.
+
+    DRAM traffic is the kernel's L2 miss lines times the line size.
+    """
+    bytes_moved = counters.l2_misses * spec.l2.line_bytes
+    if bytes_moved <= 0:
+        ai = float("inf")
+        attainable = spec.peak_sp_gflops
+    else:
+        ai = counters.flops / bytes_moved
+        attainable = attainable_gflops(spec, ai)
+    achieved = None
+    if elapsed_seconds is not None:
+        if elapsed_seconds <= 0:
+            raise ValueError("elapsed_seconds must be positive")
+        achieved = counters.flops / elapsed_seconds / 1e9
+    return RooflinePoint(
+        arithmetic_intensity=ai,
+        attainable_gflops=attainable,
+        achieved_gflops=achieved,
+        memory_bound=attainable < spec.peak_sp_gflops,
+    )

@@ -1,0 +1,137 @@
+"""Access-pattern model of the stage-3b SVM cross-validation (Table 8).
+
+The work is SMO-shaped: per training problem, ``iterations`` passes of
+O(M) work (working-set scan, second-order gain row, two kernel rows,
+gradient update).  The three implementations differ in:
+
+* **iteration count** — PhiSVM's adaptive heuristic converges in fewer
+  iterations (the factor is measured by running our own solver with
+  both heuristics, see ``tests/perf/test_svm_model.py``);
+* **per-element traffic** — LibSVM's sparse (index, value) nodes double
+  it, and double precision halves line utilization;
+* **thread occupancy** — the baseline pins one thread per voxel, so a
+  120-voxel task uses only 120 of 240 threads ("thread starvation",
+  Section 3.3.3); the optimized pipeline accumulates >= 240 kernel
+  matrices before cross-validating, filling the machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data.presets import DatasetSpec
+from ..hw.counters import PerfCounters
+from ..hw.spec import HardwareSpec
+from .base import KernelEstimate, calibration_for, estimate_kernel
+
+__all__ = ["SvmVariant", "SVM_VARIANTS", "model_svm_cv", "svm_problem_count"]
+
+#: Elements touched per SMO iteration, in units of M: selection scan
+#: (2M: gradient + masks), second-order gain row (M), two kernel rows
+#: (2M), gradient update (2M).
+ELEMENTS_PER_ITER_FACTOR = 7.0
+
+
+@dataclass(frozen=True)
+class SvmVariant:
+    """Behavioural descriptor of one SVM implementation."""
+
+    calib_id: str
+    #: SMO iterations per training problem, in units of the training-set
+    #: size M (empirically SMO needs a small multiple of M iterations).
+    iter_factor: float
+    #: True if the implementation is limited to one thread per voxel
+    #: (the baseline's memory-bound task sizing).
+    one_thread_per_voxel: bool
+
+
+SVM_VARIANTS: dict[str, SvmVariant] = {
+    # LibSVM's WSS2 on these noisy problems: ~22 M iterations (matches
+    # the paper's 23 G refs over a 120-voxel task when combined with the
+    # sparse-node traffic factor).
+    "libsvm": SvmVariant("svm/libsvm", iter_factor=22.0, one_thread_per_voxel=True),
+    # Same algorithm, dense float32 loops.
+    "libsvm-opt": SvmVariant(
+        "svm/libsvm-opt", iter_factor=22.0, one_thread_per_voxel=True
+    ),
+    # Adaptive heuristic: ~0.6x the iterations, full thread occupancy.
+    "phisvm": SvmVariant("svm/phisvm", iter_factor=13.0, one_thread_per_voxel=False),
+}
+
+
+def svm_problem_count(spec: DatasetSpec) -> tuple[int, int]:
+    """(problems per voxel, per-problem training size) for one task.
+
+    A voxel's kernel matrix covers the outer-fold training epochs
+    (M = ``training_epochs_loso``); the inner leave-one-subject-out CV
+    trains ``n_subjects - 1`` models, each on M minus one subject's
+    epochs.
+    """
+    folds = spec.n_subjects - 1
+    m_inner = spec.training_epochs_loso - spec.epochs_per_subject
+    return folds, m_inner
+
+
+def model_svm_cv(
+    spec: DatasetSpec,
+    n_assigned: int,
+    hw: HardwareSpec,
+    variant: str = "phisvm",
+    iter_factor: float | None = None,
+) -> KernelEstimate:
+    """Model stage 3b for one task of ``n_assigned`` voxels.
+
+    ``iter_factor`` overrides the variant's default iterations-per-M
+    (useful for feeding in iteration counts measured from the real
+    solver).
+    """
+    try:
+        v = SVM_VARIANTS[variant]
+    except KeyError:
+        raise ValueError(
+            f"unknown variant {variant!r}; choose from {sorted(SVM_VARIANTS)}"
+        ) from None
+    calib = calibration_for(v.calib_id, hw)
+    folds, m_inner = svm_problem_count(spec)
+    factor = v.iter_factor if iter_factor is None else iter_factor
+    if factor <= 0:
+        raise ValueError("iter_factor must be positive")
+
+    iterations = factor * m_inner
+    elements = (
+        float(n_assigned) * folds * iterations * ELEMENTS_PER_ITER_FACTOR * m_inner
+    )
+    refs = elements * calib.refs_per_element
+    vpu = elements / calib.vi
+
+    # L2-overflow stalls: SMO sweeps its M x M kernel every iteration.
+    # When the kernel no longer fits the core's cache neighbourhood
+    # (~2x L2 with sharing), every sweep stalls on refills — this is why
+    # the *attention* dataset (M=522; 2.2 MB in LibSVM's double
+    # precision vs 1.1 MB in PhiSVM's float32) gains so much more from
+    # the optimized SVM than face-scene (M=192 fits everywhere).
+    dtype_bytes = 8 if variant == "libsvm" else 4
+    kernel_bytes = m_inner * m_inner * dtype_bytes
+    cache_budget = 2 * hw.l2.size_bytes
+    overflow = kernel_bytes / cache_budget
+    stall_factor = 1.0 + 0.5 * min(max(overflow - 1.0, 0.0), 4.0)
+    # SMO's working set is the M x M kernel (fits L2 at these sizes), so
+    # DRAM misses are only the first-touch of each problem's kernel.
+    line_elems = hw.elements_per_line()
+    dtype_elems_per_line = line_elems if calib.refs_per_element < 2.0 else line_elems // 2
+    first_touch_lines = (
+        float(n_assigned) * folds * m_inner * m_inner / dtype_elems_per_line
+    )
+    counters = PerfCounters(
+        mem_reads=refs * 0.9,
+        mem_writes=refs * 0.1,
+        l2_misses=first_touch_lines,
+        flops=2.0 * elements,  # roughly one FMA per touched element
+        vpu_instructions=vpu,
+        vector_elements=vpu * calib.vi,
+        scalar_instructions=refs * calib.instr_per_ref * stall_factor,
+    )
+    threads = None
+    if v.one_thread_per_voxel:
+        threads = min(n_assigned, hw.total_threads)
+    return estimate_kernel(v.calib_id, hw, counters, calib, threads=threads)

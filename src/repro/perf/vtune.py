@@ -1,0 +1,91 @@
+"""vTune-style instrumentation reports (the paper's Table 1 format).
+
+Rows carry the four columns the paper reports per kernel: elapsed time,
+memory references, L2 cache misses (DRAM-served, as vTune's KNC miss
+event counts), and vectorization intensity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data.presets import DatasetSpec
+from ..hw.spec import HardwareSpec
+from .base import KernelEstimate
+from .matmul_model import model_correlation_matmul, model_kernel_syrk
+from .norm_model import model_normalization
+from .svm_model import model_svm_cv
+
+__all__ = ["InstrumentationRow", "row_from_estimate", "baseline_report", "format_report"]
+
+
+@dataclass(frozen=True)
+class InstrumentationRow:
+    """One kernel's vTune-style measurements."""
+
+    name: str
+    time_ms: float
+    mem_refs: float
+    l2_misses: float
+    vector_intensity: float
+
+    def formatted(self) -> str:
+        """The row in the paper's units (ms, billions, millions)."""
+        return (
+            f"{self.name:28s} {self.time_ms:8.0f} ms "
+            f"{self.mem_refs / 1e9:8.2f} G refs "
+            f"{self.l2_misses / 1e6:8.1f} M miss "
+            f"VI {self.vector_intensity:5.1f}"
+        )
+
+
+def row_from_estimate(name: str, *estimates: KernelEstimate) -> InstrumentationRow:
+    """Combine one or more kernel estimates into a report row.
+
+    Multiple estimates are summed (e.g. Table 1's "matrix
+    multiplication" row covers both the correlation gemm and the SVM
+    kernel syrk).
+    """
+    if not estimates:
+        raise ValueError("need at least one estimate")
+    counters = estimates[0].counters
+    for e in estimates[1:]:
+        counters = counters + e.counters
+    return InstrumentationRow(
+        name=name,
+        time_ms=sum(e.milliseconds for e in estimates),
+        mem_refs=counters.mem_refs,
+        l2_misses=counters.l2_misses,
+        vector_intensity=counters.vectorization_intensity,
+    )
+
+
+def baseline_report(
+    spec: DatasetSpec, n_assigned: int, hw: HardwareSpec
+) -> list[InstrumentationRow]:
+    """Reproduce Table 1: the baseline's three instrumented rows."""
+    return [
+        row_from_estimate(
+            "Matrix multiplication",
+            model_correlation_matmul(spec, n_assigned, hw, "mkl"),
+            model_kernel_syrk(spec, n_assigned, hw, "mkl"),
+        ),
+        row_from_estimate(
+            "Normalization",
+            model_normalization(spec, n_assigned, hw, "baseline"),
+        ),
+        row_from_estimate(
+            "LibSVM",
+            model_svm_cv(spec, n_assigned, hw, "libsvm"),
+        ),
+    ]
+
+
+def format_report(rows: list[InstrumentationRow], title: str = "") -> str:
+    """Multi-line textual report."""
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    lines.extend(r.formatted() for r in rows)
+    return "\n".join(lines)

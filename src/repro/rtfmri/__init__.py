@@ -1,0 +1,16 @@
+"""Closed-loop rtfMRI substrate (paper Fig. 1): scanner simulator,
+epoch assembly, and the feedback loop driver."""
+
+from .assembler import CompletedEpoch, EpochAssembler
+from .loop import ClosedLoopResult, ClosedLoopSession, FeedbackEvent
+from .scanner import ScannerSimulator, Volume
+
+__all__ = [
+    "ClosedLoopResult",
+    "ClosedLoopSession",
+    "CompletedEpoch",
+    "EpochAssembler",
+    "FeedbackEvent",
+    "ScannerSimulator",
+    "Volume",
+]

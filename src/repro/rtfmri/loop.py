@@ -1,0 +1,193 @@
+"""The closed-loop driver: scanner -> FCMA -> feedback (paper Fig. 1).
+
+Orchestrates a full closed-loop session:
+
+1. **Training phase** — the first ``training_epochs`` completed epochs
+   are accumulated; FCMA then selects voxels from them and trains the
+   feedback classifier (the paper's online analysis, Section 5.2.2).
+2. **Feedback phase** — every subsequent completed epoch is classified
+   immediately, producing one :class:`FeedbackEvent` per epoch, with the
+   wall-clock compute latency recorded so a deployment can check it
+   stays within the scanner's TR budget.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.online import OnlineResult, run_online_analysis
+from ..core.pipeline import FCMAConfig
+from ..data.dataset import FMRIDataset
+from ..data.epochs import Epoch, EpochTable
+from .assembler import CompletedEpoch, EpochAssembler
+from .scanner import ScannerSimulator
+
+__all__ = ["FeedbackEvent", "ClosedLoopResult", "ClosedLoopSession"]
+
+
+@dataclass(frozen=True)
+class FeedbackEvent:
+    """One piece of feedback delivered to the subject."""
+
+    epoch_index: int
+    true_condition: int
+    predicted_condition: int
+    #: Classifier compute time for this epoch, in seconds.
+    latency_s: float
+
+    @property
+    def correct(self) -> bool:
+        """Whether the feedback matched the true condition."""
+        return self.true_condition == self.predicted_condition
+
+
+@dataclass
+class ClosedLoopResult:
+    """Outcome of a full closed-loop session."""
+
+    #: Voxel selection + classifier from the training phase.
+    training: OnlineResult
+    #: Wall-clock seconds the training phase took.
+    training_latency_s: float
+    #: One event per feedback-phase epoch.
+    events: list[FeedbackEvent] = field(default_factory=list)
+
+    @property
+    def feedback_accuracy(self) -> float:
+        """Fraction of correct feedback events (0 if none yet)."""
+        if not self.events:
+            return 0.0
+        return sum(e.correct for e in self.events) / len(self.events)
+
+    @property
+    def max_feedback_latency_s(self) -> float:
+        """Worst per-epoch feedback latency."""
+        if not self.events:
+            return 0.0
+        return max(e.latency_s for e in self.events)
+
+
+class ClosedLoopSession:
+    """Runs the Fig.-1 loop against a :class:`ScannerSimulator`.
+
+    Parameters
+    ----------
+    scanner:
+        The volume source.
+    config:
+        Pipeline configuration for the online voxel selection.
+    training_epochs:
+        Completed epochs accumulated before training; must be at least
+        ``2 * config.online_folds`` so each CV fold sees both classes.
+    top_k:
+        Voxels selected for the feedback classifier.
+    """
+
+    def __init__(
+        self,
+        scanner: ScannerSimulator,
+        config: FCMAConfig = FCMAConfig(),
+        training_epochs: int = 8,
+        top_k: int = 20,
+        retrain_every: int | None = None,
+    ):
+        if training_epochs < 4:
+            raise ValueError("training_epochs must be >= 4")
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        if retrain_every is not None and retrain_every < 1:
+            raise ValueError("retrain_every must be >= 1 (or None)")
+        self._scanner = scanner
+        self._config = config
+        self._training_epochs = training_epochs
+        self._top_k = top_k
+        #: Adaptive mode: after every N feedback epochs, re-run voxel
+        #: selection and retrain on everything seen so far (the epoch
+        #: labels are known from the experimental design, so the live
+        #: run keeps improving the decoder — standard adaptive rtfMRI).
+        self._retrain_every = retrain_every
+        #: Number of retraining passes performed (introspection).
+        self.retrain_count = 0
+
+    def _train(self, collected: list[CompletedEpoch]) -> OnlineResult:
+        """Build a single-subject dataset from buffered epochs and run
+        the online analysis on it."""
+        lengths = {c.window.shape[1] for c in collected}
+        length = min(lengths)
+        # Concatenate the (truncated-to-common-length) windows into one
+        # pseudo-scan; epoch starts are then multiples of the length.
+        bold = np.concatenate(
+            [c.window[:, :length] for c in collected], axis=1
+        )
+        table = EpochTable(
+            Epoch(
+                subject=0,
+                condition=c.condition,
+                start=i * length,
+                length=length,
+            )
+            for i, c in enumerate(collected)
+        )
+        dataset = FMRIDataset({0: bold}, table, name="rtfmri-training")
+        return run_online_analysis(
+            dataset, subject=0, config=self._config, top_k=self._top_k
+        )
+
+    def run(self) -> ClosedLoopResult:
+        """Consume the whole scan; returns the session outcome."""
+        assembler = EpochAssembler()
+        collected: list[CompletedEpoch] = []
+        result: ClosedLoopResult | None = None
+
+        since_retrain = 0
+
+        def handle(epoch: CompletedEpoch | None) -> None:
+            nonlocal result, since_retrain
+            if epoch is None:
+                return
+            if result is None:
+                collected.append(epoch)
+                if len(collected) >= self._training_epochs:
+                    t0 = time.perf_counter()
+                    training = self._train(collected)
+                    result = ClosedLoopResult(
+                        training=training,
+                        training_latency_s=time.perf_counter() - t0,
+                    )
+                return
+            t0 = time.perf_counter()
+            predicted = result.training.classifier.classify_epoch(epoch.window)
+            result.events.append(
+                FeedbackEvent(
+                    epoch_index=epoch.index,
+                    true_condition=epoch.condition,
+                    predicted_condition=predicted,
+                    latency_s=time.perf_counter() - t0,
+                )
+            )
+            # Adaptive mode: fold the (design-labeled) epoch into the
+            # training set and periodically refresh the decoder.
+            collected.append(epoch)
+            since_retrain += 1
+            if (
+                self._retrain_every is not None
+                and since_retrain >= self._retrain_every
+            ):
+                training = self._train(collected)
+                result.training = training
+                self.retrain_count += 1
+                since_retrain = 0
+
+        for volume in self._scanner.stream():
+            handle(assembler.push(volume))
+        handle(assembler.flush())
+
+        if result is None:
+            raise RuntimeError(
+                f"scan ended before {self._training_epochs} training epochs "
+                f"completed ({assembler.epochs_emitted} seen)"
+            )
+        return result

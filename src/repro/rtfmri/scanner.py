@@ -1,0 +1,109 @@
+"""Simulated fMRI scanner: the data source of the closed-loop system.
+
+The paper's Fig. 1 system starts at a Siemens Skyra producing "an entire
+brain's worth of data every 1-2 seconds".  :class:`ScannerSimulator`
+replays a subject's BOLD series volume by volume, optionally tagging
+each volume with the experiment's condition markers, so the downstream
+pipeline consumes exactly what a real-time export would deliver: one
+``(n_voxels,)`` volume per TR, in acquisition order, with no lookahead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..data.dataset import FMRIDataset
+from ..data.epochs import EpochTable
+
+__all__ = ["Volume", "ScannerSimulator"]
+
+
+@dataclass(frozen=True)
+class Volume:
+    """One acquired brain volume."""
+
+    #: Acquisition index (0-based time point).
+    t: int
+    #: Scan time in seconds (t * tr).
+    time_s: float
+    #: Flat in-brain voxel intensities, shape (n_voxels,), float32.
+    data: np.ndarray
+    #: Condition marker if this time point lies inside a labeled epoch,
+    #: else None (rest / unlabeled).
+    condition: int | None
+
+
+class ScannerSimulator:
+    """Replays one subject's scan in acquisition order.
+
+    Parameters
+    ----------
+    dataset:
+        Source data (one subject is replayed per session).
+    subject:
+        Which subject's scan to stream.
+    tr_seconds:
+        Repetition time; only stamps :attr:`Volume.time_s` (the
+        simulator never sleeps — pacing is the caller's choice).
+    """
+
+    def __init__(
+        self, dataset: FMRIDataset, subject: int, tr_seconds: float = 1.5
+    ):
+        if tr_seconds <= 0:
+            raise ValueError("tr_seconds must be positive")
+        self._bold = dataset.subject_data(subject)  # validates subject
+        self._epochs = dataset.epochs.for_subject(subject)
+        self._tr = tr_seconds
+        self._markers = self._build_markers()
+
+    def _build_markers(self) -> np.ndarray:
+        """Per-time-point condition markers (-1 = unlabeled)."""
+        markers = np.full(self._bold.shape[1], -1, dtype=np.int64)
+        for e in self._epochs:
+            if (markers[e.as_slice()] != -1).any():
+                raise ValueError(f"overlapping epochs at {e}")
+            markers[e.as_slice()] = e.condition
+        return markers
+
+    @property
+    def n_voxels(self) -> int:
+        """Voxels per volume."""
+        return self._bold.shape[0]
+
+    @property
+    def n_volumes(self) -> int:
+        """Total volumes in the session."""
+        return self._bold.shape[1]
+
+    @property
+    def tr_seconds(self) -> float:
+        """Repetition time in seconds."""
+        return self._tr
+
+    @property
+    def epochs(self) -> EpochTable:
+        """The labeled epochs of the streamed session."""
+        return self._epochs
+
+    def stream(
+        self, start: int = 0, stop: int | None = None
+    ) -> Iterator[Volume]:
+        """Yield volumes in acquisition order over ``[start, stop)``."""
+        stop = self.n_volumes if stop is None else stop
+        if not 0 <= start <= stop <= self.n_volumes:
+            raise ValueError(
+                f"invalid stream window [{start}, {stop}) for "
+                f"{self.n_volumes} volumes"
+            )
+        for t in range(start, stop):
+            marker = int(self._markers[t])
+            yield Volume(
+                t=t,
+                time_s=t * self._tr,
+                data=self._bold[:, t],
+                condition=None if marker < 0 else marker,
+            )

@@ -1,0 +1,62 @@
+"""SVM substrate: SMO solver, selection heuristics, PhiSVM, and the
+LibSVM-like baseline."""
+
+from .cross_validation import (
+    CrossValidationResult,
+    grouped_cross_validation,
+    kfold_ids,
+    loso_cross_validation,
+)
+from .heuristics import (
+    AdaptiveSelector,
+    FirstOrderSelector,
+    SecondOrderSelector,
+    SelectionState,
+    WorkingSetSelector,
+)
+from .kernels import (
+    linear_kernel,
+    polynomial_kernel,
+    rbf_kernel,
+    validate_kernel_matrix,
+)
+from .grid import GridResult, default_c_grid, select_c
+from .libsvm_like import CachedLinearKernel, LibSVMClassifier, SparseNodes
+from .multiclass import OneVsOneClassifier, OneVsOneModel, as_multiclass
+from .model import SVMModel
+from .phisvm import PhiSVM
+from .platt import PlattScaler, fit_platt
+from .smo import DenseKernel, KernelOracle, SMOResult, solve_smo
+
+__all__ = [
+    "AdaptiveSelector",
+    "CachedLinearKernel",
+    "CrossValidationResult",
+    "DenseKernel",
+    "FirstOrderSelector",
+    "GridResult",
+    "KernelOracle",
+    "LibSVMClassifier",
+    "OneVsOneClassifier",
+    "OneVsOneModel",
+    "PhiSVM",
+    "PlattScaler",
+    "SMOResult",
+    "SVMModel",
+    "SecondOrderSelector",
+    "SelectionState",
+    "SparseNodes",
+    "WorkingSetSelector",
+    "as_multiclass",
+    "default_c_grid",
+    "fit_platt",
+    "grouped_cross_validation",
+    "kfold_ids",
+    "linear_kernel",
+    "loso_cross_validation",
+    "polynomial_kernel",
+    "rbf_kernel",
+    "select_c",
+    "solve_smo",
+    "validate_kernel_matrix",
+]

@@ -1,0 +1,74 @@
+"""Hyperparameter selection: cross-validated C search.
+
+FCMA fixes C = 1 (robust for its high-dimension / few-sample regime),
+but a production user tuning the classifier for a new experiment needs
+the standard LibSVM-style grid search over the box constraint, driven
+by the same grouped cross-validation used for voxel scoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .cross_validation import KernelBackend, grouped_cross_validation
+
+__all__ = ["GridResult", "default_c_grid", "select_c"]
+
+
+@dataclass(frozen=True)
+class GridResult:
+    """Outcome of a C grid search."""
+
+    #: Candidate C values in evaluation order.
+    c_values: np.ndarray
+    #: Grouped-CV accuracy per candidate.
+    accuracies: np.ndarray
+    #: The winning C (highest accuracy; ties -> smallest C, preferring
+    #: the stronger regularizer).
+    best_c: float
+    best_accuracy: float
+
+
+def default_c_grid() -> np.ndarray:
+    """LibSVM's customary log grid: 2^-5 .. 2^7."""
+    return np.float_power(2.0, np.arange(-5, 8, 2))
+
+
+def select_c(
+    backend_factory: Callable[[float], KernelBackend],
+    kernel: np.ndarray,
+    labels: np.ndarray,
+    fold_ids: np.ndarray,
+    c_values: Sequence[float] | None = None,
+) -> GridResult:
+    """Pick C by grouped cross-validation.
+
+    ``backend_factory(c)`` builds a backend with the candidate box
+    constraint (e.g. ``lambda c: PhiSVM(c=c)``).
+    """
+    grid = np.asarray(
+        default_c_grid() if c_values is None else list(c_values), dtype=np.float64
+    )
+    if grid.ndim != 1 or grid.size == 0:
+        raise ValueError("c_values must be a non-empty 1D sequence")
+    if (grid <= 0).any():
+        raise ValueError("all C candidates must be positive")
+
+    accuracies = np.empty(grid.size)
+    for i, c in enumerate(grid):
+        backend = backend_factory(float(c))
+        accuracies[i] = grouped_cross_validation(
+            backend, kernel, labels, fold_ids
+        ).accuracy
+    # ties -> smallest C: stable argmax over (accuracy, -C)
+    order = np.lexsort((grid, -accuracies))
+    best = order[0]
+    return GridResult(
+        c_values=grid,
+        accuracies=accuracies,
+        best_c=float(grid[best]),
+        best_accuracy=float(accuracies[best]),
+    )

@@ -1,0 +1,114 @@
+"""Multiclass classification via one-vs-one voting (LibSVM's scheme).
+
+The paper's experiments use two conditions, but nothing in FCMA is
+inherently binary — an attention study could contrast left/right/none.
+LibSVM handles k classes by training k(k-1)/2 pairwise binary machines
+and voting; this module reproduces that on precomputed kernels so the
+whole pipeline (voxel scoring, cross-validation, online feedback) works
+unchanged for any number of conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from .cross_validation import KernelBackend
+from .model import SVMModel
+
+__all__ = ["OneVsOneModel", "OneVsOneClassifier", "as_multiclass"]
+
+
+@dataclass(frozen=True)
+class OneVsOneModel:
+    """k(k-1)/2 pairwise binary models plus voting."""
+
+    #: Sorted distinct class labels.
+    classes: tuple[int, ...]
+    #: Pairwise models keyed by (class_a, class_b), a < b.
+    machines: dict[tuple[int, int], SVMModel]
+    #: For each pair, the training-sample indices (into the full
+    #: training set) that pair's model was fit on.
+    pair_indices: dict[tuple[int, int], np.ndarray]
+    #: Size of the full training set (kernel-block width expected).
+    n_train: int
+
+    def predict(self, kernel_block: np.ndarray) -> np.ndarray:
+        """Vote across pairwise machines.
+
+        ``kernel_block`` is test-vs-*full-training* of shape
+        ``(n_test, n_train)``; each machine reads its own columns.
+        Ties break toward the lower class label (LibSVM's behaviour).
+        """
+        kernel_block = np.atleast_2d(np.asarray(kernel_block))
+        if kernel_block.shape[1] != self.n_train:
+            raise ValueError(
+                f"kernel block has {kernel_block.shape[1]} columns, "
+                f"expected {self.n_train}"
+            )
+        n_test = kernel_block.shape[0]
+        class_pos = {c: i for i, c in enumerate(self.classes)}
+        votes = np.zeros((n_test, len(self.classes)), dtype=np.int64)
+        for (a, b), model in self.machines.items():
+            cols = self.pair_indices[(a, b)]
+            pred = model.predict(kernel_block[:, cols])
+            votes[np.arange(n_test), [class_pos[p] for p in pred]] += 1
+        winners = votes.argmax(axis=1)  # argmax takes the first (lowest) max
+        return np.asarray([self.classes[w] for w in winners], dtype=np.int64)
+
+    def accuracy(self, kernel_block: np.ndarray, labels: np.ndarray) -> float:
+        """Fraction of correct voted predictions."""
+        labels = np.asarray(labels)
+        pred = self.predict(kernel_block)
+        if pred.shape != labels.shape:
+            raise ValueError("labels shape mismatch")
+        return float((pred == labels).mean())
+
+    @property
+    def iterations(self) -> int:
+        """Total solver iterations across pairwise machines."""
+        return sum(m.iterations for m in self.machines.values())
+
+    @property
+    def converged(self) -> bool:
+        """True if every pairwise machine converged."""
+        return all(m.converged for m in self.machines.values())
+
+
+class OneVsOneClassifier:
+    """Multiclass wrapper over any binary kernel backend."""
+
+    def __init__(self, backend: KernelBackend):
+        self._backend = backend
+
+    def fit_kernel(self, kernel: np.ndarray, labels: np.ndarray):
+        """Train; returns a binary :class:`SVMModel` for 2 classes, a
+        :class:`OneVsOneModel` otherwise (so binary problems stay on the
+        fast path with zero overhead)."""
+        kernel = np.asarray(kernel)
+        labels = np.asarray(labels)
+        classes = np.unique(labels)
+        if classes.size < 2:
+            raise ValueError("need at least 2 classes")
+        if classes.size == 2:
+            return self._backend.fit_kernel(kernel, labels)
+        machines: dict[tuple[int, int], SVMModel] = {}
+        pair_indices: dict[tuple[int, int], np.ndarray] = {}
+        for a, b in combinations(classes.tolist(), 2):
+            idx = np.nonzero((labels == a) | (labels == b))[0]
+            sub = kernel[np.ix_(idx, idx)]
+            machines[(a, b)] = self._backend.fit_kernel(sub, labels[idx])
+            pair_indices[(a, b)] = idx
+        return OneVsOneModel(
+            classes=tuple(int(c) for c in classes),
+            machines=machines,
+            pair_indices=pair_indices,
+            n_train=kernel.shape[0],
+        )
+
+
+def as_multiclass(backend: KernelBackend) -> OneVsOneClassifier:
+    """Wrap a binary backend for arbitrary class counts."""
+    return OneVsOneClassifier(backend)

@@ -1,0 +1,116 @@
+"""Platt scaling: probability outputs for SVM decisions (LibSVM's -b).
+
+Closed-loop neurofeedback wants graded confidence, not just a sign —
+e.g. deBettencourt et al. (the paper's reference [7]) modulate the
+stimulus by the decoder's *confidence*.  Platt scaling fits a sigmoid
+
+    P(y = +1 | f) = 1 / (1 + exp(A f + B))
+
+to held-out decision values, using the regularized maximum-likelihood
+procedure of Lin, Lin & Weng (2007) — the same algorithm LibSVM runs
+for ``-b 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PlattScaler", "fit_platt"]
+
+
+@dataclass(frozen=True)
+class PlattScaler:
+    """A fitted sigmoid ``P(+1 | f) = 1 / (1 + exp(A f + B))``."""
+
+    a: float
+    b: float
+
+    def predict_proba(self, decision_values: np.ndarray) -> np.ndarray:
+        """Probability of the positive class per decision value."""
+        f = np.asarray(decision_values, dtype=np.float64)
+        z = self.a * f + self.b
+        # numerically stable sigmoid of -z
+        out = np.empty_like(z)
+        pos = z >= 0
+        out[pos] = np.exp(-z[pos]) / (1.0 + np.exp(-z[pos]))
+        out[~pos] = 1.0 / (1.0 + np.exp(z[~pos]))
+        return out
+
+    def confidence(self, decision_values: np.ndarray) -> np.ndarray:
+        """Confidence of the *predicted* class: max(p, 1-p)."""
+        p = self.predict_proba(decision_values)
+        return np.maximum(p, 1.0 - p)
+
+
+def fit_platt(
+    decision_values: np.ndarray,
+    labels: np.ndarray,
+    max_iter: int = 100,
+    min_step: float = 1e-10,
+    sigma: float = 1e-12,
+) -> PlattScaler:
+    """Fit the sigmoid by Lin-Lin-Weng's Newton method with backtracking.
+
+    ``labels`` are in {-1, +1} (or two arbitrary values with the larger
+    mapped to +1).  Targets are the usual regularized frequencies so the
+    fit is well-posed even for separable data.
+    """
+    f = np.asarray(decision_values, dtype=np.float64).ravel()
+    labels = np.asarray(labels).ravel()
+    if f.shape != labels.shape:
+        raise ValueError("decision_values and labels must match in length")
+    if f.size < 2:
+        raise ValueError("need at least 2 samples")
+    uniq = np.unique(labels)
+    if uniq.size != 2:
+        raise ValueError("need exactly 2 classes")
+    y = labels == uniq.max()
+
+    prior1 = float(y.sum())
+    prior0 = float(y.size - prior1)
+    hi = (prior1 + 1.0) / (prior1 + 2.0)
+    lo = 1.0 / (prior0 + 2.0)
+    t = np.where(y, hi, lo)
+
+    a, b = 0.0, np.log((prior0 + 1.0) / (prior1 + 1.0))
+
+    def objective(a_: float, b_: float) -> float:
+        z = a_ * f + b_
+        # -sum(t*log(p) + (1-t)*log(1-p)) in the stable LLW form
+        return float(
+            np.sum(np.where(z >= 0, t * z + np.log1p(np.exp(-z)),
+                            (t - 1.0) * z + np.log1p(np.exp(z))))
+        )
+
+    fval = objective(a, b)
+    for _ in range(max_iter):
+        z = a * f + b
+        p = np.where(z >= 0, np.exp(-z) / (1 + np.exp(-z)),
+                     1 / (1 + np.exp(z)))
+        d1 = t - p                      # dE/dz (LLW's sign convention)
+        d2 = p * (1.0 - p)              # d2E/dz2
+        g1 = float(np.sum(f * d1))
+        g0 = float(np.sum(d1))
+        if abs(g1) < 1e-5 and abs(g0) < 1e-5:
+            break
+        h11 = float(np.sum(f * f * d2)) + sigma
+        h22 = float(np.sum(d2)) + sigma
+        h21 = float(np.sum(f * d2))
+        det = h11 * h22 - h21 * h21
+        da = -(h22 * g1 - h21 * g0) / det
+        db = -(-h21 * g1 + h11 * g0) / det
+        gd = g1 * da + g0 * db
+
+        step = 1.0
+        while step >= min_step:
+            new_a, new_b = a + step * da, b + step * db
+            new_f = objective(new_a, new_b)
+            if new_f < fval + 1e-4 * step * gd:
+                a, b, fval = new_a, new_b, new_f
+                break
+            step /= 2.0
+        else:
+            break  # line search failed: accept current point
+    return PlattScaler(a=a, b=b)

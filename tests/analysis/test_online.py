@@ -1,0 +1,125 @@
+"""Tests for the online single-subject analysis and feedback classifier."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.online import run_online_analysis
+from repro.core import FCMAConfig
+from repro.data import SyntheticConfig, generate_dataset, ground_truth_voxels
+
+
+@pytest.fixture(scope="module")
+def online_setup():
+    cfg = SyntheticConfig(
+        n_voxels=100, n_subjects=2, epochs_per_subject=16, epoch_length=12,
+        n_informative=16, n_groups=4, seed=31, name="online-test",
+    )
+    ds = generate_dataset(cfg)
+    fcma = FCMAConfig(task_voxels=100, target_block=64, online_folds=4)
+    result = run_online_analysis(ds, subject=0, config=fcma, top_k=10)
+    return cfg, ds, result
+
+
+class TestSelection:
+    def test_uses_only_one_subject(self, online_setup):
+        """Selection from subject 0 must not look at subject 1's data."""
+        cfg, ds, result = online_setup
+        fcma = FCMAConfig(task_voxels=100, target_block=64, online_folds=4)
+        solo = run_online_analysis(
+            ds.single_subject(0), subject=0, config=fcma, top_k=10
+        )
+        np.testing.assert_array_equal(result.selected.voxels, solo.selected.voxels)
+
+    def test_selected_overlap_ground_truth(self, online_setup):
+        cfg, _, result = online_setup
+        gt = set(ground_truth_voxels(cfg).tolist())
+        precision = len(set(result.selected.voxels.tolist()) & gt) / 10
+        assert precision >= 0.5
+
+    def test_training_accuracy_high(self, online_setup):
+        _, _, result = online_setup
+        assert result.training_accuracy >= 0.8
+
+
+class TestFeedback:
+    def test_classifies_own_epochs(self, online_setup):
+        """Feedback on the training subject's epochs should mostly match
+        the true conditions."""
+        _, ds, result = online_setup
+        single = ds.single_subject(0)
+        correct = 0
+        epochs = list(single.epochs)
+        for e in epochs:
+            pred = result.classifier.classify_epoch(single.epoch_matrix(e))
+            correct += pred == e.condition
+        assert correct / len(epochs) >= 0.7
+
+    def test_generalizes_to_other_subject(self, online_setup):
+        """The planted structure is shared, so feedback should transfer
+        above chance to subject 1 (never seen)."""
+        _, ds, result = online_setup
+        other = ds.single_subject(1)
+        epochs = list(other.epochs)
+        correct = sum(
+            result.classifier.classify_epoch(other.epoch_matrix(e)) == e.condition
+            for e in epochs
+        )
+        assert correct / len(epochs) > 0.55
+
+    def test_features_for_epoch_shape(self, online_setup):
+        _, ds, result = online_setup
+        e = ds.epochs[0]
+        feats = result.classifier.features_for_epoch(ds.epoch_matrix(e))
+        assert feats.shape == (1, 10 * ds.n_voxels)
+
+    def test_bad_epoch_window(self, online_setup):
+        _, _, result = online_setup
+        with pytest.raises(ValueError):
+            result.classifier.features_for_epoch(np.zeros(5))
+
+
+class TestValidation:
+    def test_bad_top_k(self, online_setup):
+        _, ds, _ = online_setup
+        with pytest.raises(ValueError):
+            run_online_analysis(ds, 0, top_k=0)
+
+    def test_unknown_subject(self, online_setup):
+        _, ds, _ = online_setup
+        with pytest.raises(KeyError):
+            run_online_analysis(ds, 99)
+
+
+class TestConfidence:
+    def test_confidence_in_range(self, online_setup):
+        _, ds, result = online_setup
+        single = ds.single_subject(0)
+        for e in list(single.epochs)[:4]:
+            label, conf = result.classifier.classify_epoch_with_confidence(
+                single.epoch_matrix(e)
+            )
+            assert label in (0, 1)
+            assert 0.5 <= conf < 1.0
+
+    def test_confidence_consistent_with_label(self, online_setup):
+        _, ds, result = online_setup
+        single = ds.single_subject(0)
+        w = single.epoch_matrix(single.epochs[0])
+        label_a = result.classifier.classify_epoch(w)
+        label_b, _ = result.classifier.classify_epoch_with_confidence(w)
+        assert label_a == label_b
+
+    def test_platt_fitted_for_binary(self, online_setup):
+        _, _, result = online_setup
+        assert result.classifier.platt is not None
+
+    def test_no_platt_falls_back(self, online_setup):
+        import dataclasses
+
+        _, ds, result = online_setup
+        bare = dataclasses.replace(result.classifier, platt=None)
+        single = ds.single_subject(0)
+        _, conf = bare.classify_epoch_with_confidence(
+            single.epoch_matrix(single.epochs[0])
+        )
+        assert conf == 0.5

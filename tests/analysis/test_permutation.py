@@ -1,0 +1,76 @@
+"""Tests for permutation testing."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.permutation import (
+    PermutationResult,
+    permutation_test,
+    permute_labels_within_groups,
+)
+from repro.svm import PhiSVM, linear_kernel
+
+
+def grouped_problem(informative=True, n_groups=4, per_group=12, d=10, seed=0):
+    rng = np.random.default_rng(seed)
+    n = n_groups * per_group
+    labels = np.tile([0, 1], n // 2)
+    x = rng.standard_normal((n, d)).astype(np.float32)
+    if informative:
+        x[labels == 1, :4] += 1.5
+    groups = np.repeat(np.arange(n_groups), per_group)
+    return linear_kernel(x), labels, groups
+
+
+class TestShuffle:
+    def test_preserves_per_group_counts(self):
+        rng = np.random.default_rng(0)
+        labels = np.array([0, 0, 1, 1, 0, 1, 1, 1])
+        groups = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        shuffled = permute_labels_within_groups(labels, groups, rng)
+        for g in (0, 1):
+            np.testing.assert_array_equal(
+                np.sort(shuffled[groups == g]), np.sort(labels[groups == g])
+            )
+
+    def test_actually_shuffles(self):
+        rng = np.random.default_rng(1)
+        labels = np.tile([0, 1], 20)
+        groups = np.zeros(40, dtype=int)
+        outs = {tuple(permute_labels_within_groups(labels, groups, rng)) for _ in range(5)}
+        assert len(outs) > 1
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            permute_labels_within_groups(
+                np.zeros(3), np.zeros(2), np.random.default_rng(0)
+            )
+
+
+class TestPermutationTest:
+    def test_informative_voxel_significant(self):
+        kernel, labels, groups = grouped_problem(informative=True)
+        res = permutation_test(
+            PhiSVM(), kernel, labels, groups, n_permutations=60, seed=3
+        )
+        assert res.observed_accuracy > 0.8
+        assert res.p_value < 0.05
+        assert abs(res.null_mean - 0.5) < 0.1
+
+    def test_uninformative_voxel_not_significant(self):
+        kernel, labels, groups = grouped_problem(informative=False, seed=5)
+        res = permutation_test(
+            PhiSVM(), kernel, labels, groups, n_permutations=60, seed=3
+        )
+        assert res.p_value > 0.05
+
+    def test_p_value_never_zero(self):
+        res = PermutationResult(
+            observed_accuracy=1.0, null_accuracies=np.full(99, 0.5)
+        )
+        assert res.p_value == pytest.approx(1 / 100)
+
+    def test_validation(self):
+        kernel, labels, groups = grouped_problem()
+        with pytest.raises(ValueError):
+            permutation_test(PhiSVM(), kernel, labels, groups, n_permutations=0)

@@ -1,0 +1,67 @@
+"""Tests for ROI utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.rois import (
+    accuracy_volume,
+    dice_coefficient,
+    overlap_count,
+    selection_precision,
+    selection_recall,
+)
+from repro.data import BrainMask
+
+
+class TestOverlap:
+    def test_count(self):
+        assert overlap_count(np.array([1, 2, 3]), np.array([2, 3, 4])) == 2
+
+    def test_disjoint(self):
+        assert overlap_count(np.array([1]), np.array([2])) == 0
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="duplicates"):
+            overlap_count(np.array([1, 1]), np.array([2]))
+
+
+class TestDice:
+    def test_identical(self):
+        a = np.array([1, 2, 3])
+        assert dice_coefficient(a, a) == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        assert dice_coefficient(np.array([1]), np.array([2])) == 0.0
+
+    def test_half(self):
+        assert dice_coefficient(np.array([1, 2]), np.array([2, 3])) == pytest.approx(0.5)
+
+
+class TestPrecisionRecall:
+    def test_precision(self):
+        sel = np.array([1, 2, 3, 4])
+        truth = np.array([1, 2, 9])
+        assert selection_precision(sel, truth) == pytest.approx(0.5)
+
+    def test_recall(self):
+        sel = np.array([1, 2, 3, 4])
+        truth = np.array([1, 2, 9])
+        assert selection_recall(sel, truth) == pytest.approx(2 / 3)
+
+    def test_empty_cases(self):
+        assert selection_precision(np.array([], dtype=int), np.array([1])) == 0.0
+        assert selection_recall(np.array([1]), np.array([], dtype=int)) == 0.0
+
+
+class TestAccuracyVolume:
+    def test_scatter(self):
+        mask = BrainMask.full((2, 2, 1))
+        vol = accuracy_volume(mask, np.array([0, 3]), np.array([0.9, 0.7]))
+        assert vol[0, 0, 0] == pytest.approx(0.9)
+        assert vol[1, 1, 0] == pytest.approx(0.7)
+        assert np.isnan(vol[0, 1, 0])
+
+    def test_shape_mismatch(self):
+        mask = BrainMask.full((2, 2, 1))
+        with pytest.raises(ValueError):
+            accuracy_volume(mask, np.array([0, 1]), np.array([0.5]))

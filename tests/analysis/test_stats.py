@@ -1,0 +1,73 @@
+"""Tests for significance statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    accuracy_p_value,
+    benjamini_hochberg,
+    significant_voxels,
+)
+
+
+class TestPValue:
+    def test_chance_accuracy_not_significant(self):
+        assert accuracy_p_value(0.5, 100) > 0.4
+
+    def test_high_accuracy_significant(self):
+        assert accuracy_p_value(0.8, 100) < 1e-6
+
+    def test_more_samples_more_power(self):
+        p_small = accuracy_p_value(0.65, 20)
+        p_large = accuracy_p_value(0.65, 200)
+        assert p_large < p_small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            accuracy_p_value(1.5, 10)
+        with pytest.raises(ValueError):
+            accuracy_p_value(0.5, 0)
+        with pytest.raises(ValueError):
+            accuracy_p_value(0.5, 10, chance=1.0)
+
+
+class TestBH:
+    def test_all_tiny_p_rejected(self):
+        reject = benjamini_hochberg(np.full(10, 1e-10))
+        assert reject.all()
+
+    def test_all_large_p_kept(self):
+        reject = benjamini_hochberg(np.full(10, 0.9))
+        assert not reject.any()
+
+    def test_mixed(self):
+        p = np.array([1e-6, 1e-5, 0.04, 0.5, 0.9])
+        reject = benjamini_hochberg(p, alpha=0.05)
+        assert reject[0] and reject[1]
+        assert not reject[4]
+
+    def test_monotone_in_alpha(self):
+        p = np.linspace(0.001, 0.5, 20)
+        strict = benjamini_hochberg(p, alpha=0.01).sum()
+        loose = benjamini_hochberg(p, alpha=0.2).sum()
+        assert loose >= strict
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            benjamini_hochberg(np.array([]))
+        with pytest.raises(ValueError):
+            benjamini_hochberg(np.array([0.5]), alpha=1.5)
+
+
+class TestSignificantVoxels:
+    def test_detects_strong_voxels(self):
+        accs = np.full(50, 0.5)
+        accs[[3, 7]] = 0.95
+        sig = significant_voxels(accs, n_samples=100)
+        assert set(sig.tolist()) == {3, 7}
+
+    def test_nothing_significant_at_chance(self):
+        rng = np.random.default_rng(0)
+        accs = 0.5 + 0.02 * rng.standard_normal(50)
+        sig = significant_voxels(np.clip(accs, 0, 1), n_samples=50)
+        assert sig.size <= 2

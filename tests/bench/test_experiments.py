@@ -1,0 +1,54 @@
+"""Tests for the experiment registry (fcma reproduce)."""
+
+import pytest
+
+from repro.bench import EXPERIMENTS, list_experiments, run_experiment
+
+
+class TestRegistry:
+    def test_all_tables_and_figures_present(self):
+        expected = {
+            "table1", "table3", "table4", "table5", "table6", "table7",
+            "table8", "fig8", "fig9", "fig10", "fig11",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_list_sorted(self):
+        assert list_experiments() == sorted(EXPERIMENTS)
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError, match="known:"):
+            run_experiment("table99")
+
+    @pytest.mark.parametrize(
+        "exp_id", ["table1", "table5", "table6", "table7", "table8",
+                   "fig9", "fig10", "fig11"]
+    )
+    def test_fast_experiments_render(self, exp_id):
+        text = run_experiment(exp_id)
+        assert text.startswith(("Table", "Fig"))
+        assert len(text.splitlines()) >= 4
+
+    def test_table1_contains_paper_values(self):
+        text = run_experiment("table1")
+        assert "1830" in text  # the paper's matmul ms
+        assert "3600" in text  # the paper's LibSVM ms
+
+
+class TestCLIIntegration:
+    def test_reproduce_lists(self, capsys):
+        from repro.cli import main
+
+        assert main(["reproduce"]) == 0
+        assert "table1" in capsys.readouterr().out
+
+    def test_reproduce_runs(self, capsys):
+        from repro.cli import main
+
+        assert main(["reproduce", "table8"]) == 0
+        assert "phisvm" in capsys.readouterr().out
+
+    def test_reproduce_unknown_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["reproduce", "nope"]) == 2

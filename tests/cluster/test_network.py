@@ -1,0 +1,47 @@
+"""Tests for the network model."""
+
+import pytest
+
+from repro.cluster.network import TEN_GBE, NetworkModel
+
+
+class TestTransferTime:
+    def test_latency_only_for_empty(self):
+        assert TEN_GBE.transfer_time(0) == pytest.approx(TEN_GBE.latency_s)
+
+    def test_bandwidth_term(self):
+        one_gb = TEN_GBE.transfer_time(1.25e9)
+        assert one_gb == pytest.approx(1.0 + TEN_GBE.latency_s)
+
+    def test_negative_bytes(self):
+        with pytest.raises(ValueError):
+            TEN_GBE.transfer_time(-1)
+
+
+class TestBroadcast:
+    def test_serializes_on_master_link(self):
+        one = TEN_GBE.broadcast_time(1e6, 1)
+        ten = TEN_GBE.broadcast_time(1e6, 10)
+        assert ten == pytest.approx(
+            TEN_GBE.latency_s + 10 * (one - TEN_GBE.latency_s)
+        )
+
+    def test_zero_receivers(self):
+        assert TEN_GBE.broadcast_time(1e9, 0) == 0.0
+
+    def test_negative_receivers(self):
+        with pytest.raises(ValueError):
+            TEN_GBE.broadcast_time(1e6, -1)
+
+
+class TestValidation:
+    def test_bad_latency(self):
+        with pytest.raises(ValueError):
+            NetworkModel(latency_s=-1)
+
+    def test_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth_bytes_per_s=0)
+
+    def test_ten_gbe_is_10gbps(self):
+        assert TEN_GBE.bandwidth_bytes_per_s == pytest.approx(1.25e9)

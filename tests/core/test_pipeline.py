@@ -1,0 +1,128 @@
+"""Tests for the three-stage pipeline and its configuration."""
+
+import numpy as np
+import pytest
+
+from repro.core import FCMAConfig, VoxelScores, run_task, task_partition
+from repro.core.pipeline import make_backend
+from repro.data import ground_truth_voxels
+from repro.svm import LibSVMClassifier, PhiSVM
+
+
+class TestConfig:
+    def test_defaults_are_optimized(self):
+        cfg = FCMAConfig()
+        assert cfg.variant == "optimized"
+        assert cfg.resolved_backend() == "phisvm"
+
+    def test_baseline_defaults_to_libsvm(self):
+        assert FCMAConfig(variant="baseline").resolved_backend() == "libsvm"
+
+    def test_explicit_backend_wins(self):
+        cfg = FCMAConfig(variant="baseline", svm_backend="phisvm")
+        assert cfg.resolved_backend() == "phisvm"
+
+    def test_with_variant(self):
+        cfg = FCMAConfig().with_variant("baseline")
+        assert cfg.resolved_backend() == "libsvm"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"variant": "bogus"},
+            {"svm_backend": "bogus"},
+            {"svm_c": 0},
+            {"task_voxels": 0},
+            {"voxel_block": 0},
+            {"online_folds": 1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FCMAConfig(**kwargs)
+
+    def test_make_backend_types(self):
+        from repro.svm.multiclass import OneVsOneClassifier
+
+        opt = make_backend(FCMAConfig())
+        assert isinstance(opt, OneVsOneClassifier)
+        assert isinstance(opt._backend, PhiSVM)
+        base = make_backend(FCMAConfig(variant="baseline"))
+        assert isinstance(base._backend, LibSVMClassifier)
+        sp = make_backend(FCMAConfig(svm_backend="libsvm-float32"))
+        assert isinstance(sp._backend, LibSVMClassifier)
+        assert sp._backend.single_precision
+
+
+class TestTaskPartition:
+    def test_covers_all_voxels(self):
+        tasks = task_partition(1000, 120)
+        assert sum(t.size for t in tasks) == 1000
+        np.testing.assert_array_equal(
+            np.concatenate(tasks), np.arange(1000)
+        )
+
+    def test_last_task_short(self):
+        tasks = task_partition(250, 120)
+        assert [t.size for t in tasks] == [120, 120, 10]
+
+    def test_face_scene_task_count(self):
+        # 34470 voxels / 120 per task = 288 tasks (Section 3.3).
+        assert len(task_partition(34470, 120)) == 288
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            task_partition(0, 120)
+        with pytest.raises(ValueError):
+            task_partition(10, 0)
+
+
+class TestRunTask:
+    def test_returns_scores_for_assigned(self, tiny_dataset):
+        assigned = np.array([3, 7, 20])
+        scores = run_task(tiny_dataset, assigned, FCMAConfig(target_block=32))
+        assert isinstance(scores, VoxelScores)
+        np.testing.assert_array_equal(scores.voxels, assigned)
+        assert (scores.accuracies >= 0).all() and (scores.accuracies <= 1).all()
+
+    def test_baseline_and_optimized_agree(self, tiny_dataset):
+        """Both variants must produce (near-)identical voxel scores —
+        the optimizations are performance-only."""
+        assigned = np.arange(20)
+        opt = run_task(tiny_dataset, assigned, FCMAConfig(target_block=32))
+        base = run_task(
+            tiny_dataset, assigned, FCMAConfig(variant="baseline")
+        )
+        # Same float32 pipeline values; solvers differ only in precision
+        # and heuristic path, so accuracies match closely.
+        assert np.abs(opt.accuracies - base.accuracies).mean() < 0.05
+
+    def test_informative_voxels_score_higher(self, tiny_dataset, tiny_config):
+        gt = ground_truth_voxels(tiny_config)
+        others = np.setdiff1d(np.arange(tiny_config.n_voxels), gt)[: len(gt)]
+        assigned = np.concatenate([gt, others])
+        scores = run_task(tiny_dataset, assigned, FCMAConfig(target_block=32))
+        acc_gt = scores.accuracies[: len(gt)].mean()
+        acc_other = scores.accuracies[len(gt):].mean()
+        assert acc_gt > acc_other + 0.15
+
+    def test_single_subject_uses_kfold(self, tiny_dataset):
+        single = tiny_dataset.single_subject(0)
+        scores = run_task(
+            single, np.arange(6), FCMAConfig(target_block=32, online_folds=4)
+        )
+        assert len(scores) == 6
+
+    def test_empty_assignment_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            run_task(tiny_dataset, np.array([], dtype=np.int64))
+
+    def test_epoch_order_invariance(self, tiny_dataset):
+        """Scores are computed after subject-grouping, so the caller's
+        epoch order must not matter."""
+        assigned = np.array([1, 2])
+        a = run_task(tiny_dataset, assigned, FCMAConfig(target_block=32))
+        b = run_task(
+            tiny_dataset.grouped_by_subject(), assigned, FCMAConfig(target_block=32)
+        )
+        np.testing.assert_allclose(a.accuracies, b.accuracies)

@@ -1,0 +1,74 @@
+"""Tests for VoxelScores."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import VoxelScores
+
+
+def scores(voxels, accs):
+    return VoxelScores(
+        voxels=np.asarray(voxels, dtype=np.int64),
+        accuracies=np.asarray(accs, dtype=np.float64),
+    )
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            VoxelScores(np.arange(3), np.zeros(2))
+
+    def test_out_of_range_accuracy(self):
+        with pytest.raises(ValueError, match="0, 1"):
+            scores([0], [1.5])
+
+    def test_len(self):
+        assert len(scores([1, 2], [0.5, 0.6])) == 2
+
+
+class TestSorting:
+    def test_descending_accuracy(self):
+        s = scores([10, 11, 12], [0.2, 0.9, 0.5]).sorted_by_accuracy()
+        np.testing.assert_array_equal(s.voxels, [11, 12, 10])
+
+    def test_ties_broken_by_voxel_id(self):
+        s = scores([5, 3, 9], [0.7, 0.7, 0.7]).sorted_by_accuracy()
+        np.testing.assert_array_equal(s.voxels, [3, 5, 9])
+
+    def test_top_k(self):
+        s = scores([1, 2, 3, 4], [0.1, 0.8, 0.6, 0.9])
+        top = s.top(2)
+        np.testing.assert_array_equal(top.voxels, [4, 2])
+
+    def test_top_k_clamped(self):
+        s = scores([1], [0.5])
+        assert len(s.top(10)) == 1
+
+    def test_top_invalid(self):
+        with pytest.raises(ValueError):
+            scores([1], [0.5]).top(0)
+
+
+class TestConcatenate:
+    def test_merges_parts(self):
+        a = scores([0, 1], [0.5, 0.6])
+        b = scores([2], [0.7])
+        merged = VoxelScores.concatenate([a, b])
+        assert len(merged) == 3
+        assert merged.accuracy_of(2) == pytest.approx(0.7)
+
+    def test_duplicate_voxels_rejected(self):
+        a = scores([0], [0.5])
+        b = scores([0], [0.6])
+        with pytest.raises(ValueError, match="duplicate"):
+            VoxelScores.concatenate([a, b])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            VoxelScores.concatenate([])
+
+
+class TestAccessors:
+    def test_accuracy_of_missing(self):
+        with pytest.raises(KeyError):
+            scores([1], [0.5]).accuracy_of(2)

@@ -1,0 +1,135 @@
+"""Tests for repro.data.dataset."""
+
+import numpy as np
+import pytest
+
+from repro.data import BrainMask, Epoch, EpochTable, FMRIDataset
+
+
+def make_dataset(n_subjects=3, n_voxels=10, epochs_per_subject=4, epoch_length=5):
+    epochs = EpochTable.regular(n_subjects, epochs_per_subject, epoch_length, gap=1)
+    scan_len = epochs.scan_length_required()
+    rng = np.random.default_rng(1)
+    data = {
+        s: rng.standard_normal((n_voxels, scan_len)).astype(np.float32)
+        for s in range(n_subjects)
+    }
+    return FMRIDataset(data, epochs, name="test")
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        ds = make_dataset()
+        assert ds.n_voxels == 10
+        assert ds.n_subjects == 3
+        assert ds.n_epochs == 12
+        assert ds.epoch_length == 5
+        assert ds.name == "test"
+
+    def test_converts_to_float32(self):
+        epochs = EpochTable.regular(1, 2, 3)
+        data = {0: np.ones((4, 10), dtype=np.float64)}
+        ds = FMRIDataset(data, epochs)
+        assert ds.subject_data(0).dtype == np.float32
+
+    def test_requires_2d(self):
+        epochs = EpochTable.regular(1, 2, 3)
+        with pytest.raises(ValueError, match="2D"):
+            FMRIDataset({0: np.ones(10)}, epochs)
+
+    def test_voxel_count_mismatch(self):
+        epochs = EpochTable.regular(2, 2, 3)
+        with pytest.raises(ValueError, match="voxel count"):
+            FMRIDataset({0: np.ones((4, 10)), 1: np.ones((5, 10))}, epochs)
+
+    def test_epoch_references_unknown_subject(self):
+        epochs = EpochTable.regular(2, 2, 3)
+        with pytest.raises(ValueError, match="unknown subject"):
+            FMRIDataset({0: np.ones((4, 10))}, epochs)
+
+    def test_epoch_exceeds_scan(self):
+        epochs = EpochTable([Epoch(0, 0, 8, 5)])
+        with pytest.raises(ValueError, match="exceeds"):
+            FMRIDataset({0: np.ones((4, 10))}, epochs)
+
+    def test_mask_voxel_mismatch(self):
+        epochs = EpochTable.regular(1, 2, 3)
+        with pytest.raises(ValueError, match="mask selects"):
+            FMRIDataset(
+                {0: np.ones((4, 10))}, epochs, mask=BrainMask.full((2, 2, 2))
+            )
+
+    def test_empty_rejected(self):
+        epochs = EpochTable.regular(1, 2, 3)
+        with pytest.raises(ValueError, match="at least one subject"):
+            FMRIDataset({}, epochs)
+
+
+class TestAccessors:
+    def test_subject_data_missing(self):
+        ds = make_dataset()
+        with pytest.raises(KeyError):
+            ds.subject_data(99)
+
+    def test_epoch_matrix_shape_and_content(self):
+        ds = make_dataset()
+        e = ds.epochs[0]
+        mat = ds.epoch_matrix(e)
+        assert mat.shape == (10, 5)
+        np.testing.assert_array_equal(
+            mat, ds.subject_data(e.subject)[:, e.start : e.stop]
+        )
+
+    def test_epoch_stack(self):
+        ds = make_dataset()
+        stack = ds.epoch_stack()
+        assert stack.shape == (12, 10, 5)
+        np.testing.assert_array_equal(stack[0], ds.epoch_matrix(ds.epochs[0]))
+
+    def test_epoch_stack_subset(self):
+        ds = make_dataset()
+        some = [ds.epochs[3], ds.epochs[0]]
+        stack = ds.epoch_stack(some)
+        assert stack.shape == (2, 10, 5)
+        np.testing.assert_array_equal(stack[0], ds.epoch_matrix(some[0]))
+
+    def test_nbytes(self):
+        ds = make_dataset()
+        scan_len = ds.epochs.scan_length_required()
+        assert ds.nbytes() == 3 * 10 * scan_len * 4
+
+
+class TestRestriction:
+    def test_subset_subjects(self):
+        ds = make_dataset()
+        sub = ds.subset_subjects([0, 2])
+        assert sub.n_subjects == 2
+        assert sub.n_epochs == 8
+        assert set(sub.subject_ids()) == {0, 2}
+
+    def test_subset_missing(self):
+        ds = make_dataset()
+        with pytest.raises(KeyError):
+            ds.subset_subjects([0, 9])
+
+    def test_single_subject(self):
+        ds = make_dataset()
+        single = ds.single_subject(1)
+        assert single.n_subjects == 1
+        assert all(e.subject == 1 for e in single.epochs)
+
+    def test_grouped_by_subject_preserves_data(self):
+        epochs = EpochTable(
+            [Epoch(0, 0, 0, 3), Epoch(1, 0, 0, 3), Epoch(0, 1, 4, 3), Epoch(1, 1, 4, 3)]
+        )
+        rng = np.random.default_rng(0)
+        data = {s: rng.standard_normal((5, 10)).astype(np.float32) for s in (0, 1)}
+        ds = FMRIDataset(data, epochs)
+        grouped = ds.grouped_by_subject()
+        assert grouped.epochs.is_grouped_by_subject()
+        np.testing.assert_array_equal(
+            grouped.subject_data(0), ds.subject_data(0)
+        )
+
+    def test_repr(self):
+        assert "n_voxels=10" in repr(make_dataset())

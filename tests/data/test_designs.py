@@ -1,0 +1,75 @@
+"""Tests for randomized experimental designs (shuffled condition order)."""
+
+import numpy as np
+import pytest
+
+from repro.data import EpochTable, SyntheticConfig, generate_dataset
+
+
+class TestShuffledOrder:
+    def test_balanced_per_subject(self):
+        t = EpochTable.regular(3, 12, 4, n_conditions=3, order="shuffled", seed=2)
+        for s in range(3):
+            labels = [e.condition for e in t.for_subject(s)]
+            np.testing.assert_array_equal(np.bincount(labels), [4, 4, 4])
+
+    def test_deterministic(self):
+        a = EpochTable.regular(2, 8, 4, order="shuffled", seed=5)
+        b = EpochTable.regular(2, 8, 4, order="shuffled", seed=5)
+        assert a == b
+
+    def test_seed_changes_order(self):
+        a = EpochTable.regular(2, 8, 4, order="shuffled", seed=1)
+        b = EpochTable.regular(2, 8, 4, order="shuffled", seed=2)
+        assert a != b
+
+    def test_subjects_get_different_orders(self):
+        t = EpochTable.regular(4, 10, 4, order="shuffled", seed=3)
+        orders = {
+            tuple(e.condition for e in t.for_subject(s)) for s in range(4)
+        }
+        assert len(orders) >= 2
+
+    def test_actually_not_alternating(self):
+        t = EpochTable.regular(1, 16, 4, order="shuffled", seed=4)
+        labels = [e.condition for e in t]
+        assert labels != [k % 2 for k in range(16)]
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError, match="order"):
+            EpochTable.regular(1, 4, 4, order="sorted")
+
+    def test_timing_structure_preserved(self):
+        t = EpochTable.regular(1, 6, epoch_length=10, gap=2, order="shuffled")
+        starts = [e.start for e in t]
+        assert starts == [0, 12, 24, 36, 48, 60]
+
+
+class TestShuffledSynthetic:
+    def test_config_validates(self):
+        with pytest.raises(ValueError, match="condition_order"):
+            SyntheticConfig(condition_order="sorted")
+
+    def test_generated_dataset_shuffled(self):
+        cfg = SyntheticConfig(
+            n_voxels=40, n_subjects=2, epochs_per_subject=12, epoch_length=8,
+            n_informative=8, n_groups=2, condition_order="shuffled", seed=9,
+        )
+        ds = generate_dataset(cfg)
+        labels = [e.condition for e in ds.epochs.for_subject(0)]
+        assert labels != [k % 2 for k in range(12)]
+        np.testing.assert_array_equal(np.bincount(labels), [6, 6])
+
+    def test_pipeline_recovers_roi_on_shuffled_design(self):
+        from repro.core import FCMAConfig, run_task
+        from repro.data import ground_truth_voxels
+
+        cfg = SyntheticConfig(
+            n_voxels=80, n_subjects=4, epochs_per_subject=8, epoch_length=12,
+            n_informative=12, n_groups=3, condition_order="shuffled", seed=17,
+        )
+        ds = generate_dataset(cfg)
+        gt = set(ground_truth_voxels(cfg).tolist())
+        scores = run_task(ds, np.arange(80), FCMAConfig(target_block=32))
+        top = set(scores.top(len(gt)).voxels.tolist())
+        assert len(top & gt) / len(gt) >= 0.7

@@ -1,0 +1,193 @@
+"""Tests for repro.data.epochs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data.epochs import Epoch, EpochTable
+
+
+class TestEpoch:
+    def test_stop_and_slice(self):
+        e = Epoch(subject=0, condition=1, start=5, length=12)
+        assert e.stop == 17
+        assert e.as_slice() == slice(5, 17)
+
+    def test_rejects_negative_subject(self):
+        with pytest.raises(ValueError, match="subject"):
+            Epoch(subject=-1, condition=0, start=0, length=12)
+
+    def test_rejects_negative_condition(self):
+        with pytest.raises(ValueError, match="condition"):
+            Epoch(subject=0, condition=-2, start=0, length=12)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError, match="start"):
+            Epoch(subject=0, condition=0, start=-1, length=12)
+
+    def test_rejects_too_short_length(self):
+        with pytest.raises(ValueError, match="length"):
+            Epoch(subject=0, condition=0, start=0, length=1)
+
+    def test_frozen(self):
+        e = Epoch(0, 0, 0, 12)
+        with pytest.raises(AttributeError):
+            e.start = 3
+
+
+class TestEpochTableBasics:
+    def test_len_iter_getitem(self):
+        eps = [Epoch(0, 0, 0, 4), Epoch(0, 1, 8, 4)]
+        t = EpochTable(eps)
+        assert len(t) == 2
+        assert list(t) == eps
+        assert t[1] == eps[1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EpochTable([])
+
+    def test_counts(self):
+        t = EpochTable.regular(n_subjects=3, epochs_per_subject=4, epoch_length=5)
+        assert t.n_subjects == 3
+        assert t.n_conditions == 2
+        assert len(t) == 12
+        assert t.epoch_length == 5
+        assert t.epochs_per_subject() == 4
+
+    def test_mixed_lengths_raise(self):
+        t = EpochTable([Epoch(0, 0, 0, 4), Epoch(0, 1, 8, 6)])
+        with pytest.raises(ValueError, match="mixed"):
+            _ = t.epoch_length
+
+    def test_unequal_epoch_counts_raise(self):
+        t = EpochTable([Epoch(0, 0, 0, 4), Epoch(0, 1, 8, 4), Epoch(1, 0, 0, 4)])
+        with pytest.raises(ValueError, match="unequal"):
+            t.epochs_per_subject()
+
+    def test_labels_and_subjects(self):
+        t = EpochTable.regular(n_subjects=2, epochs_per_subject=4, epoch_length=3)
+        np.testing.assert_array_equal(t.labels(), [0, 1, 0, 1] * 2)
+        np.testing.assert_array_equal(t.subjects(), [0] * 4 + [1] * 4)
+
+    def test_equality(self):
+        a = EpochTable.regular(2, 2, 3)
+        b = EpochTable.regular(2, 2, 3)
+        c = EpochTable.regular(2, 2, 4)
+        assert a == b
+        assert a != c
+
+
+class TestSubjectOperations:
+    def test_for_subject(self):
+        t = EpochTable.regular(3, 4, 5)
+        sub = t.for_subject(1)
+        assert all(e.subject == 1 for e in sub)
+        assert len(sub) == 4
+
+    def test_for_missing_subject_raises(self):
+        t = EpochTable.regular(2, 2, 5)
+        with pytest.raises(KeyError):
+            t.for_subject(9)
+
+    def test_without_subject(self):
+        t = EpochTable.regular(3, 4, 5)
+        rest = t.without_subject(0)
+        assert rest.n_subjects == 2
+        assert all(e.subject != 0 for e in rest)
+
+    def test_without_only_subject_raises(self):
+        t = EpochTable.regular(1, 2, 5)
+        with pytest.raises(ValueError):
+            t.without_subject(0)
+
+    def test_indices_for_subject(self):
+        t = EpochTable.regular(2, 4, 4)
+        np.testing.assert_array_equal(t.indices_for_subject(1), [4, 5, 6, 7])
+
+    def test_grouping_detection_and_reorder(self):
+        interleaved = EpochTable(
+            [Epoch(0, 0, 0, 4), Epoch(1, 0, 0, 4), Epoch(0, 1, 8, 4), Epoch(1, 1, 8, 4)]
+        )
+        assert not interleaved.is_grouped_by_subject()
+        grouped = interleaved.grouped_by_subject()
+        assert grouped.is_grouped_by_subject()
+        # Relative order within a subject is preserved.
+        assert [e.condition for e in grouped] == [0, 1, 0, 1]
+
+    def test_already_grouped_passes(self):
+        t = EpochTable.regular(2, 2, 4)
+        assert t.is_grouped_by_subject()
+
+
+class TestRegularConstruction:
+    def test_gap_spacing(self):
+        t = EpochTable.regular(1, 4, epoch_length=10, gap=5)
+        starts = [e.start for e in t]
+        assert starts == [0, 15, 30, 45]
+
+    def test_condition_alternation(self):
+        t = EpochTable.regular(1, 6, 4, n_conditions=3)
+        assert [e.condition for e in t] == [0, 1, 2, 0, 1, 2]
+
+    def test_indivisible_condition_count_raises(self):
+        with pytest.raises(ValueError, match="divisible"):
+            EpochTable.regular(1, 5, 4, n_conditions=2)
+
+    def test_negative_gap_raises(self):
+        with pytest.raises(ValueError, match="gap"):
+            EpochTable.regular(1, 2, 4, gap=-1)
+
+    def test_scan_length_required(self):
+        t = EpochTable.regular(2, 4, epoch_length=10, gap=2)
+        assert t.scan_length_required() == 3 * 12 + 10
+        assert t.scan_length_required(subject=0) == 46
+
+    def test_scan_length_unknown_subject(self):
+        t = EpochTable.regular(1, 2, 4)
+        with pytest.raises(KeyError):
+            t.scan_length_required(subject=5)
+
+
+class TestTextFormat:
+    def test_round_trip(self):
+        t = EpochTable.regular(3, 4, 12, gap=3)
+        assert EpochTable.from_text(t.to_text()) == t
+
+    def test_comments_and_blank_lines(self):
+        text = "# header\n\n0 1 5 12  # trailing comment\n1 0 0 12\n"
+        t = EpochTable.from_text(text)
+        assert len(t) == 2
+        assert t[0] == Epoch(0, 1, 5, 12)
+
+    def test_bad_field_count(self):
+        with pytest.raises(ValueError, match="4 fields"):
+            EpochTable.from_text("0 1 5\n")
+
+    def test_non_integer(self):
+        with pytest.raises(ValueError, match="non-integer"):
+            EpochTable.from_text("0 a 5 12\n")
+
+    def test_empty_file(self):
+        with pytest.raises(ValueError, match="no epochs"):
+            EpochTable.from_text("# nothing\n")
+
+
+@given(
+    n_subjects=st.integers(1, 5),
+    epochs_per_subject=st.integers(2, 8).filter(lambda n: n % 2 == 0),
+    epoch_length=st.integers(2, 20),
+    gap=st.integers(0, 6),
+)
+def test_regular_table_properties(n_subjects, epochs_per_subject, epoch_length, gap):
+    """Property: regular tables are balanced, grouped, and parse back."""
+    t = EpochTable.regular(n_subjects, epochs_per_subject, epoch_length, gap=gap)
+    assert len(t) == n_subjects * epochs_per_subject
+    assert t.epochs_per_subject() == epochs_per_subject
+    assert t.is_grouped_by_subject()
+    assert EpochTable.from_text(t.to_text()) == t
+    # Epochs within a subject never overlap.
+    for s in range(n_subjects):
+        eps = sorted(t.for_subject(s), key=lambda e: e.start)
+        for a, b in zip(eps, eps[1:]):
+            assert a.stop <= b.start

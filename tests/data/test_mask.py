@@ -1,0 +1,106 @@
+"""Tests for repro.data.mask."""
+
+import numpy as np
+import pytest
+
+from repro.data.mask import BrainMask
+
+
+class TestConstruction:
+    def test_full_mask(self):
+        m = BrainMask.full((2, 3, 4))
+        assert m.shape == (2, 3, 4)
+        assert m.n_voxels == 24
+
+    def test_requires_3d(self):
+        with pytest.raises(ValueError, match="3D"):
+            BrainMask(np.ones((2, 3), dtype=bool))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="no voxels"):
+            BrainMask(np.zeros((2, 2, 2), dtype=bool))
+
+    def test_accepts_01_ints(self):
+        m = BrainMask(np.array([[[0, 1], [1, 0]]], dtype=np.int64))
+        assert m.n_voxels == 2
+
+    def test_rejects_other_values(self):
+        with pytest.raises(ValueError, match="boolean"):
+            BrainMask(np.array([[[0, 2], [1, 0]]]))
+
+    def test_ellipsoid_fill_factor(self):
+        m = BrainMask.ellipsoid((20, 20, 20))
+        fill = m.n_voxels / 8000
+        assert 0.4 < fill < 0.6  # ~pi/6 ~= 0.52
+
+    def test_array_view_readonly(self):
+        m = BrainMask.full((2, 2, 2))
+        with pytest.raises(ValueError):
+            m.array[0, 0, 0] = False
+
+
+class TestCoordinateMapping:
+    def test_round_trip_all(self):
+        m = BrainMask.ellipsoid((5, 6, 7))
+        coords = m.coordinates()
+        back = m.flat_index(coords)
+        np.testing.assert_array_equal(back, np.arange(m.n_voxels))
+
+    def test_subset_coordinates(self):
+        m = BrainMask.full((2, 2, 2))
+        coords = m.coordinates(np.array([0, 7]))
+        np.testing.assert_array_equal(coords[0], [0, 0, 0])
+        np.testing.assert_array_equal(coords[1], [1, 1, 1])
+
+    def test_out_of_range_flat_index(self):
+        m = BrainMask.full((2, 2, 2))
+        with pytest.raises(IndexError):
+            m.coordinates(np.array([99]))
+
+    def test_outside_brain_coordinate(self):
+        mask = np.zeros((3, 3, 3), dtype=bool)
+        mask[1, 1, 1] = True
+        m = BrainMask(mask)
+        with pytest.raises(ValueError, match="outside"):
+            m.flat_index(np.array([[0, 0, 0]]))
+
+    def test_bad_coordinate_shape(self):
+        m = BrainMask.full((2, 2, 2))
+        with pytest.raises(ValueError, match=r"\(n, 3\)"):
+            m.flat_index(np.array([[1, 2]]))
+
+
+class TestUnflatten:
+    def test_scatter_and_fill(self):
+        mask = np.zeros((2, 2, 1), dtype=bool)
+        mask[0, 0, 0] = True
+        mask[1, 1, 0] = True
+        m = BrainMask(mask)
+        vol = m.unflatten(np.array([3.0, 4.0]), fill=-1.0)
+        assert vol[0, 0, 0] == 3.0
+        assert vol[1, 1, 0] == 4.0
+        assert vol[0, 1, 0] == -1.0
+
+    def test_wrong_length(self):
+        m = BrainMask.full((2, 2, 2))
+        with pytest.raises(ValueError, match="expected 8"):
+            m.unflatten(np.zeros(5))
+
+    def test_vector_values(self):
+        m = BrainMask.full((1, 1, 2))
+        vol = m.unflatten(np.arange(6).reshape(2, 3).astype(float))
+        assert vol.shape == (1, 1, 2, 3)
+        np.testing.assert_array_equal(vol[0, 0, 1], [3, 4, 5])
+
+
+def test_equality():
+    a = BrainMask.full((2, 2, 2))
+    b = BrainMask.full((2, 2, 2))
+    c = BrainMask.ellipsoid((4, 4, 4))
+    assert a == b
+    assert a != c
+
+
+def test_repr_mentions_counts():
+    m = BrainMask.full((2, 2, 2))
+    assert "n_voxels=8" in repr(m)

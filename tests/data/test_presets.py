@@ -1,0 +1,75 @@
+"""Tests for dataset presets — includes the paper's Table 2 check."""
+
+import pytest
+
+from repro.data import ATTENTION, FACE_SCENE, DatasetSpec
+from repro.data.presets import attention_scaled, face_scene_scaled, quickstart_config
+
+
+class TestTable2:
+    """The geometry of Table 2, asserted verbatim."""
+
+    def test_face_scene(self):
+        assert FACE_SCENE.n_voxels == 34_470
+        assert FACE_SCENE.n_subjects == 18
+        assert FACE_SCENE.n_epochs == 216
+        assert FACE_SCENE.epoch_length == 12
+
+    def test_attention(self):
+        assert ATTENTION.n_voxels == 25_260
+        assert ATTENTION.n_subjects == 30
+        assert ATTENTION.n_epochs == 540
+        assert ATTENTION.epoch_length == 12
+
+    def test_epochs_per_subject(self):
+        assert FACE_SCENE.epochs_per_subject == 12
+        assert ATTENTION.epochs_per_subject == 18
+
+    def test_loso_training_epochs_matches_paper_syrk_m(self):
+        # Section 5.4.2 uses A[204, 34470]: 216 - 12 = 204.
+        assert FACE_SCENE.training_epochs_loso == 204
+        assert ATTENTION.training_epochs_loso == 522
+
+
+class TestDatasetSpec:
+    def test_indivisible_epochs_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            DatasetSpec("x", 100, 7, 100, 12)
+
+    def test_bold_bytes(self):
+        spec = DatasetSpec("x", 100, 2, 10, 12)
+        assert spec.bold_bytes() == 100 * 10 * 12 * 4
+
+    def test_bold_bytes_duty_cycle(self):
+        spec = DatasetSpec("x", 100, 2, 10, 12)
+        assert spec.bold_bytes(duty_cycle=0.5) == 2 * spec.bold_bytes()
+
+    def test_correlation_bytes_matches_paper_memory_analysis(self):
+        # Section 3.3.3: 240 voxels' correlation vectors consume ~8.3 GB
+        # (the paper's figure includes auxiliary structures; the raw
+        # vectors alone are 240 x 216 x 34470 x 4 B ~= 7.2 GB).
+        gb = FACE_SCENE.correlation_bytes(240) / 1e9
+        assert 6.5 < gb < 8.6
+
+
+class TestScaledConfigs:
+    def test_face_scene_scaled_preserves_shape_ratios(self):
+        cfg = face_scene_scaled()
+        assert cfg.epochs_per_subject == FACE_SCENE.epochs_per_subject
+        assert cfg.epoch_length == FACE_SCENE.epoch_length
+        assert cfg.n_voxels < FACE_SCENE.n_voxels
+
+    def test_attention_scaled_preserves_shape_ratios(self):
+        cfg = attention_scaled()
+        assert cfg.epochs_per_subject == ATTENTION.epochs_per_subject
+        assert cfg.epoch_length == ATTENTION.epoch_length
+
+    def test_quickstart_is_tiny(self):
+        cfg = quickstart_config()
+        assert cfg.n_voxels <= 500
+        assert cfg.n_subjects <= 6
+
+    def test_scaled_configs_validate(self):
+        # The constructors must produce internally consistent configs.
+        face_scene_scaled(n_voxels=600, n_subjects=4)
+        attention_scaled(n_voxels=500, n_subjects=5)

@@ -1,0 +1,186 @@
+"""Tests for the synthetic fMRI generator — the planted-structure
+guarantees everything downstream relies on."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticConfig, generate_dataset, ground_truth_voxels
+from repro.data.synthetic import _group_assignment
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        SyntheticConfig()
+
+    def test_too_few_voxels(self):
+        with pytest.raises(ValueError, match="n_voxels"):
+            SyntheticConfig(n_voxels=2, n_informative=1, n_groups=1)
+
+    def test_informative_exceeds_voxels(self):
+        with pytest.raises(ValueError, match="n_informative"):
+            SyntheticConfig(n_voxels=10, n_informative=20)
+
+    def test_too_few_informative_per_group(self):
+        with pytest.raises(ValueError, match="per group"):
+            SyntheticConfig(n_informative=5, n_groups=4)
+
+    def test_epochs_not_divisible(self):
+        with pytest.raises(ValueError, match="divisible"):
+            SyntheticConfig(epochs_per_subject=7, n_conditions=2)
+
+    def test_bad_ar(self):
+        with pytest.raises(ValueError, match="ar_coeff"):
+            SyntheticConfig(ar_coeff=1.0)
+
+    def test_scaled_override(self):
+        cfg = SyntheticConfig().scaled(n_voxels=500, seed=9)
+        assert cfg.n_voxels == 500
+        assert cfg.seed == 9
+        assert cfg.n_subjects == SyntheticConfig().n_subjects
+
+
+class TestGroundTruth:
+    def test_deterministic(self):
+        cfg = SyntheticConfig(seed=42)
+        np.testing.assert_array_equal(
+            ground_truth_voxels(cfg), ground_truth_voxels(cfg)
+        )
+
+    def test_sorted_unique_in_range(self):
+        cfg = SyntheticConfig()
+        gt = ground_truth_voxels(cfg)
+        assert gt.size == cfg.n_informative
+        assert np.unique(gt).size == gt.size
+        assert gt.min() >= 0 and gt.max() < cfg.n_voxels
+        assert (np.diff(gt) > 0).all()
+
+    def test_seed_changes_selection(self):
+        a = ground_truth_voxels(SyntheticConfig(seed=1))
+        b = ground_truth_voxels(SyntheticConfig(seed=2))
+        assert not np.array_equal(a, b)
+
+
+class TestGroupAssignment:
+    def test_condition0_contiguous_blocks(self):
+        cfg = SyntheticConfig(n_informative=12, n_groups=3)
+        g = _group_assignment(cfg, 0, np.random.default_rng(0))
+        np.testing.assert_array_equal(g, np.repeat([0, 1, 2], 4))
+
+    def test_conditions_differ(self):
+        cfg = SyntheticConfig(n_informative=12, n_groups=3)
+        rng = np.random.default_rng(0)
+        g0 = _group_assignment(cfg, 0, rng)
+        g1 = _group_assignment(cfg, 1, rng)
+        assert not np.array_equal(g0, g1)
+
+    def test_all_groups_used(self):
+        cfg = SyntheticConfig(n_informative=16, n_groups=4)
+        for c in range(2):
+            g = _group_assignment(cfg, c, np.random.default_rng(0))
+            assert set(g.tolist()) == {0, 1, 2, 3}
+
+
+class TestGeneratedData:
+    def test_shape_and_dtype(self, tiny_config, tiny_dataset):
+        assert tiny_dataset.n_voxels == tiny_config.n_voxels
+        assert tiny_dataset.n_subjects == tiny_config.n_subjects
+        assert tiny_dataset.subject_data(0).dtype == np.float32
+
+    def test_deterministic(self, tiny_config):
+        a = generate_dataset(tiny_config)
+        b = generate_dataset(tiny_config)
+        np.testing.assert_array_equal(a.subject_data(0), b.subject_data(0))
+
+    def test_epochs_balanced_and_grouped(self, tiny_dataset, tiny_config):
+        t = tiny_dataset.epochs
+        assert t.epochs_per_subject() == tiny_config.epochs_per_subject
+        assert t.is_grouped_by_subject()
+
+    def test_informative_voxels_correlate_within_group(self, tiny_config, tiny_dataset):
+        """Within an epoch, same-group informative voxels correlate strongly."""
+        cfg = tiny_config
+        gt = ground_truth_voxels(cfg)
+        g0 = _group_assignment(cfg, 0, np.random.default_rng(0))
+        # two voxels in group 0 under condition 0
+        pair = gt[np.nonzero(g0 == 0)[0][:2]]
+        cors = []
+        for e in tiny_dataset.epochs:
+            if e.condition != 0:
+                continue
+            w = tiny_dataset.epoch_matrix(e)[pair]
+            cors.append(np.corrcoef(w)[0, 1])
+        assert np.mean(cors) > 0.3
+
+    def test_correlation_structure_condition_dependent(self, tiny_config, tiny_dataset):
+        """The same voxel pair correlates differently across conditions."""
+        cfg = tiny_config
+        gt = ground_truth_voxels(cfg)
+        g0 = _group_assignment(cfg, 0, np.random.default_rng(0))
+        g1 = _group_assignment(cfg, 1, np.random.default_rng(0))
+        # pair grouped together in condition 0 but split in condition 1
+        idx = np.nonzero((g0 == 0))[0]
+        pair = None
+        for i in idx:
+            for j in idx:
+                if i < j and g1[i] != g1[j]:
+                    pair = gt[[i, j]]
+                    break
+            if pair is not None:
+                break
+        assert pair is not None
+        by_cond = {0: [], 1: []}
+        for e in tiny_dataset.epochs:
+            w = tiny_dataset.epoch_matrix(e)[pair]
+            by_cond[e.condition].append(np.corrcoef(w)[0, 1])
+        assert np.mean(by_cond[0]) > np.mean(by_cond[1]) + 0.2
+
+    def test_mean_amplitude_condition_independent(self, tiny_dataset):
+        """No amplitude confound: epoch means match across conditions."""
+        gt_means = {0: [], 1: []}
+        for e in tiny_dataset.epochs:
+            gt_means[e.condition].append(
+                float(tiny_dataset.epoch_matrix(e).mean())
+            )
+        assert abs(np.mean(gt_means[0]) - np.mean(gt_means[1])) < 0.1
+
+    def test_noninformative_voxels_uncorrelated_structure(self, tiny_config, tiny_dataset):
+        cfg = tiny_config
+        gt = set(ground_truth_voxels(cfg).tolist())
+        others = [v for v in range(cfg.n_voxels) if v not in gt][:2]
+        cors = []
+        for e in tiny_dataset.epochs:
+            w = tiny_dataset.epoch_matrix(e)[others]
+            cors.append(np.corrcoef(w)[0, 1])
+        # Only the weak global signal correlates them.
+        assert abs(np.mean(cors)) < 0.25
+
+    def test_grid_mask_attached(self):
+        cfg = SyntheticConfig(
+            n_voxels=24, n_informative=6, n_groups=2, grid=(2, 3, 4),
+            n_subjects=2, epochs_per_subject=2,
+        )
+        ds = generate_dataset(cfg)
+        assert ds.mask is not None
+        assert ds.mask.n_voxels == 24
+
+    def test_grid_mismatch_raises(self):
+        cfg = SyntheticConfig(
+            n_voxels=10, n_informative=4, n_groups=2, grid=(2, 3, 4),
+            n_subjects=2, epochs_per_subject=2,
+        )
+        with pytest.raises(ValueError, match="grid"):
+            generate_dataset(cfg)
+
+    def test_ar_coefficient_controls_autocorrelation(self):
+        from repro.data.synthetic import _ar1
+
+        rng = np.random.default_rng(0)
+        white = _ar1(rng, (1, 5000), coeff=0.0)[0].astype(np.float64)
+        smooth = _ar1(rng, (1, 5000), coeff=0.6)[0].astype(np.float64)
+        lag1_white = np.corrcoef(white[:-1], white[1:])[0, 1]
+        lag1_smooth = np.corrcoef(smooth[:-1], smooth[1:])[0, 1]
+        assert abs(lag1_white) < 0.07
+        assert 0.5 < lag1_smooth < 0.7
+        # Unit marginal variance in both cases.
+        assert abs(white.std() - 1.0) < 0.05
+        assert abs(smooth.std() - 1.0) < 0.08

@@ -1,0 +1,167 @@
+"""Tests for the set-associative cache simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw import CacheHierarchy, CacheLevel, SetAssociativeCache, element_trace
+
+
+def small_cache(size=1024, line=64, ways=2):
+    return SetAssociativeCache(CacheLevel(size_bytes=size, line_bytes=line, ways=ways))
+
+
+class TestBasicBehaviour:
+    def test_cold_miss_then_hit(self):
+        c = small_cache()
+        assert c.access(0) is False
+        assert c.access(0) is True
+        assert c.access(63) is True      # same line
+        assert c.access(64) is False     # next line
+
+    def test_stats(self):
+        c = small_cache()
+        for addr in (0, 0, 64, 0):
+            c.access(addr)
+        assert c.stats.accesses == 4
+        assert c.stats.hits == 2
+        assert c.stats.misses == 2
+        assert c.stats.miss_rate == pytest.approx(0.5)
+
+    def test_reset(self):
+        c = small_cache()
+        c.access(0)
+        c.reset()
+        assert c.stats.accesses == 0
+        assert c.access(0) is False
+
+    def test_contains_no_side_effects(self):
+        c = small_cache()
+        c.access(0)
+        before = c.stats.accesses
+        assert c.contains(32)
+        assert not c.contains(4096)
+        assert c.stats.accesses == before
+
+
+class TestLRUReplacement:
+    def test_evicts_least_recently_used(self):
+        # 2-way sets; three lines mapping to the same set.
+        c = small_cache(size=512, line=64, ways=2)  # 8 lines, 4 sets
+        n_sets = c.geometry.n_sets
+        stride = n_sets * 64  # same-set addresses
+        a, b, d = 0, stride, 2 * stride
+        c.access(a)
+        c.access(b)
+        c.access(a)      # refresh a; b is now LRU
+        c.access(d)      # evicts b
+        assert c.contains(a)
+        assert not c.contains(b)
+        assert c.contains(d)
+        assert c.stats.evictions == 1
+
+    def test_capacity_working_set_all_hits(self):
+        c = small_cache(size=1024, line=64, ways=2)
+        addrs = element_trace(0, 16, stride_elements=16, dtype_bytes=4)  # 16 lines
+        c.access_trace(addrs)   # exactly fills the cache
+        misses = c.access_trace(addrs)
+        assert misses == 0
+
+    def test_over_capacity_streaming_never_hits(self):
+        c = small_cache(size=1024, line=64, ways=2)
+        addrs = element_trace(0, 64, stride_elements=16, dtype_bytes=4)  # 64 lines
+        c.access_trace(addrs)
+        misses = c.access_trace(addrs)
+        assert misses == 64  # LRU + streaming = full re-miss
+
+
+class TestTrace:
+    def test_element_trace_addresses(self):
+        t = element_trace(100, 4, stride_elements=2, dtype_bytes=4)
+        np.testing.assert_array_equal(t, [100, 108, 116, 124])
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            element_trace(0, -1)
+
+    def test_sequential_sweep_miss_count(self):
+        """A sweep over N elements misses exactly N/16 times (64B lines)."""
+        c = small_cache(size=4096, line=64, ways=4)
+        n = 256
+        misses = c.access_trace(element_trace(0, n))
+        assert misses == n // 16
+
+
+class TestHierarchy:
+    def test_l1_filters_l2(self):
+        h = CacheHierarchy(CacheLevel(256, 64, 2), CacheLevel(1024, 64, 2))
+        assert h.access(0) == "mem"
+        assert h.access(0) == "l1"
+        # Evict from tiny L1 by touching other sets/lines, then re-access:
+        for i in range(1, 8):
+            h.access(i * 64)
+        level = h.access(0)
+        assert level in ("l1", "l2")  # at worst it comes from L2, not mem
+
+    def test_line_size_mismatch(self):
+        with pytest.raises(ValueError, match="line size"):
+            CacheHierarchy(CacheLevel(256, 32, 2), CacheLevel(1024, 64, 2))
+
+    def test_l1_bigger_than_l2(self):
+        with pytest.raises(ValueError, match="exceed"):
+            CacheHierarchy(CacheLevel(2048, 64, 2), CacheLevel(1024, 64, 2))
+
+    def test_trace_returns_both_counts(self):
+        h = CacheHierarchy(CacheLevel(256, 64, 2), CacheLevel(1024, 64, 2))
+        l1m, l2m = h.access_trace(element_trace(0, 64))
+        assert l1m == 4  # 64 elements = 4 lines
+        assert l2m == 4
+
+    def test_reset(self):
+        h = CacheHierarchy(CacheLevel(256, 64, 2), CacheLevel(1024, 64, 2))
+        h.access(0)
+        h.reset()
+        assert h.l1.stats.accesses == 0
+        assert h.access(0) == "mem"
+
+
+class TestBlockingIntuition:
+    """The cache-level fact the paper's idea #1 rests on: tiled reuse
+    hits, streaming reuse misses."""
+
+    def test_tiled_reuse_beats_streaming(self):
+        geometry = CacheLevel(size_bytes=2048, line_bytes=64, ways=4)  # 32 lines
+        n_lines = 128  # working set 4x the cache
+
+        # Streaming: 3 passes over all 128 lines.
+        stream = SetAssociativeCache(geometry)
+        trace = element_trace(0, n_lines, stride_elements=16)
+        total_stream = sum(stream.access_trace(trace) for _ in range(3))
+
+        # Tiled: process 16-line tiles, 3 passes each, tile by tile.
+        tiled = SetAssociativeCache(geometry)
+        total_tiled = 0
+        for tile_start in range(0, n_lines, 16):
+            tile = element_trace(tile_start * 64, 16, stride_elements=16)
+            for _ in range(3):
+                total_tiled += tiled.access_trace(tile)
+        assert total_stream == 3 * n_lines
+        assert total_tiled == n_lines  # compulsory misses only
+        assert total_tiled < total_stream / 2
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    addrs=st.lists(st.integers(0, 1 << 20), min_size=1, max_size=200),
+)
+def test_cache_invariants(addrs):
+    """Properties: hits+misses = accesses; misses >= unique lines' cold
+    misses bounded by trace; second identical access within the same
+    call sequence never increases unique-line count."""
+    c = small_cache(size=2048, line=64, ways=4)
+    for a in addrs:
+        c.access(a)
+    assert c.stats.hits + c.stats.misses == c.stats.accesses
+    unique_lines = len({a // 64 for a in addrs})
+    assert c.stats.misses >= unique_lines if len(addrs) >= unique_lines else True
+    assert c.stats.misses <= len(addrs)

@@ -1,0 +1,91 @@
+"""Tests for PerfCounters."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw import PerfCounters
+
+
+class TestDerivedMetrics:
+    def test_mem_refs(self):
+        c = PerfCounters(mem_reads=10, mem_writes=5)
+        assert c.mem_refs == 15
+
+    def test_vectorization_intensity(self):
+        c = PerfCounters(vpu_instructions=100, vector_elements=1600)
+        assert c.vectorization_intensity == 16.0
+
+    def test_vi_zero_without_vpu(self):
+        assert PerfCounters().vectorization_intensity == 0.0
+
+    def test_total_l2(self):
+        c = PerfCounters(l2_misses=3, l2_remote_hits=4)
+        assert c.total_l2_misses == 7
+
+    def test_instructions(self):
+        c = PerfCounters(vpu_instructions=10, scalar_instructions=4)
+        assert c.instructions == 14
+
+    def test_gflops_at(self):
+        c = PerfCounters(flops=2e9)
+        assert c.gflops_at(1.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            c.gflops_at(0.0)
+
+
+class TestAlgebra:
+    def test_add(self):
+        a = PerfCounters(mem_reads=1, flops=10)
+        b = PerfCounters(mem_reads=2, l2_misses=5)
+        c = a + b
+        assert c.mem_reads == 3
+        assert c.flops == 10
+        assert c.l2_misses == 5
+
+    def test_iadd(self):
+        a = PerfCounters(mem_reads=1)
+        a += PerfCounters(mem_reads=4)
+        assert a.mem_reads == 5
+
+    def test_scaled(self):
+        a = PerfCounters(mem_reads=2, flops=3).scaled(10)
+        assert a.mem_reads == 20
+        assert a.flops == 30
+
+    def test_scaled_negative(self):
+        with pytest.raises(ValueError):
+            PerfCounters().scaled(-1)
+
+    def test_negative_field_rejected(self):
+        with pytest.raises(ValueError):
+            PerfCounters(mem_reads=-1)
+
+    def test_approx_equal(self):
+        a = PerfCounters(flops=1e9)
+        b = PerfCounters(flops=1e9 * (1 + 1e-8))
+        assert a.approx_equal(b)
+        assert not a.approx_equal(PerfCounters(flops=2e9))
+
+    def test_summary_format(self):
+        s = PerfCounters(mem_reads=1e9, l2_misses=1e6, flops=1e9).summary()
+        assert "refs=1.00G" in s
+        assert "L2miss=1.0M" in s
+
+
+@given(
+    scale=st.floats(0.0, 100.0, allow_nan=False),
+    reads=st.floats(0, 1e9),
+    writes=st.floats(0, 1e9),
+)
+def test_scaling_is_linear(scale, reads, writes):
+    c = PerfCounters(mem_reads=reads, mem_writes=writes)
+    assert c.scaled(scale).mem_refs == pytest.approx(c.mem_refs * scale)
+
+
+@given(
+    a=st.floats(0, 1e6), b=st.floats(0, 1e6), c=st.floats(0, 1e6)
+)
+def test_addition_commutes(a, b, c):
+    x = PerfCounters(mem_reads=a, flops=b)
+    y = PerfCounters(mem_reads=c)
+    assert (x + y).approx_equal(y + x)

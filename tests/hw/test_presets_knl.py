@@ -1,0 +1,54 @@
+"""Tests for the KNL forward-projection hardware preset."""
+
+import pytest
+
+from repro.hw import E5_2670, KNL_7250, PHI_5110P
+
+
+class TestKNL7250:
+    def test_core_counts(self):
+        assert KNL_7250.cores == 68
+        assert KNL_7250.total_threads == 272
+
+    def test_peak_about_6_tflops(self):
+        assert KNL_7250.peak_sp_gflops == pytest.approx(6093, rel=1e-3)
+
+    def test_dual_vpus(self):
+        assert KNL_7250.vpu_pipes == 2
+        assert KNL_7250.vpu_width_sp == 16
+
+    def test_mcdram_bandwidth_3x_knc(self):
+        assert KNL_7250.mem_bandwidth_gbs == pytest.approx(
+            3 * PHI_5110P.mem_bandwidth_gbs, rel=0.05
+        )
+
+    def test_no_llc_like_knc(self):
+        # KNL's MCDRAM is modeled via bandwidth/latency, not as an LLC,
+        # so the issue model keeps treating it as a manycore part.
+        assert KNL_7250.llc is None
+
+    def test_latency_about_150ns(self):
+        assert KNL_7250.mem_latency_seconds() == pytest.approx(154e-9, rel=0.05)
+
+
+class TestCrossMachineOrderings:
+    def test_peak_ordering(self):
+        assert (
+            KNL_7250.peak_sp_gflops
+            > PHI_5110P.peak_sp_gflops
+            > E5_2670.peak_sp_gflops
+        )
+
+    def test_bandwidth_ordering(self):
+        assert (
+            KNL_7250.mem_bandwidth_gbs
+            > PHI_5110P.mem_bandwidth_gbs
+            > E5_2670.mem_bandwidth_gbs
+        )
+
+    def test_thread_count_ordering(self):
+        assert KNL_7250.total_threads > PHI_5110P.total_threads > E5_2670.total_threads
+
+    def test_e5_peak_matches_datasheet(self):
+        # 8 cores x 8 AVX lanes x (add+mul) x 2.6 GHz = 332.8 GFLOPS.
+        assert E5_2670.peak_sp_gflops == pytest.approx(332.8)

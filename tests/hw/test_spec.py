@@ -1,0 +1,115 @@
+"""Tests for hardware specs — including the paper's Section 2 figures."""
+
+import pytest
+
+from repro.hw import E5_2670, PHI_5110P, CacheLevel, HardwareSpec
+
+
+class TestCacheLevel:
+    def test_geometry(self):
+        c = CacheLevel(size_bytes=512 * 1024, line_bytes=64, ways=8)
+        assert c.n_lines == 8192
+        assert c.n_sets == 1024
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            CacheLevel(size_bytes=0)
+
+    def test_size_not_multiple_of_line(self):
+        with pytest.raises(ValueError, match="multiple"):
+            CacheLevel(size_bytes=1000, line_bytes=64)
+
+    def test_lines_not_multiple_of_ways(self):
+        with pytest.raises(ValueError, match="ways"):
+            CacheLevel(size_bytes=3 * 64, line_bytes=64, ways=2)
+
+    def test_per_thread_bytes(self):
+        c = CacheLevel(size_bytes=512 * 1024, shared_by_threads=4)
+        assert c.per_thread_bytes() == 128 * 1024
+
+
+class TestPhi5110P:
+    """Section 2 architecture figures, asserted."""
+
+    def test_core_counts(self):
+        assert PHI_5110P.cores == 60
+        assert PHI_5110P.threads_per_core == 4
+        assert PHI_5110P.total_threads == 240
+
+    def test_clock(self):
+        assert PHI_5110P.clock_ghz == pytest.approx(1.053)
+
+    def test_peak_sp_is_2_02_tflops(self):
+        assert PHI_5110P.peak_sp_gflops == pytest.approx(2021.8, rel=1e-3)
+
+    def test_peak_dp_is_1_01_tflops(self):
+        assert PHI_5110P.peak_dp_gflops == pytest.approx(1010.9, rel=1e-3)
+
+    def test_cache_sizes(self):
+        assert PHI_5110P.l1.size_bytes == 32 * 1024
+        assert PHI_5110P.l2.size_bytes == 512 * 1024
+        assert PHI_5110P.llc is None
+
+    def test_line_brings_16_floats(self):
+        # "a cache miss will bring 16 single precision ... numbers"
+        assert PHI_5110P.elements_per_line(4) == 16
+        assert PHI_5110P.elements_per_line(8) == 8
+
+    def test_miss_latency_about_300ns(self):
+        # Section 3.3.1 estimates ~300 ns per L2 miss.
+        assert PHI_5110P.mem_latency_seconds() == pytest.approx(287e-9, rel=0.05)
+
+    def test_usable_dram_6gb(self):
+        assert PHI_5110P.usable_dram_bytes == 6 * 1024**3
+
+    def test_l2_per_thread(self):
+        assert PHI_5110P.l2_per_thread_bytes() == 128 * 1024
+
+    def test_vpu_width(self):
+        assert PHI_5110P.vpu_width_sp == 16
+
+
+class TestE52670:
+    def test_counts(self):
+        assert E5_2670.cores == 8
+        assert E5_2670.total_threads == 16
+
+    def test_has_20mb_llc(self):
+        assert E5_2670.llc is not None
+        assert E5_2670.llc.size_bytes == 20 * 1024 * 1024
+
+    def test_llc_per_thread_larger_than_phi_l2_share(self):
+        # Section 5.5: ~1.28 MB LLC/thread, "an order of magnitude
+        # larger than that for the coprocessor".
+        per_thread = E5_2670.llc.size_bytes / E5_2670.total_threads
+        assert per_thread == pytest.approx(1.25 * 1024 * 1024)
+        assert per_thread / PHI_5110P.l2_per_thread_bytes() == pytest.approx(10.0)
+
+    def test_vector_half_the_phi(self):
+        assert E5_2670.vpu_width_sp * 2 == PHI_5110P.vpu_width_sp
+
+
+class TestValidation:
+    def test_negative_clock(self):
+        with pytest.raises(ValueError):
+            HardwareSpec(
+                name="x", cores=1, threads_per_core=1, clock_ghz=0,
+                vpu_width_sp=8, vpu_pipes=1, l1=CacheLevel(1024), l2=CacheLevel(2048),
+                llc=None, mem_latency_cycles=100, remote_l2_latency_cycles=100,
+                mem_bandwidth_gbs=10, usable_dram_bytes=1,
+            )
+
+    def test_bad_issue_efficiency(self):
+        with pytest.raises(ValueError, match="issue_efficiency"):
+            HardwareSpec(
+                name="x", cores=1, threads_per_core=1, clock_ghz=1,
+                vpu_width_sp=8, vpu_pipes=1, l1=CacheLevel(1024), l2=CacheLevel(2048),
+                llc=None, mem_latency_cycles=100, remote_l2_latency_cycles=100,
+                mem_bandwidth_gbs=10, usable_dram_bytes=1, issue_efficiency=1.5,
+            )
+
+    def test_cycles_to_seconds(self):
+        assert PHI_5110P.cycles_to_seconds(1.053e9) == pytest.approx(1.0)
+
+    def test_str_mentions_name(self):
+        assert "5110P" in str(PHI_5110P)

@@ -1,0 +1,77 @@
+"""Integration: the full closed-loop system over the noisy-data path.
+
+The most end-to-end scenario in the repository: raw noisy scans ->
+preprocessing -> NIfTI round trip -> streaming scanner -> online FCMA
+training -> graded live feedback.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FCMAConfig
+from repro.data import (
+    BrainMask,
+    EpochTable,
+    FMRIDataset,
+    NoiseConfig,
+    SyntheticConfig,
+    corrupt_dataset,
+    generate_dataset,
+    preprocess_dataset,
+)
+from repro.data.nifti import bold_from_nifti, read_nifti, write_nifti
+from repro.rtfmri import ClosedLoopSession, ScannerSimulator
+
+
+@pytest.fixture(scope="module")
+def full_system_result(tmp_path_factory):
+    grid = (6, 6, 4)
+    mask = BrainMask.full(grid)
+    cfg = SyntheticConfig(
+        n_voxels=mask.n_voxels,
+        n_subjects=1,
+        epochs_per_subject=16,
+        epoch_length=12,
+        n_informative=20,
+        n_groups=4,
+        seed=314,
+        name="full-loop",
+    )
+    clean = generate_dataset(cfg)
+    noisy = corrupt_dataset(
+        clean, NoiseConfig(drift=0.4, physio=0.2, motion=0.3, seed=1)
+    )
+    cleaned = preprocess_dataset(noisy, detrend_order=2)
+
+    # Round-trip the preprocessed scan through NIfTI (the on-disk path).
+    root = tmp_path_factory.mktemp("loop")
+    volume = mask.unflatten(cleaned.subject_data(0), fill=0.0).astype(np.float32)
+    img = read_nifti(write_nifti(root / "scan", volume, tr_seconds=1.5))
+    reloaded = FMRIDataset(
+        {0: bold_from_nifti(img, mask)},
+        EpochTable(list(cleaned.epochs)),
+        mask=mask,
+    )
+
+    scanner = ScannerSimulator(reloaded, subject=0, tr_seconds=1.5)
+    session = ClosedLoopSession(
+        scanner,
+        FCMAConfig(online_folds=4, target_block=64),
+        training_epochs=8,
+        top_k=12,
+    )
+    return session.run()
+
+
+class TestFullSystem:
+    def test_feedback_beats_chance_despite_noise(self, full_system_result):
+        assert full_system_result.feedback_accuracy > 0.6
+
+    def test_all_post_training_epochs_got_feedback(self, full_system_result):
+        assert len(full_system_result.events) == 8
+
+    def test_latency_budget(self, full_system_result):
+        assert full_system_result.max_feedback_latency_s < 1.5
+
+    def test_confidence_available_in_live_loop(self, full_system_result):
+        assert full_system_result.training.classifier.platt is not None

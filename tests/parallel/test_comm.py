@@ -1,0 +1,147 @@
+"""Tests for the MPI-like communicator."""
+
+import operator
+
+import pytest
+
+from repro.parallel.comm import ANY_SOURCE, ANY_TAG, Comm, CommGroup, run_ranks
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        group = CommGroup(2)
+        a, b = group.comm(0), group.comm(1)
+        a.send({"x": 1}, dest=1, tag=5)
+        src, tag, obj = b.recv()
+        assert (src, tag, obj) == (0, 5, {"x": 1})
+
+    def test_selective_by_tag(self):
+        group = CommGroup(2)
+        a, b = group.comm(0), group.comm(1)
+        a.send("first", 1, tag=1)
+        a.send("second", 1, tag=2)
+        _, _, obj = b.recv(tag=2)
+        assert obj == "second"
+        _, _, obj = b.recv(tag=1)
+        assert obj == "first"
+
+    def test_selective_by_source(self):
+        group = CommGroup(3)
+        group.comm(0).send("from0", 2, tag=0)
+        group.comm(1).send("from1", 2, tag=0)
+        src, _, obj = group.comm(2).recv(source=1)
+        assert (src, obj) == (1, "from1")
+
+    def test_order_preserved_per_pair(self):
+        group = CommGroup(2)
+        a, b = group.comm(0), group.comm(1)
+        for i in range(5):
+            a.send(i, 1, tag=3)
+        received = [b.recv(tag=3)[2] for _ in range(5)]
+        assert received == list(range(5))
+
+    def test_stash_preserves_unmatched(self):
+        group = CommGroup(2)
+        a, b = group.comm(0), group.comm(1)
+        a.send("x", 1, tag=1)
+        a.send("y", 1, tag=2)
+        assert b.recv(tag=2)[2] == "y"
+        # the stashed tag-1 message is still deliverable via wildcard
+        assert b.recv(source=ANY_SOURCE, tag=ANY_TAG)[2] == "x"
+
+    def test_bad_dest(self):
+        group = CommGroup(2)
+        with pytest.raises(ValueError, match="dest"):
+            group.comm(0).send("x", 5)
+
+    def test_reserved_tag_rejected(self):
+        group = CommGroup(2)
+        with pytest.raises(ValueError, match="tags"):
+            group.comm(0).send("x", 1, tag=2_000_000)
+
+    def test_recv_timeout(self):
+        group = CommGroup(2, timeout=0.05)
+        with pytest.raises(TimeoutError):
+            group.comm(0).recv()
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def spmd(comm: Comm):
+            return comm.bcast("payload" if comm.rank == 0 else None)
+
+        assert run_ranks(4, spmd) == ["payload"] * 4
+
+    def test_bcast_nonzero_root(self):
+        def spmd(comm: Comm):
+            return comm.bcast("from2" if comm.rank == 2 else None, root=2)
+
+        assert run_ranks(4, spmd) == ["from2"] * 4
+
+    def test_scatter_gather(self):
+        def spmd(comm: Comm):
+            part = comm.scatter(
+                [i * i for i in range(comm.size)] if comm.rank == 0 else None
+            )
+            return comm.gather(part)
+
+        results = run_ranks(3, spmd)
+        assert results[0] == [0, 1, 4]
+        assert results[1] is None and results[2] is None
+
+    def test_scatter_wrong_length(self):
+        group = CommGroup(3)
+        with pytest.raises(ValueError, match="exactly 3"):
+            group.comm(0).scatter([1, 2])
+
+    def test_allgather(self):
+        results = run_ranks(3, lambda c: c.allgather(c.rank * 10))
+        assert results == [[0, 10, 20]] * 3
+
+    def test_allreduce_sum(self):
+        results = run_ranks(4, lambda c: c.allreduce(c.rank + 1, operator.add))
+        assert results == [10] * 4
+
+    def test_allreduce_max(self):
+        results = run_ranks(4, lambda c: c.allreduce(c.rank, max))
+        assert results == [3] * 4
+
+    def test_barrier_synchronizes(self):
+        order = []
+
+        def spmd(comm: Comm):
+            if comm.rank == 0:
+                order.append("pre")
+            comm.barrier()
+            if comm.rank == 1:
+                order.append("post")
+            return True
+
+        run_ranks(2, spmd)
+        assert order == ["pre", "post"]
+
+
+class TestRunRanks:
+    def test_returns_in_rank_order(self):
+        assert run_ranks(5, lambda c: c.rank) == [0, 1, 2, 3, 4]
+
+    def test_rank_error_propagates(self):
+        def spmd(comm: Comm):
+            if comm.rank == 1:
+                raise RuntimeError("boom")
+            return comm.rank
+
+        with pytest.raises(RuntimeError, match="rank 1 failed"):
+            run_ranks(2, spmd)
+
+    def test_size_properties(self):
+        def spmd(comm: Comm):
+            return (comm.rank, comm.size)
+
+        assert run_ranks(3, spmd) == [(0, 3), (1, 3), (2, 3)]
+
+    def test_group_validation(self):
+        with pytest.raises(ValueError):
+            CommGroup(0)
+        with pytest.raises(ValueError):
+            CommGroup(2).comm(5)

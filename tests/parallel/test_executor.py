@@ -1,0 +1,63 @@
+"""Tests for the multiprocessing executor."""
+
+import numpy as np
+import pytest
+
+from repro.core import FCMAConfig
+from repro.parallel.executor import (
+    _tasks_for,
+    parallel_voxel_selection,
+    serial_voxel_selection,
+)
+
+
+class TestTaskBuilding:
+    def test_default_covers_brain(self, tiny_dataset, fast_fcma_config):
+        tasks = _tasks_for(tiny_dataset, fast_fcma_config, None)
+        assert sum(t.size for t in tasks) == tiny_dataset.n_voxels
+
+    def test_explicit_voxels_chunked(self, tiny_dataset):
+        cfg = FCMAConfig(task_voxels=3)
+        tasks = _tasks_for(tiny_dataset, cfg, np.arange(8))
+        assert [t.size for t in tasks] == [3, 3, 2]
+
+    def test_empty_voxels_rejected(self, tiny_dataset, fast_fcma_config):
+        with pytest.raises(ValueError):
+            _tasks_for(tiny_dataset, fast_fcma_config, np.array([], dtype=np.int64))
+
+
+class TestSerial:
+    def test_scores_sorted(self, tiny_dataset, fast_fcma_config):
+        scores = serial_voxel_selection(tiny_dataset, fast_fcma_config)
+        assert len(scores) == tiny_dataset.n_voxels
+        assert (np.diff(scores.accuracies) <= 1e-12).all()
+
+    def test_subset(self, tiny_dataset, fast_fcma_config):
+        scores = serial_voxel_selection(
+            tiny_dataset, fast_fcma_config, voxels=np.array([1, 5, 9])
+        )
+        assert set(scores.voxels.tolist()) == {1, 5, 9}
+
+
+class TestParallel:
+    def test_matches_serial(self, tiny_dataset, fast_fcma_config):
+        serial = serial_voxel_selection(tiny_dataset, fast_fcma_config)
+        par = parallel_voxel_selection(tiny_dataset, fast_fcma_config, n_workers=2)
+        np.testing.assert_array_equal(serial.voxels, par.voxels)
+        np.testing.assert_allclose(serial.accuracies, par.accuracies)
+
+    def test_one_worker_falls_back_to_serial(self, tiny_dataset, fast_fcma_config):
+        par = parallel_voxel_selection(tiny_dataset, fast_fcma_config, n_workers=1)
+        serial = serial_voxel_selection(tiny_dataset, fast_fcma_config)
+        np.testing.assert_allclose(par.accuracies, serial.accuracies)
+
+    def test_bad_worker_count(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            parallel_voxel_selection(tiny_dataset, n_workers=0)
+
+    def test_voxel_subset(self, tiny_dataset, fast_fcma_config):
+        par = parallel_voxel_selection(
+            tiny_dataset, fast_fcma_config, n_workers=2,
+            voxels=np.arange(10),
+        )
+        assert len(par) == 10

@@ -1,0 +1,107 @@
+"""Failure-injection tests for the master-worker protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core import VoxelScores
+from repro.core.pipeline import task_partition
+from repro.parallel.comm import run_ranks
+from repro.parallel.master_worker import (
+    TaskFailedError,
+    master_loop,
+    worker_loop,
+)
+
+
+def good_run(dataset, assigned, config):
+    return VoxelScores(
+        voxels=np.asarray(assigned),
+        accuracies=np.asarray(assigned, dtype=np.float64) / 100.0,
+    )
+
+
+class FlakyRun:
+    """Fails the first ``n_failures`` invocations for a chosen task."""
+
+    def __init__(self, fail_voxel: int, n_failures: int):
+        self.fail_voxel = fail_voxel
+        self.remaining = n_failures
+        self.calls = 0
+
+    def __call__(self, dataset, assigned, config):
+        self.calls += 1
+        if self.fail_voxel in assigned and self.remaining > 0:
+            self.remaining -= 1
+            raise RuntimeError("transient device failure")
+        return good_run(dataset, assigned, config)
+
+
+class TestRetries:
+    def test_transient_failure_retried_and_completed(self):
+        tasks = task_partition(12, 4)
+        flaky = FlakyRun(fail_voxel=5, n_failures=1)
+
+        def spmd(comm):
+            if comm.rank == 0:
+                return master_loop(comm, tasks, max_retries=2)
+            return worker_loop(comm, None, None, run=flaky)
+
+        results = run_ranks(3, spmd)
+        scores = results[0]
+        assert len(scores) == 12  # nothing lost
+        assert flaky.remaining == 0
+
+    def test_persistent_failure_raises_after_retries(self):
+        tasks = task_partition(8, 4)
+        flaky = FlakyRun(fail_voxel=1, n_failures=99)
+
+        def spmd(comm):
+            if comm.rank == 0:
+                return master_loop(comm, tasks, max_retries=2)
+            return worker_loop(comm, None, None, run=flaky)
+
+        with pytest.raises(RuntimeError, match="failed after 2 attempts"):
+            run_ranks(2, spmd)
+
+    def test_failure_does_not_kill_worker(self):
+        """The worker reports the error and keeps serving other tasks."""
+        tasks = task_partition(12, 4)
+        flaky = FlakyRun(fail_voxel=0, n_failures=99)
+        completed = {}
+
+        def spmd(comm):
+            if comm.rank == 0:
+                try:
+                    master_loop(comm, tasks, max_retries=1)
+                except TaskFailedError:
+                    return "failed"
+                return "ok"
+            completed[comm.rank] = worker_loop(comm, None, None, run=flaky)
+            return None
+
+        results = run_ranks(2, spmd)
+        assert results[0] == "failed"
+        # the single worker still completed the 2 healthy tasks
+        assert completed[1] == 2
+
+    def test_max_retries_validation(self):
+        from repro.parallel.comm import CommGroup
+
+        group = CommGroup(2)
+        with pytest.raises(ValueError, match="max_retries"):
+            master_loop(group.comm(0), [], max_retries=0)
+
+    def test_other_workers_finish_tasks_during_retry(self):
+        """Healthy workers keep pulling while a retry is pending."""
+        tasks = task_partition(20, 4)
+        flaky = FlakyRun(fail_voxel=0, n_failures=2)
+
+        def spmd(comm):
+            if comm.rank == 0:
+                return master_loop(comm, tasks, max_retries=3)
+            return worker_loop(comm, None, None, run=flaky)
+
+        results = run_ranks(4, spmd)
+        scores = results[0]
+        assert len(scores) == 20
+        assert sum(results[1:]) == 5  # 5 tasks completed across workers

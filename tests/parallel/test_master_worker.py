@@ -1,0 +1,106 @@
+"""Tests for the master-worker protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core import FCMAConfig, VoxelScores
+from repro.core.pipeline import task_partition
+from repro.parallel.comm import CommGroup, run_ranks
+from repro.parallel.master_worker import (
+    TAG_ERROR,
+    TAG_REQUEST,
+    TAG_RESULT,
+    TAG_STOP,
+    TAG_TASK,
+    TaskFailedError,
+    master_loop,
+    mpi_voxel_selection,
+    worker_loop,
+)
+
+
+def fake_run(dataset, assigned, config):
+    """Deterministic stand-in for run_task: accuracy = voxel / 100."""
+    return VoxelScores(
+        voxels=np.asarray(assigned),
+        accuracies=np.asarray(assigned, dtype=np.float64) / 100.0,
+    )
+
+
+class TestProtocol:
+    def test_master_worker_round_trip(self):
+        tasks = task_partition(17, 5)
+
+        def spmd(comm):
+            if comm.rank == 0:
+                return master_loop(comm, tasks)
+            return worker_loop(comm, dataset=None, config=None, run=fake_run)
+
+        results = run_ranks(3, spmd)
+        scores = results[0]
+        assert len(scores) == 17
+        # sorted by accuracy descending = voxel id descending here
+        assert scores.voxels[0] == 16
+        # workers completed all tasks between them
+        assert results[1] + results[2] == len(tasks)
+
+    def test_single_worker_gets_everything(self):
+        tasks = task_partition(9, 4)
+
+        def spmd(comm):
+            if comm.rank == 0:
+                return master_loop(comm, tasks)
+            return worker_loop(comm, None, None, run=fake_run)
+
+        results = run_ranks(2, spmd)
+        assert results[1] == 3
+
+    def test_many_workers_few_tasks(self):
+        tasks = task_partition(4, 4)  # single task
+
+        def spmd(comm):
+            if comm.rank == 0:
+                return master_loop(comm, tasks)
+            return worker_loop(comm, None, None, run=fake_run)
+
+        results = run_ranks(5, spmd)
+        assert sum(results[1:]) == 1
+
+    def test_master_on_wrong_rank(self):
+        group = CommGroup(2)
+        with pytest.raises(ValueError, match="rank 0"):
+            master_loop(group.comm(1), [])
+
+    def test_worker_on_rank0(self):
+        group = CommGroup(2)
+        with pytest.raises(ValueError, match="rank 0"):
+            worker_loop(group.comm(0), None, None)
+
+    def test_master_requires_workers(self):
+        group = CommGroup(1)
+        with pytest.raises(ValueError, match="worker"):
+            master_loop(group.comm(0), [])
+
+    def test_tags_distinct(self):
+        assert len({TAG_REQUEST, TAG_TASK, TAG_RESULT, TAG_STOP, TAG_ERROR}) == 5
+
+
+class TestEndToEnd:
+    def test_matches_serial(self, tiny_dataset, fast_fcma_config):
+        from repro.parallel.executor import serial_voxel_selection
+
+        serial = serial_voxel_selection(tiny_dataset, fast_fcma_config)
+        via_mpi = mpi_voxel_selection(tiny_dataset, fast_fcma_config, n_workers=3)
+        np.testing.assert_array_equal(serial.voxels, via_mpi.voxels)
+        np.testing.assert_allclose(serial.accuracies, via_mpi.accuracies)
+
+    def test_explicit_voxel_subset(self, tiny_dataset, fast_fcma_config):
+        voxels = np.array([2, 4, 8, 16])
+        scores = mpi_voxel_selection(
+            tiny_dataset, fast_fcma_config, n_workers=2, voxels=voxels
+        )
+        assert set(scores.voxels.tolist()) == {2, 4, 8, 16}
+
+    def test_bad_worker_count(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            mpi_voxel_selection(tiny_dataset, n_workers=0)

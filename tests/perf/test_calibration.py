@@ -1,0 +1,91 @@
+"""Tests for the calibration registry."""
+
+import pytest
+
+from repro.hw import E5_2670, PHI_5110P
+from repro.perf.base import arch_key, calibration_for
+from repro.perf.calibration import CALIBRATION, KernelCalibration, get_calibration
+
+
+class TestRegistry:
+    def test_all_knc_kernels_present(self):
+        for kid in (
+            "matmul/ours/corr", "matmul/ours/syrk",
+            "matmul/mkl/corr", "matmul/mkl/syrk",
+            "norm/baseline", "norm/separated", "norm/merged",
+            "svm/libsvm", "svm/libsvm-opt", "svm/phisvm",
+        ):
+            assert kid in CALIBRATION
+
+    def test_unknown_id_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="known:"):
+            get_calibration("matmul/banana")
+
+    def test_arch_override_resolves(self):
+        base = get_calibration("matmul/mkl/corr")
+        xeon = get_calibration("matmul/mkl/corr", arch="xeon")
+        assert xeon is not base
+        assert xeon.vi != base.vi
+
+    def test_missing_override_falls_back(self):
+        base = get_calibration("matmul/ours/corr")
+        same = get_calibration("matmul/ours/corr", arch="sparc")
+        assert same is base
+
+
+class TestPinnedMeasurements:
+    """The paper's measured VI values, pinned (provenance: Tables 1/6/8)."""
+
+    def test_matmul_vi(self):
+        assert get_calibration("matmul/ours/corr").vi == 16.0
+        assert get_calibration("matmul/mkl/corr").vi == 3.6
+
+    def test_svm_vi(self):
+        assert get_calibration("svm/libsvm").vi == 1.9
+        assert get_calibration("svm/libsvm-opt").vi == 7.3
+        assert get_calibration("svm/phisvm").vi == 9.8
+
+    def test_norm_vi(self):
+        assert get_calibration("norm/baseline").vi == 8.5
+
+    def test_refs_per_flop_from_table6(self):
+        # 9.97e9 / 193.6e9 and 34.86e9 / 193.6e9.
+        assert get_calibration("matmul/ours/corr").refs_per_flop == pytest.approx(
+            0.0515, abs=1e-3
+        )
+        assert get_calibration("matmul/mkl/corr").refs_per_flop == pytest.approx(
+            0.18, abs=5e-3
+        )
+
+    def test_xeon_vi_capped_at_avx_width(self):
+        for kid in CALIBRATION:
+            if kid.endswith("@xeon") and kid.startswith("matmul"):
+                assert CALIBRATION[kid].vi <= E5_2670.vpu_width_sp
+
+
+class TestValidation:
+    def test_negative_vi(self):
+        with pytest.raises(ValueError):
+            KernelCalibration(vi=0)
+
+    def test_bad_hiding(self):
+        with pytest.raises(ValueError):
+            KernelCalibration(vi=1, latency_hiding=2.0)
+
+    def test_negative_refs(self):
+        with pytest.raises(ValueError):
+            KernelCalibration(vi=1, refs_per_flop=-1)
+
+
+class TestArchKey:
+    def test_phi_is_base(self):
+        assert arch_key(PHI_5110P) is None
+
+    def test_xeon_key(self):
+        assert arch_key(E5_2670) == "xeon"
+
+    def test_calibration_for_dispatches(self):
+        knc = calibration_for("svm/libsvm", PHI_5110P)
+        xeon = calibration_for("svm/libsvm", E5_2670)
+        assert knc.vi == 1.9
+        assert xeon.vi != knc.vi

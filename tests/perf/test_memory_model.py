@@ -1,0 +1,60 @@
+"""Tests for the device-memory footprint model (Section 3.3.3)."""
+
+import pytest
+
+from repro.data import ATTENTION, FACE_SCENE
+from repro.hw import PHI_5110P
+from repro.perf.memory_model import max_resident_voxels, task_memory
+
+
+class TestFootprints:
+    def test_baseline_240_voxels_blows_the_paper_figure(self):
+        """Section 3.3.3: 240 voxels' correlation vectors ~ 8.3 GB; the
+        raw vectors alone are ~7.2 GB, beyond the 6 GB budget either way."""
+        fp = task_memory(FACE_SCENE, 240, "baseline")
+        assert 7.0 < fp.total_gb < 8.6
+        assert fp.total_bytes > PHI_5110P.usable_dram_bytes
+
+    def test_optimized_240_voxels_fits_easily(self):
+        fp = task_memory(FACE_SCENE, 240, "optimized")
+        assert fp.total_bytes < PHI_5110P.usable_dram_bytes / 3
+
+    def test_optimized_dominated_by_portion_not_task_size(self):
+        small = task_memory(FACE_SCENE, 120, "optimized")
+        large = task_memory(FACE_SCENE, 480, "optimized")
+        # correlation slab identical; only kernels grow
+        assert large.correlation_bytes == small.correlation_bytes
+        assert large.kernel_bytes == 4 * small.kernel_bytes
+
+    def test_components_positive(self):
+        fp = task_memory(ATTENTION, 60, "baseline")
+        assert fp.input_bytes > 0
+        assert fp.correlation_bytes > fp.kernel_bytes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            task_memory(FACE_SCENE, 0)
+        with pytest.raises(ValueError):
+            task_memory(FACE_SCENE, 10, "hybrid")
+        with pytest.raises(ValueError):
+            task_memory(FACE_SCENE, 10, portion_voxels=0)
+
+
+class TestMaxResident:
+    def test_baseline_limits_match_paper_regime(self):
+        """The memory wall: ~200 face-scene voxels max, ~100 attention."""
+        fs = max_resident_voxels(FACE_SCENE, PHI_5110P, "baseline")
+        att = max_resident_voxels(ATTENTION, PHI_5110P, "baseline")
+        assert 150 <= fs <= 230
+        assert 80 <= att <= 120
+        # Both below the 240 threads the SVM stage wants to fill:
+        assert fs < 240 and att < 240
+
+    def test_optimized_exceeds_thread_count(self):
+        for spec in (FACE_SCENE, ATTENTION):
+            assert max_resident_voxels(spec, PHI_5110P, "optimized") >= 240
+
+    def test_monotone_in_budget(self):
+        fs_base = max_resident_voxels(FACE_SCENE, PHI_5110P, "baseline")
+        fs_opt = max_resident_voxels(FACE_SCENE, PHI_5110P, "optimized")
+        assert fs_opt > fs_base

@@ -1,0 +1,57 @@
+"""Tests for the roofline helpers."""
+
+import pytest
+
+from repro.data import FACE_SCENE
+from repro.hw import PHI_5110P, PerfCounters
+from repro.perf.matmul_model import model_correlation_matmul, model_kernel_syrk
+from repro.perf.roofline import attainable_gflops, roofline_point
+
+
+class TestAttainable:
+    def test_bandwidth_region(self):
+        # AI = 1 flop/byte on the Phi: 150 GFLOPS << peak.
+        assert attainable_gflops(PHI_5110P, 1.0) == pytest.approx(150.0)
+
+    def test_compute_region(self):
+        assert attainable_gflops(PHI_5110P, 1000.0) == pytest.approx(
+            PHI_5110P.peak_sp_gflops
+        )
+
+    def test_ridge_point(self):
+        ridge = PHI_5110P.peak_sp_gflops / PHI_5110P.mem_bandwidth_gbs
+        below = attainable_gflops(PHI_5110P, ridge * 0.99)
+        assert below < PHI_5110P.peak_sp_gflops
+
+    def test_negative_ai(self):
+        with pytest.raises(ValueError):
+            attainable_gflops(PHI_5110P, -1.0)
+
+
+class TestRooflinePoint:
+    def test_corr_memory_bound_syrk_not(self):
+        """The paper's asymmetry: corr (write-heavy) sits far left of
+        the syrk on the roofline."""
+        corr = model_correlation_matmul(FACE_SCENE, 120, PHI_5110P, "ours")
+        syrk = model_kernel_syrk(FACE_SCENE, 120, PHI_5110P, "ours")
+        p_corr = roofline_point(PHI_5110P, corr.counters, corr.seconds)
+        p_syrk = roofline_point(PHI_5110P, syrk.counters, syrk.seconds)
+        assert p_corr.arithmetic_intensity < p_syrk.arithmetic_intensity
+        assert p_syrk.achieved_gflops > p_corr.achieved_gflops
+
+    def test_efficiency_bounded(self):
+        syrk = model_kernel_syrk(FACE_SCENE, 120, PHI_5110P, "ours")
+        p = roofline_point(PHI_5110P, syrk.counters, syrk.seconds)
+        assert p.efficiency is not None
+        assert 0.0 < p.efficiency <= 1.05
+
+    def test_no_traffic_is_compute_bound(self):
+        p = roofline_point(PHI_5110P, PerfCounters(flops=1e9))
+        assert not p.memory_bound
+        assert p.attainable_gflops == PHI_5110P.peak_sp_gflops
+        assert p.achieved_gflops is None
+        assert p.efficiency is None
+
+    def test_bad_elapsed(self):
+        with pytest.raises(ValueError):
+            roofline_point(PHI_5110P, PerfCounters(flops=1.0), 0.0)

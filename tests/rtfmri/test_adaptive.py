@@ -1,0 +1,51 @@
+"""Tests for adaptive (retraining) closed-loop mode."""
+
+import pytest
+
+from repro.core import FCMAConfig
+from repro.data import SyntheticConfig, generate_dataset
+from repro.rtfmri import ClosedLoopSession, ScannerSimulator
+
+
+def make_session(retrain_every, epochs=20, seed=77):
+    cfg = SyntheticConfig(
+        n_voxels=100, n_subjects=1, epochs_per_subject=epochs, epoch_length=12,
+        n_informative=16, n_groups=4, seed=seed, name="adaptive",
+    )
+    ds = generate_dataset(cfg)
+    return ClosedLoopSession(
+        ScannerSimulator(ds, 0),
+        FCMAConfig(online_folds=4, target_block=64),
+        training_epochs=8,
+        top_k=12,
+        retrain_every=retrain_every,
+    )
+
+
+class TestAdaptiveLoop:
+    def test_retrain_count(self):
+        session = make_session(retrain_every=4)
+        result = session.run()
+        # 12 feedback epochs -> retrains after epochs 4, 8, 12.
+        assert session.retrain_count == 3
+        assert len(result.events) == 12
+
+    def test_no_retraining_by_default(self):
+        session = make_session(retrain_every=None)
+        session.run()
+        assert session.retrain_count == 0
+
+    def test_adaptive_not_worse_than_static(self):
+        static = make_session(retrain_every=None).run()
+        adaptive = make_session(retrain_every=4).run()
+        assert adaptive.feedback_accuracy >= static.feedback_accuracy - 0.15
+
+    def test_final_model_trained_on_more_epochs(self):
+        session = make_session(retrain_every=4)
+        result = session.run()
+        # last retrain saw 8 training + 12 feedback epochs
+        assert result.training.classifier.train_features.shape[0] == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="retrain_every"):
+            make_session(retrain_every=0)

@@ -1,0 +1,108 @@
+"""Tests for epoch assembly from a volume stream."""
+
+import numpy as np
+import pytest
+
+from repro.rtfmri import EpochAssembler
+from repro.rtfmri.scanner import Volume
+
+
+def vol(t, condition, value=None):
+    data = np.full(4, float(value if value is not None else t), dtype=np.float32)
+    return Volume(t=t, time_s=float(t), data=data, condition=condition)
+
+
+class TestAssembly:
+    def test_epoch_completes_on_gap(self):
+        a = EpochAssembler()
+        assert a.push(vol(0, 1)) is None
+        assert a.push(vol(1, 1)) is None
+        assert a.push(vol(2, 1)) is None
+        done = a.push(vol(3, None))
+        assert done is not None
+        assert done.condition == 1
+        assert done.start_t == 0
+        assert done.window.shape == (4, 3)
+        np.testing.assert_array_equal(done.window[0], [0, 1, 2])
+
+    def test_epoch_completes_on_label_change(self):
+        a = EpochAssembler()
+        a.push(vol(0, 0))
+        a.push(vol(1, 0))
+        done = a.push(vol(2, 1))
+        assert done is not None
+        assert done.condition == 0
+        assert done.window.shape == (4, 2)
+        # the boundary volume opened the next epoch
+        next_done = a.push(vol(3, None))
+        assert next_done is None  # 1-volume fragment, below min_length
+        assert a.discarded == 1
+
+    def test_flush_emits_trailing_epoch(self):
+        a = EpochAssembler()
+        a.push(vol(0, 1))
+        a.push(vol(1, 1))
+        done = a.flush()
+        assert done is not None
+        assert done.window.shape == (4, 2)
+
+    def test_flush_empty_returns_none(self):
+        assert EpochAssembler().flush() is None
+
+    def test_short_fragments_discarded(self):
+        a = EpochAssembler(min_length=3)
+        a.push(vol(0, 0))
+        a.push(vol(1, 0))
+        assert a.push(vol(2, None)) is None
+        assert a.discarded == 1
+        assert a.epochs_emitted == 0
+
+    def test_indices_sequential(self):
+        a = EpochAssembler()
+        epochs = []
+        stream = [vol(0, 0), vol(1, 0), vol(2, None), vol(3, 1), vol(4, 1), vol(5, None)]
+        for v in stream:
+            e = a.push(v)
+            if e:
+                epochs.append(e)
+        assert [e.index for e in epochs] == [0, 1]
+        assert [e.condition for e in epochs] == [0, 1]
+        assert a.epochs_emitted == 2
+
+    def test_gap_runs_dont_emit_twice(self):
+        a = EpochAssembler()
+        a.push(vol(0, 0))
+        a.push(vol(1, 0))
+        assert a.push(vol(2, None)) is not None
+        assert a.push(vol(3, None)) is None
+
+    def test_min_length_validation(self):
+        with pytest.raises(ValueError):
+            EpochAssembler(min_length=1)
+
+
+class TestRoundTripWithScanner:
+    def test_assembled_epochs_match_dataset(self, tiny_dataset):
+        """Streaming + assembly reconstructs exactly the dataset's
+        labeled epochs for the subject."""
+        from repro.rtfmri import ScannerSimulator
+
+        scanner = ScannerSimulator(tiny_dataset, subject=0)
+        a = EpochAssembler()
+        completed = []
+        for v in scanner.stream():
+            e = a.push(v)
+            if e:
+                completed.append(e)
+        tail = a.flush()
+        if tail:
+            completed.append(tail)
+
+        expected = list(tiny_dataset.epochs.for_subject(0))
+        assert len(completed) == len(expected)
+        for got, want in zip(completed, expected):
+            assert got.condition == want.condition
+            assert got.start_t == want.start
+            np.testing.assert_array_equal(
+                got.window, tiny_dataset.epoch_matrix(want)
+            )

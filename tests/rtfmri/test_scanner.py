@@ -1,0 +1,83 @@
+"""Tests for the scanner simulator."""
+
+import numpy as np
+import pytest
+
+from repro.data import Epoch, EpochTable, FMRIDataset
+from repro.rtfmri import ScannerSimulator
+
+
+def make_dataset(gap=2):
+    epochs = EpochTable.regular(2, 4, epoch_length=5, gap=gap)
+    scan_len = epochs.scan_length_required()
+    rng = np.random.default_rng(0)
+    data = {
+        s: rng.standard_normal((6, scan_len)).astype(np.float32)
+        for s in range(2)
+    }
+    return FMRIDataset(data, epochs)
+
+
+class TestStreaming:
+    def test_volumes_in_order(self):
+        ds = make_dataset()
+        scanner = ScannerSimulator(ds, subject=0)
+        ts = [v.t for v in scanner.stream()]
+        assert ts == list(range(scanner.n_volumes))
+
+    def test_volume_data_matches_scan(self):
+        ds = make_dataset()
+        scanner = ScannerSimulator(ds, subject=1)
+        vols = list(scanner.stream())
+        np.testing.assert_array_equal(vols[3].data, ds.subject_data(1)[:, 3])
+
+    def test_time_stamps(self):
+        ds = make_dataset()
+        scanner = ScannerSimulator(ds, subject=0, tr_seconds=2.0)
+        vols = list(scanner.stream(stop=3))
+        assert [v.time_s for v in vols] == [0.0, 2.0, 4.0]
+
+    def test_condition_markers(self):
+        ds = make_dataset(gap=2)
+        scanner = ScannerSimulator(ds, subject=0)
+        vols = list(scanner.stream())
+        # first epoch occupies t in [0, 5) with condition 0
+        assert all(vols[t].condition == 0 for t in range(5))
+        # gap volumes are unlabeled
+        assert vols[5].condition is None
+        assert vols[6].condition is None
+        # second epoch (condition 1) starts at t=7
+        assert vols[7].condition == 1
+
+    def test_window_slicing(self):
+        ds = make_dataset()
+        scanner = ScannerSimulator(ds, subject=0)
+        vols = list(scanner.stream(start=2, stop=5))
+        assert [v.t for v in vols] == [2, 3, 4]
+
+    def test_bad_window(self):
+        ds = make_dataset()
+        scanner = ScannerSimulator(ds, subject=0)
+        with pytest.raises(ValueError):
+            list(scanner.stream(start=5, stop=2))
+
+    def test_unknown_subject(self):
+        with pytest.raises(KeyError):
+            ScannerSimulator(make_dataset(), subject=9)
+
+    def test_bad_tr(self):
+        with pytest.raises(ValueError):
+            ScannerSimulator(make_dataset(), subject=0, tr_seconds=0)
+
+    def test_overlapping_epochs_rejected(self):
+        epochs = EpochTable([Epoch(0, 0, 0, 5), Epoch(0, 1, 3, 5)])
+        data = {0: np.zeros((4, 10), dtype=np.float32)}
+        ds = FMRIDataset(data, epochs)
+        with pytest.raises(ValueError, match="overlapping"):
+            ScannerSimulator(ds, subject=0)
+
+    def test_properties(self):
+        ds = make_dataset()
+        scanner = ScannerSimulator(ds, subject=0)
+        assert scanner.n_voxels == 6
+        assert scanner.epochs.n_conditions == 2

@@ -1,0 +1,95 @@
+"""Tests for grouped/LOSO cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.svm import PhiSVM, linear_kernel
+from repro.svm.cross_validation import (
+    grouped_cross_validation,
+    kfold_ids,
+    loso_cross_validation,
+)
+
+
+def grouped_problem(n_groups=4, per_group=15, d=8, seed=0, noise=0.2):
+    rng = np.random.default_rng(seed)
+    n = n_groups * per_group
+    x = rng.standard_normal((n, d)).astype(np.float32)
+    w = rng.standard_normal(d)
+    labels = (x @ w > 0).astype(int)
+    x += noise * rng.standard_normal((n, d)).astype(np.float32)
+    groups = np.repeat(np.arange(n_groups), per_group)
+    return linear_kernel(x), labels, groups
+
+
+class TestGroupedCV:
+    def test_fold_accounting(self):
+        k, labels, groups = grouped_problem()
+        res = grouped_cross_validation(PhiSVM(), k, labels, groups)
+        assert res.folds.size == 4
+        np.testing.assert_array_equal(res.fold_sizes, [15] * 4)
+        assert 0.0 <= res.accuracy <= 1.0
+        assert res.total_iterations > 0
+
+    def test_accuracy_weighted_by_fold_size(self):
+        k, labels, groups = grouped_problem()
+        # unbalanced folds
+        groups = np.concatenate([np.zeros(45), np.ones(15)]).astype(int)
+        res = grouped_cross_validation(PhiSVM(), k, labels, groups)
+        manual = (res.fold_accuracies * res.fold_sizes).sum() / 60
+        assert res.accuracy == pytest.approx(manual)
+
+    def test_separable_data_high_accuracy(self):
+        k, labels, groups = grouped_problem(noise=0.05, seed=1)
+        res = grouped_cross_validation(PhiSVM(), k, labels, groups)
+        assert res.accuracy > 0.85
+
+    def test_degenerate_training_fold_scores_zero(self):
+        """If removing a fold leaves one class, that fold gets 0."""
+        rng = np.random.default_rng(2)
+        n = 20
+        x = rng.standard_normal((n, 4)).astype(np.float32)
+        labels = np.zeros(n, dtype=int)
+        labels[:10] = 1
+        # fold 0 holds all of class 1 plus nothing else
+        groups = np.where(labels == 1, 0, 1)
+        res = grouped_cross_validation(PhiSVM(), linear_kernel(x), labels, groups)
+        assert (res.fold_accuracies == 0.0).all()
+
+    def test_validation_errors(self):
+        k, labels, groups = grouped_problem()
+        with pytest.raises(ValueError, match="square"):
+            grouped_cross_validation(PhiSVM(), k[:, :-1], labels, groups)
+        with pytest.raises(ValueError, match="match"):
+            grouped_cross_validation(PhiSVM(), k, labels[:-1], groups[:-1])
+        with pytest.raises(ValueError, match="2 folds"):
+            grouped_cross_validation(PhiSVM(), k, labels, np.zeros_like(groups))
+
+    def test_loso_alias(self):
+        k, labels, groups = grouped_problem(seed=3)
+        a = loso_cross_validation(PhiSVM(tol=1e-4), k, labels, groups)
+        b = grouped_cross_validation(PhiSVM(tol=1e-4), k, labels, groups)
+        np.testing.assert_allclose(a.fold_accuracies, b.fold_accuracies)
+
+
+class TestKFold:
+    def test_balanced_contiguous(self):
+        ids = kfold_ids(12, 4)
+        np.testing.assert_array_equal(ids, np.repeat([0, 1, 2, 3], 3))
+
+    def test_uneven_sizes_differ_by_one(self):
+        ids = kfold_ids(10, 4)
+        counts = np.bincount(ids)
+        assert counts.max() - counts.min() <= 1
+        assert counts.sum() == 10
+
+    def test_contiguity(self):
+        ids = kfold_ids(17, 5)
+        # non-decreasing = contiguous blocks
+        assert (np.diff(ids) >= 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kfold_ids(10, 1)
+        with pytest.raises(ValueError):
+            kfold_ids(3, 5)

@@ -1,0 +1,56 @@
+"""Tests for the C grid search."""
+
+import numpy as np
+import pytest
+
+from repro.svm import PhiSVM, default_c_grid, linear_kernel, select_c
+
+
+def problem(n=60, d=8, seed=0, noise=0.4):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, d)).astype(np.float32)
+    w = rng.standard_normal(d)
+    labels = (x @ w > 0).astype(int)
+    x += noise * rng.standard_normal((n, d)).astype(np.float32)
+    folds = np.repeat(np.arange(4), n // 4)
+    return linear_kernel(x), labels, folds
+
+
+class TestDefaults:
+    def test_grid_is_log_spaced_and_positive(self):
+        grid = default_c_grid()
+        assert (grid > 0).all()
+        ratios = grid[1:] / grid[:-1]
+        np.testing.assert_allclose(ratios, 4.0)
+
+
+class TestSelect:
+    def test_structure(self):
+        kernel, labels, folds = problem()
+        res = select_c(lambda c: PhiSVM(c=c), kernel, labels, folds,
+                       c_values=[0.1, 1.0, 10.0])
+        assert res.c_values.shape == (3,)
+        assert res.accuracies.shape == (3,)
+        assert res.best_c in (0.1, 1.0, 10.0)
+        assert res.best_accuracy == res.accuracies.max()
+
+    def test_best_reasonable_on_separable(self):
+        kernel, labels, folds = problem(noise=0.1, seed=2)
+        res = select_c(lambda c: PhiSVM(c=c), kernel, labels, folds)
+        assert res.best_accuracy > 0.85
+
+    def test_tie_prefers_smaller_c(self):
+        # A fully separable problem where several Cs reach 1.0.
+        kernel, labels, folds = problem(noise=0.0, seed=3)
+        res = select_c(lambda c: PhiSVM(c=c), kernel, labels, folds,
+                       c_values=[1.0, 4.0, 16.0])
+        ties = res.c_values[res.accuracies == res.best_accuracy]
+        assert res.best_c == ties.min()
+
+    def test_validation(self):
+        kernel, labels, folds = problem()
+        with pytest.raises(ValueError):
+            select_c(lambda c: PhiSVM(c=c), kernel, labels, folds, c_values=[])
+        with pytest.raises(ValueError):
+            select_c(lambda c: PhiSVM(c=c), kernel, labels, folds,
+                     c_values=[1.0, -2.0])

@@ -1,0 +1,119 @@
+"""Tests for kernel functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.svm.kernels import (
+    linear_kernel,
+    polynomial_kernel,
+    rbf_kernel,
+    validate_kernel_matrix,
+)
+
+
+def data(n=10, d=4, seed=0):
+    return np.random.default_rng(seed).standard_normal((n, d))
+
+
+class TestLinear:
+    def test_gram_matrix(self):
+        x = data()
+        np.testing.assert_allclose(linear_kernel(x), x @ x.T)
+
+    def test_cross_kernel(self):
+        x, z = data(6), data(4, seed=1)
+        np.testing.assert_allclose(linear_kernel(x, z), x @ z.T)
+
+    def test_dtype_preserved(self):
+        x = data().astype(np.float32)
+        assert linear_kernel(x).dtype == np.float32
+
+    def test_feature_mismatch(self):
+        with pytest.raises(ValueError, match="features"):
+            linear_kernel(data(5, 4), data(5, 3))
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError, match="2D"):
+            linear_kernel(np.zeros(5))
+
+
+class TestPolynomial:
+    def test_degree_one_affine_of_linear(self):
+        x = data()
+        k = polynomial_kernel(x, degree=1, gamma=1.0, coef0=0.0)
+        np.testing.assert_allclose(k, linear_kernel(x))
+
+    def test_default_gamma(self):
+        x = data(5, 8)
+        k = polynomial_kernel(x, degree=2, coef0=0.0)
+        np.testing.assert_allclose(k, (x @ x.T / 8) ** 2)
+
+    def test_bad_degree(self):
+        with pytest.raises(ValueError):
+            polynomial_kernel(data(), degree=0)
+
+
+class TestRBF:
+    def test_diagonal_ones(self):
+        k = rbf_kernel(data())
+        np.testing.assert_allclose(np.diagonal(k), 1.0)
+
+    def test_range(self):
+        k = rbf_kernel(data())
+        assert (k > 0).all() and (k <= 1.0 + 1e-12).all()
+
+    def test_identical_points(self):
+        x = np.ones((2, 3))
+        np.testing.assert_allclose(rbf_kernel(x), 1.0)
+
+    def test_distance_monotone(self):
+        x = np.array([[0.0], [1.0], [5.0]])
+        k = rbf_kernel(x, gamma=1.0)
+        assert k[0, 1] > k[0, 2]
+
+    def test_bad_gamma(self):
+        with pytest.raises(ValueError):
+            rbf_kernel(data(), gamma=-1.0)
+
+
+class TestValidate:
+    def test_accepts_symmetric(self):
+        k = linear_kernel(data())
+        assert validate_kernel_matrix(k) is k
+
+    def test_rejects_asymmetric(self):
+        k = np.array([[1.0, 2.0], [0.0, 1.0]])
+        with pytest.raises(ValueError, match="symmetric"):
+            validate_kernel_matrix(k)
+
+    def test_rejects_nan(self):
+        k = np.array([[1.0, np.nan], [np.nan, 1.0]])
+        with pytest.raises(ValueError, match="finite"):
+            validate_kernel_matrix(k)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            validate_kernel_matrix(np.zeros((2, 3)))
+
+    def test_float32_syrk_asymmetry_tolerated(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((50, 3000)).astype(np.float32)
+        k = x @ x.T  # float32 accumulation: tiny asymmetry possible
+        validate_kernel_matrix(k)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    x=arrays(
+        np.float64,
+        st.tuples(st.integers(2, 8), st.integers(1, 5)),
+        elements=st.floats(-5, 5),
+    )
+)
+def test_kernels_are_psd(x):
+    """Property: all three kernels produce PSD matrices."""
+    for k in (linear_kernel(x), polynomial_kernel(x, degree=2), rbf_kernel(x)):
+        eigs = np.linalg.eigvalsh((k + k.T) / 2)
+        assert eigs.min() > -1e-6 * max(1.0, abs(eigs).max())

@@ -1,0 +1,133 @@
+"""Tests for the LibSVM-like baseline backend."""
+
+import numpy as np
+import pytest
+
+from repro.svm import LibSVMClassifier, PhiSVM, linear_kernel
+from repro.svm.libsvm_like import CachedLinearKernel, SparseNodes
+
+
+def problem(n=50, d=8, seed=0, noise=0.2):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, d)).astype(np.float32)
+    w = rng.standard_normal(d)
+    labels = (x @ w > 0).astype(int)
+    x += noise * rng.standard_normal((n, d)).astype(np.float32)
+    return x, labels
+
+
+class TestSparseNodes:
+    def test_dense_round_trip(self):
+        x = np.array([[1.0, 0.0, 3.0], [0.0, 0.0, 0.0]])
+        nodes = SparseNodes(x)
+        np.testing.assert_array_equal(nodes.dense_row(0), [1, 0, 3])
+        np.testing.assert_array_equal(nodes.dense_row(1), [0, 0, 0])
+        assert nodes.nnz == 2
+
+    def test_values_double_precision(self):
+        nodes = SparseNodes(np.ones((2, 3), dtype=np.float32))
+        _, vals = nodes.row_nodes(0)
+        assert vals.dtype == np.float64
+
+    def test_csr_matches(self):
+        x, _ = problem(10, 5)
+        nodes = SparseNodes(x)
+        np.testing.assert_allclose(nodes.to_csr().toarray(), x, rtol=1e-6)
+
+    def test_threshold_drops_small(self):
+        x = np.array([[0.5, 1e-9]])
+        nodes = SparseNodes(x, threshold=1e-6)
+        assert nodes.nnz == 1
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            SparseNodes(np.zeros(5))
+
+
+class TestCachedKernel:
+    def test_rows_match_dense(self):
+        x, _ = problem(20, 6)
+        oracle = CachedLinearKernel(SparseNodes(x))
+        dense = x.astype(np.float64) @ x.astype(np.float64).T
+        for i in (0, 7, 19):
+            np.testing.assert_allclose(oracle.row(i), dense[i], rtol=1e-6)
+        np.testing.assert_allclose(oracle.diagonal(), np.diagonal(dense), rtol=1e-6)
+
+    def test_cache_hit_counting(self):
+        x, _ = problem(10, 4)
+        oracle = CachedLinearKernel(SparseNodes(x))
+        oracle.row(3)
+        oracle.row(3)
+        assert oracle.misses == 1
+        assert oracle.hits == 1
+
+    def test_lru_eviction(self):
+        x, _ = problem(10, 4)
+        # cache sized for exactly 2 rows
+        oracle = CachedLinearKernel(SparseNodes(x), cache_bytes=2 * 10 * 8)
+        oracle.row(0)
+        oracle.row(1)
+        oracle.row(2)  # evicts row 0
+        oracle.row(0)  # miss again
+        assert oracle.misses == 4
+
+    def test_bad_cache_size(self):
+        x, _ = problem(4, 2)
+        with pytest.raises(ValueError):
+            CachedLinearKernel(SparseNodes(x), cache_bytes=0)
+
+
+class TestClassifier:
+    def test_fit_converges_and_classifies(self):
+        x, labels = problem()
+        model = LibSVMClassifier().fit(x, labels)
+        assert model.converged
+        k = linear_kernel(x.astype(np.float64))
+        assert model.accuracy(k, labels) >= 0.95
+
+    def test_fit_kernel_matches_fit(self):
+        """On-demand cached rows and precomputed kernel must agree."""
+        x, labels = problem(seed=3)
+        clf = LibSVMClassifier()
+        m1 = clf.fit(x, labels)
+        k = linear_kernel(x.astype(np.float64))
+        m2 = clf.fit_kernel(k, labels)
+        assert abs(m1.rho - m2.rho) < 1e-6
+        assert abs(m1.objective - m2.objective) < 1e-6
+
+    def test_agrees_with_phisvm(self):
+        """Same dual problem -> same objective across backends."""
+        x, labels = problem(seed=4)
+        k32 = linear_kernel(x)
+        lib = LibSVMClassifier(tol=1e-5).fit_kernel(k32.astype(np.float64), labels)
+        phi = PhiSVM(tol=1e-5).fit_kernel(k32, labels)
+        assert abs(lib.objective - phi.objective) < 1e-2 * max(1, abs(lib.objective))
+        k = linear_kernel(x.astype(np.float64))
+        assert lib.accuracy(k, labels) == phi.accuracy(k32, labels)
+
+    def test_single_precision_variant(self):
+        x, labels = problem(seed=5)
+        clf = LibSVMClassifier(single_precision=True)
+        model = clf.fit_kernel(linear_kernel(x), labels)
+        assert model.dual_coef.dtype == np.float32
+        assert "float32" in repr(clf)
+
+    def test_double_precision_default(self):
+        x, labels = problem(seed=6)
+        model = LibSVMClassifier().fit_kernel(
+            linear_kernel(x).astype(np.float64), labels
+        )
+        assert model.dual_coef.dtype == np.float64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LibSVMClassifier(c=0)
+        with pytest.raises(ValueError):
+            LibSVMClassifier(tol=-1)
+
+    def test_last_kernel_exposed(self):
+        x, labels = problem(10, 4, seed=7)
+        clf = LibSVMClassifier()
+        clf.fit(x, labels)
+        assert clf.last_kernel is not None
+        assert clf.last_kernel.misses > 0

@@ -1,0 +1,100 @@
+"""Tests for SVMModel and label encoding."""
+
+import numpy as np
+import pytest
+
+from repro.svm import PhiSVM, linear_kernel
+from repro.svm.model import SVMModel, encode_labels
+
+
+def trained_model(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 6)).astype(np.float32)
+    w = rng.standard_normal(6)
+    labels = np.where(x @ w > 0, 3, 7)  # arbitrary class ids
+    model = PhiSVM(c=1.0).fit(x, labels)
+    return model, x, labels
+
+
+class TestEncodeLabels:
+    def test_two_classes_sorted(self):
+        y, classes = encode_labels(np.array([5, 2, 5, 2]))
+        assert classes == (2, 5)
+        np.testing.assert_array_equal(y, [1, -1, 1, -1])
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="2 classes"):
+            encode_labels(np.array([1, 1, 1]))
+
+    def test_three_classes_rejected(self):
+        with pytest.raises(ValueError, match="2 classes"):
+            encode_labels(np.array([1, 2, 3]))
+
+
+class TestPrediction:
+    def test_train_accuracy_high(self):
+        model, x, labels = trained_model()
+        k = linear_kernel(x)
+        assert model.accuracy(k, labels) >= 0.95
+
+    def test_predict_returns_original_labels(self):
+        model, x, labels = trained_model()
+        preds = model.predict(linear_kernel(x))
+        assert set(np.unique(preds)).issubset({3, 7})
+
+    def test_decision_function_sign_matches_predict(self):
+        model, x, labels = trained_model()
+        k = linear_kernel(x)
+        scores = model.decision_function(k)
+        preds = model.predict(k)
+        np.testing.assert_array_equal(preds == 7, scores > 0)
+
+    def test_wrong_block_width(self):
+        model, x, _ = trained_model()
+        with pytest.raises(ValueError, match="columns"):
+            model.decision_function(np.zeros((2, 5)))
+
+    def test_accuracy_shape_mismatch(self):
+        model, x, labels = trained_model()
+        with pytest.raises(ValueError, match="labels shape"):
+            model.accuracy(linear_kernel(x), labels[:-1])
+
+    def test_single_row_block(self):
+        model, x, labels = trained_model()
+        block = linear_kernel(x[:1], x)
+        assert model.predict(block).shape == (1,)
+
+
+class TestLinearWeights:
+    def test_weights_reproduce_decision(self):
+        model, x, labels = trained_model()
+        w = model.linear_weights(x)
+        via_weights = x @ w - model.rho
+        via_kernel = model.decision_function(linear_kernel(x))
+        np.testing.assert_allclose(via_weights, via_kernel, rtol=1e-3, atol=1e-3)
+
+    def test_wrong_train_matrix(self):
+        model, x, _ = trained_model()
+        with pytest.raises(ValueError, match="rows"):
+            model.linear_weights(x[:-1])
+
+
+class TestModelProperties:
+    def test_support_mask(self):
+        model, _, _ = trained_model()
+        assert model.n_support == model.support_mask.sum()
+        assert 0 < model.n_support <= model.n_train
+
+    def test_validation_dual_coef_shape(self):
+        with pytest.raises(ValueError, match="1D"):
+            SVMModel(
+                dual_coef=np.zeros((2, 2)), rho=0.0, classes=(0, 1), c=1.0,
+                iterations=0, converged=True, objective=0.0,
+            )
+
+    def test_validation_distinct_classes(self):
+        with pytest.raises(ValueError, match="distinct"):
+            SVMModel(
+                dual_coef=np.zeros(3), rho=0.0, classes=(1, 1), c=1.0,
+                iterations=0, converged=True, objective=0.0,
+            )

@@ -1,0 +1,90 @@
+"""Tests for one-vs-one multiclass classification."""
+
+import numpy as np
+import pytest
+
+from repro.svm import PhiSVM, as_multiclass, linear_kernel
+from repro.svm.model import SVMModel
+from repro.svm.multiclass import OneVsOneModel
+
+
+def three_class_problem(n_per=20, d=6, seed=0, sep=3.0):
+    rng = np.random.default_rng(seed)
+    centers = sep * rng.standard_normal((3, d))
+    x = np.concatenate(
+        [centers[k] + rng.standard_normal((n_per, d)) for k in range(3)]
+    ).astype(np.float32)
+    labels = np.repeat([0, 1, 2], n_per)
+    return linear_kernel(x), labels
+
+
+class TestBinaryPassthrough:
+    def test_two_classes_return_plain_model(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((30, 4)).astype(np.float32)
+        labels = (x[:, 0] > 0).astype(int)
+        model = as_multiclass(PhiSVM()).fit_kernel(linear_kernel(x), labels)
+        assert isinstance(model, SVMModel)
+
+
+class TestThreeClasses:
+    def test_ovo_model_structure(self):
+        kernel, labels = three_class_problem()
+        model = as_multiclass(PhiSVM()).fit_kernel(kernel, labels)
+        assert isinstance(model, OneVsOneModel)
+        assert model.classes == (0, 1, 2)
+        assert set(model.machines) == {(0, 1), (0, 2), (1, 2)}
+        assert model.converged
+        assert model.iterations > 0
+
+    def test_separable_train_accuracy(self):
+        kernel, labels = three_class_problem(sep=5.0)
+        model = as_multiclass(PhiSVM()).fit_kernel(kernel, labels)
+        assert model.accuracy(kernel, labels) >= 0.95
+
+    def test_predict_returns_original_labels(self):
+        kernel, labels = three_class_problem()
+        shifted = labels + 10  # classes 10, 11, 12
+        model = as_multiclass(PhiSVM()).fit_kernel(kernel, shifted)
+        preds = model.predict(kernel)
+        assert set(np.unique(preds)).issubset({10, 11, 12})
+
+    def test_test_block_uses_full_training_columns(self):
+        kernel, labels = three_class_problem()
+        model = as_multiclass(PhiSVM()).fit_kernel(kernel, labels)
+        block = kernel[:5]  # 5 test rows vs all training columns
+        assert model.predict(block).shape == (5,)
+
+    def test_wrong_block_width(self):
+        kernel, labels = three_class_problem()
+        model = as_multiclass(PhiSVM()).fit_kernel(kernel, labels)
+        with pytest.raises(ValueError, match="columns"):
+            model.predict(kernel[:, :-1])
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="2 classes"):
+            as_multiclass(PhiSVM()).fit_kernel(np.eye(4), np.zeros(4, int))
+
+
+class TestCrossValidation:
+    def test_grouped_cv_with_three_classes(self):
+        from repro.svm import grouped_cross_validation
+
+        kernel, labels = three_class_problem(n_per=24, sep=4.0, seed=2)
+        folds = np.tile(np.repeat(np.arange(4), 6), 3)
+        res = grouped_cross_validation(
+            as_multiclass(PhiSVM()), kernel, labels, folds
+        )
+        assert res.accuracy > 0.85
+
+    def test_chance_on_random_three_class_labels(self):
+        from repro.svm import grouped_cross_validation
+
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((90, 8)).astype(np.float32)
+        labels = rng.integers(0, 3, 90)
+        folds = np.repeat(np.arange(3), 30)
+        res = grouped_cross_validation(
+            as_multiclass(PhiSVM()), linear_kernel(x), labels, folds
+        )
+        assert res.accuracy < 0.6  # ~1/3 expected

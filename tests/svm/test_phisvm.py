@@ -1,0 +1,106 @@
+"""Tests for PhiSVM."""
+
+import numpy as np
+import pytest
+
+from repro.svm import (
+    AdaptiveSelector,
+    FirstOrderSelector,
+    PhiSVM,
+    SecondOrderSelector,
+    linear_kernel,
+)
+
+
+def problem(n=60, d=10, seed=0, noise=0.3):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, d)).astype(np.float32)
+    w = rng.standard_normal(d)
+    labels = (x @ w > 0).astype(int)
+    x += noise * rng.standard_normal((n, d)).astype(np.float32)
+    return x, labels
+
+
+class TestFit:
+    def test_fit_kernel_float32(self):
+        x, labels = problem()
+        model = PhiSVM().fit_kernel(linear_kernel(x), labels)
+        assert model.dual_coef.dtype == np.float32
+        assert model.converged
+
+    def test_fit_raw_features(self):
+        x, labels = problem()
+        model = PhiSVM().fit(x, labels)
+        assert model.accuracy(linear_kernel(x), labels) >= 0.9
+
+    def test_float64_input_downcast(self):
+        x, labels = problem()
+        k = linear_kernel(x).astype(np.float64)
+        model = PhiSVM().fit_kernel(k, labels)
+        assert model.dual_coef.dtype == np.float32
+
+    def test_adaptive_selector_default(self):
+        clf = PhiSVM()
+        x, labels = problem()
+        clf.fit_kernel(linear_kernel(x), labels)
+        assert isinstance(clf.last_selector, AdaptiveSelector)
+        usage = clf.last_selector.usage
+        assert usage["first"] + usage["second"] > 0
+
+    def test_selector_factory_override(self):
+        clf = PhiSVM(selector_factory=SecondOrderSelector)
+        x, labels = problem()
+        clf.fit_kernel(linear_kernel(x), labels)
+        assert isinstance(clf.last_selector, SecondOrderSelector)
+
+    def test_fresh_selector_per_fit(self):
+        clf = PhiSVM()
+        x, labels = problem()
+        clf.fit_kernel(linear_kernel(x), labels)
+        first = clf.last_selector
+        clf.fit_kernel(linear_kernel(x), labels)
+        assert clf.last_selector is not first
+
+    def test_all_selectors_equivalent_models(self):
+        x, labels = problem(seed=2)
+        k = linear_kernel(x)
+        accs = []
+        for factory in (FirstOrderSelector, SecondOrderSelector, AdaptiveSelector):
+            model = PhiSVM(selector_factory=factory, tol=1e-5).fit_kernel(k, labels)
+            accs.append(model.accuracy(k, labels))
+        assert max(accs) - min(accs) <= 0.05
+
+
+class TestCrossVal:
+    def test_cross_val_accuracy_high_on_separable(self):
+        x, labels = problem(n=80, noise=0.1, seed=3)
+        folds = np.repeat(np.arange(4), 20)
+        acc = PhiSVM().cross_val_accuracy(linear_kernel(x), labels, folds)
+        assert acc >= 0.85
+
+    def test_cross_val_chance_on_random_labels(self):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((80, 10)).astype(np.float32)
+        labels = rng.integers(0, 2, 80)
+        folds = np.repeat(np.arange(4), 20)
+        acc = PhiSVM().cross_val_accuracy(linear_kernel(x), labels, folds)
+        assert acc < 0.75
+
+
+class TestValidation:
+    def test_bad_c(self):
+        with pytest.raises(ValueError):
+            PhiSVM(c=-1)
+
+    def test_bad_tol(self):
+        with pytest.raises(ValueError):
+            PhiSVM(tol=0)
+
+    def test_asymmetric_kernel_rejected(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            PhiSVM().fit_kernel(
+                np.array([[1.0, 5.0], [0.0, 1.0]]), np.array([0, 1])
+            )
+
+    def test_repr(self):
+        assert "AdaptiveSelector" in repr(PhiSVM())

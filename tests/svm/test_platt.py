@@ -1,0 +1,100 @@
+"""Tests for Platt probability calibration."""
+
+import numpy as np
+import pytest
+
+from repro.svm import PhiSVM, linear_kernel
+from repro.svm.platt import PlattScaler, fit_platt
+
+
+def sigmoid_data(n=400, a=-2.0, b=0.3, seed=0):
+    """Decision values with labels drawn from a known sigmoid."""
+    rng = np.random.default_rng(seed)
+    f = rng.uniform(-4, 4, n)
+    p = 1.0 / (1.0 + np.exp(a * f + b))
+    y = np.where(rng.uniform(size=n) < p, 1, -1)
+    return f, y
+
+
+class TestFit:
+    def test_recovers_known_sigmoid(self):
+        f, y = sigmoid_data(n=4000, a=-2.0, b=0.3, seed=1)
+        scaler = fit_platt(f, y)
+        assert scaler.a == pytest.approx(-2.0, abs=0.35)
+        assert scaler.b == pytest.approx(0.3, abs=0.25)
+
+    def test_probabilities_in_range_and_monotone(self):
+        f, y = sigmoid_data()
+        scaler = fit_platt(f, y)
+        grid = np.linspace(-6, 6, 50)
+        p = scaler.predict_proba(grid)
+        assert (p > 0).all() and (p < 1).all()
+        # a < 0 -> higher decision value => higher P(+1)
+        assert (np.diff(p) > 0).all()
+
+    def test_balanced_chance_data_near_half(self):
+        rng = np.random.default_rng(2)
+        f = rng.standard_normal(500)
+        y = np.where(rng.uniform(size=500) > 0.5, 1, -1)  # labels independent
+        scaler = fit_platt(f, y)
+        p = scaler.predict_proba(np.array([0.0]))
+        assert 0.35 < p[0] < 0.65
+
+    def test_separable_data_does_not_blow_up(self):
+        f = np.concatenate([np.linspace(0.5, 3, 50), np.linspace(-3, -0.5, 50)])
+        y = np.concatenate([np.ones(50), -np.ones(50)]).astype(int)
+        scaler = fit_platt(f, y)
+        p = scaler.predict_proba(f)
+        assert np.isfinite(p).all()
+        # confident but regularized away from exactly 0/1
+        assert p[:50].min() > 0.6
+        assert p[50:].max() < 0.4
+
+    def test_confidence(self):
+        scaler = PlattScaler(a=-1.0, b=0.0)
+        conf = scaler.confidence(np.array([-3.0, 0.0, 3.0]))
+        assert conf[1] == pytest.approx(0.5)
+        assert conf[0] == pytest.approx(conf[2], abs=1e-9)
+        assert conf[0] > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="match"):
+            fit_platt(np.zeros(3), np.zeros(2))
+        with pytest.raises(ValueError, match="2 classes"):
+            fit_platt(np.zeros(4), np.ones(4))
+        with pytest.raises(ValueError, match="2 samples"):
+            fit_platt(np.zeros(1), np.ones(1))
+
+    def test_arbitrary_label_values(self):
+        f, y = sigmoid_data(seed=3)
+        labels = np.where(y > 0, 7, 3)
+        scaler = fit_platt(f, labels)
+        # class 7 (the larger label) is the positive class
+        assert scaler.predict_proba(np.array([4.0]))[0] > 0.5
+
+
+class TestWithSVM:
+    def test_calibrated_probabilities_track_accuracy(self):
+        """Bucketing held-out samples by predicted confidence: higher
+        confidence buckets must be more accurate."""
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((600, 10)).astype(np.float32)
+        w = rng.standard_normal(10)
+        labels = np.where(x @ w + 1.2 * rng.standard_normal(600) > 0, 1, 0)
+        train, cal, test = slice(0, 300), slice(300, 450), slice(450, 600)
+
+        model = PhiSVM().fit(x[train], labels[train])
+        k_cal = linear_kernel(x[cal], x[train])
+        scaler = fit_platt(
+            model.decision_function(k_cal), np.where(labels[cal] == 1, 1, -1)
+        )
+        k_test = linear_kernel(x[test], x[train])
+        dec = model.decision_function(k_test)
+        p = scaler.predict_proba(dec)
+        pred = (p > 0.5).astype(int)
+        correct = pred == labels[test]
+        confident = np.abs(p - 0.5) > 0.3
+        if confident.any() and (~confident).any():
+            assert correct[confident].mean() >= correct[~confident].mean()
+        # overall calibration: mean predicted probability ~ base rate
+        assert abs(p.mean() - labels[test].mean()) < 0.15

@@ -1,0 +1,120 @@
+"""Tests for the shrinking heuristic: it must change cost structure,
+never answers."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.svm import (
+    FirstOrderSelector,
+    LibSVMClassifier,
+    SecondOrderSelector,
+    linear_kernel,
+    solve_smo,
+)
+
+
+def problem(n=200, d=15, seed=0, noise=0.5):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, d))
+    w = rng.standard_normal(d)
+    y = np.where(x @ w + noise * rng.standard_normal(n) > 0, 1, -1)
+    return linear_kernel(x), y
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_same_solution_as_unshrunk(self, seed):
+        kernel, y = problem(seed=seed)
+        plain = solve_smo(kernel, y, tol=1e-4)
+        shr = solve_smo(kernel, y, tol=1e-4, shrinking=True)
+        assert shr.converged
+        assert abs(plain.objective - shr.objective) < 1e-6 * max(
+            1.0, abs(plain.objective)
+        )
+        # rho is only determined up to ~tol for non-degenerate duals.
+        assert abs(plain.rho - shr.rho) < 5e-4
+
+    def test_first_order_selector_also_supported(self):
+        kernel, y = problem(seed=3)
+        plain = solve_smo(kernel, y, selector=FirstOrderSelector(), tol=1e-4)
+        shr = solve_smo(
+            kernel, y, selector=FirstOrderSelector(), tol=1e-4, shrinking=True
+        )
+        assert abs(plain.objective - shr.objective) < 1e-6 * max(
+            1.0, abs(plain.objective)
+        )
+
+    def test_kkt_holds_on_full_set_after_shrinking(self):
+        """Convergence is only declared after full-set re-verification."""
+        kernel, y = problem(seed=4)
+        tol = 1e-4
+        res = solve_smo(kernel, y, tol=tol, shrinking=True)
+        grad = ((y[:, None] * y[None, :]) * kernel) @ res.alpha - 1.0
+        minus_yg = -(y * grad)
+        up = ((y > 0) & (res.alpha < 1.0 - 1e-12)) | ((y < 0) & (res.alpha > 1e-12))
+        low = ((y > 0) & (res.alpha > 1e-12)) | ((y < 0) & (res.alpha < 1.0 - 1e-12))
+        gap = minus_yg[up].max() - minus_yg[low].min()
+        assert gap < tol * 1.5
+
+
+class TestShrinkBehaviour:
+    def test_active_set_actually_shrinks(self):
+        kernel, y = problem(n=300, seed=5)
+        res = solve_smo(kernel, y, tol=1e-4, shrinking=True)
+        assert res.shrink_events > 0
+        assert res.min_active < 300
+
+    def test_disabled_by_default(self):
+        kernel, y = problem(n=60, seed=6)
+        res = solve_smo(kernel, y)
+        assert res.shrink_events == 0
+        assert res.min_active == 60
+
+    def test_shrunk_variables_are_support_vector_complement(self):
+        """Shrinking removes bounded variables, so the surviving active
+        floor is at least the free-SV count."""
+        kernel, y = problem(n=250, seed=7)
+        res = solve_smo(kernel, y, tol=1e-4, shrinking=True)
+        free = ((res.alpha > 1e-9) & (res.alpha < 1.0 - 1e-9)).sum()
+        assert res.min_active >= free
+
+
+class TestClassifierIntegration:
+    def test_libsvm_backend_shrinks_by_default(self):
+        kernel, y01 = problem(n=150, seed=8)
+        labels = (y01 > 0).astype(int)
+        on = LibSVMClassifier(tol=1e-4).fit_kernel(kernel, labels)
+        off = LibSVMClassifier(tol=1e-4, shrinking=False).fit_kernel(kernel, labels)
+        assert abs(on.objective - off.objective) < 1e-5 * max(
+            1.0, abs(off.objective)
+        )
+        # Equally-optimal iterates may differ within tol; predictions
+        # must agree.
+        np.testing.assert_array_equal(
+            on.predict(kernel), off.predict(kernel)
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(20, 80),
+    d=st.integers(2, 10),
+    seed=st.integers(0, 1000),
+    c=st.sampled_from([0.1, 1.0, 10.0]),
+)
+def test_shrinking_never_changes_objective(n, d, seed, c):
+    """Property: shrinking is a pure optimization."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, d))
+    y = np.where(rng.uniform(size=n) > 0.5, 1, -1)
+    if np.unique(y).size < 2:
+        y[0] = -y[1] if n > 1 else 1
+    kernel = linear_kernel(x)
+    plain = solve_smo(kernel, y, c=c, tol=1e-4, max_iter=50_000)
+    shr = solve_smo(kernel, y, c=c, tol=1e-4, max_iter=50_000, shrinking=True)
+    # Mid-flight objectives (iteration cap hit) are not comparable.
+    assume(plain.converged and shr.converged)
+    assert abs(plain.objective - shr.objective) < 1e-5 * max(
+        1.0, abs(plain.objective)
+    )

@@ -1,0 +1,188 @@
+"""Tests for the SMO solver: KKT conditions, reference comparison,
+selector equivalence."""
+
+import numpy as np
+import pytest
+from scipy import optimize
+
+from repro.svm import (
+    AdaptiveSelector,
+    DenseKernel,
+    FirstOrderSelector,
+    SecondOrderSelector,
+    linear_kernel,
+    solve_smo,
+)
+
+
+def separable_problem(n=40, d=5, seed=0, noise=0.0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, d))
+    w = rng.standard_normal(d)
+    y = np.where(x @ w > 0, 1, -1)
+    x += noise * rng.standard_normal((n, d))
+    return linear_kernel(x.astype(np.float64)), y, x
+
+
+def reference_dual_solution(kernel, y, c):
+    """Solve the C-SVC dual with scipy's SLSQP as ground truth."""
+    n = kernel.shape[0]
+    q = (y[:, None] * y[None, :]) * kernel
+
+    def objective(a):
+        return 0.5 * a @ q @ a - a.sum()
+
+    def grad(a):
+        return q @ a - 1.0
+
+    constraints = [{"type": "eq", "fun": lambda a: a @ y, "jac": lambda a: y.astype(float)}]
+    bounds = [(0.0, c)] * n
+    res = optimize.minimize(
+        objective,
+        x0=np.full(n, min(c / 2, 0.1)),
+        jac=grad,
+        bounds=bounds,
+        constraints=constraints,
+        method="SLSQP",
+        options={"maxiter": 500, "ftol": 1e-10},
+    )
+    return res.x, objective(res.x)
+
+
+class TestKKT:
+    @pytest.mark.parametrize("c", [0.1, 1.0, 10.0])
+    def test_constraints_satisfied(self, c):
+        kernel, y, _ = separable_problem(noise=0.3)
+        res = solve_smo(kernel, y, c=c)
+        assert res.converged
+        assert res.alpha.min() >= -1e-9
+        assert res.alpha.max() <= c + 1e-9
+        assert abs(res.alpha @ y) < 1e-6 * max(c, 1.0) * len(y)
+
+    def test_kkt_violation_below_tol(self):
+        kernel, y, _ = separable_problem(noise=0.5, seed=3)
+        tol = 1e-3
+        res = solve_smo(kernel, y, c=1.0, tol=tol)
+        # recompute the maximal violating pair gap at the solution
+        grad = ((y[:, None] * y[None, :]) * kernel) @ res.alpha - 1.0
+        minus_yg = -(y * grad)
+        up = ((y > 0) & (res.alpha < 1.0 - 1e-12)) | ((y < 0) & (res.alpha > 1e-12))
+        low = ((y > 0) & (res.alpha > 1e-12)) | ((y < 0) & (res.alpha < 1.0 - 1e-12))
+        gap = minus_yg[up].max() - minus_yg[low].min()
+        assert gap < tol * 1.5
+
+    def test_margin_svs_on_margin(self):
+        kernel, y, _ = separable_problem(n=60, noise=0.2, seed=1)
+        res = solve_smo(kernel, y, c=1.0, tol=1e-5)
+        decision = kernel @ (res.alpha * y) - res.rho
+        free = (res.alpha > 1e-6) & (res.alpha < 1.0 - 1e-6)
+        if free.any():
+            np.testing.assert_allclose(
+                (y * decision)[free], 1.0, atol=1e-3
+            )
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_objective_matches_slsqp(self, seed):
+        kernel, y, _ = separable_problem(n=24, d=4, seed=seed, noise=0.4)
+        res = solve_smo(kernel, y, c=1.0, tol=1e-6)
+        _, ref_obj = reference_dual_solution(kernel, y, 1.0)
+        assert res.objective <= ref_obj + 1e-4
+        assert abs(res.objective - ref_obj) < 5e-3 * max(abs(ref_obj), 1.0)
+
+    def test_perfect_separation_train_accuracy(self):
+        kernel, y, _ = separable_problem(n=80, noise=0.0)
+        res = solve_smo(kernel, y, c=10.0)
+        pred = np.sign(kernel @ (res.alpha * y) - res.rho)
+        assert (pred == y).mean() == 1.0
+
+
+class TestSelectors:
+    def test_all_selectors_same_objective(self):
+        kernel, y, _ = separable_problem(n=50, noise=0.5, seed=5)
+        objs = []
+        for sel in (FirstOrderSelector(), SecondOrderSelector(), AdaptiveSelector()):
+            res = solve_smo(kernel, y, c=1.0, tol=1e-5, selector=sel)
+            assert res.converged
+            objs.append(res.objective)
+        assert max(objs) - min(objs) < 1e-3 * max(1.0, abs(objs[0]))
+
+    def test_second_order_fewer_iterations(self):
+        """Fan et al.'s result: WSS2 converges in fewer iterations."""
+        kernel, y, _ = separable_problem(n=80, noise=0.6, seed=7)
+        first = solve_smo(kernel, y, selector=FirstOrderSelector(), tol=1e-4)
+        second = solve_smo(kernel, y, selector=SecondOrderSelector(), tol=1e-4)
+        assert second.iterations < first.iterations
+
+    def test_gap_history_recorded(self):
+        kernel, y, _ = separable_problem()
+        res = solve_smo(kernel, y)
+        assert res.gap_history.size == res.iterations + 1
+        assert res.gap_history[-1] < 1e-3
+
+
+class TestDtypes:
+    def test_float32_kernel_solves_in_float32(self):
+        kernel, y, _ = separable_problem(noise=0.3)
+        res = solve_smo(kernel.astype(np.float32), y)
+        assert res.alpha.dtype == np.float32
+        assert res.converged
+
+    def test_float32_close_to_float64(self):
+        kernel, y, _ = separable_problem(n=40, noise=0.3, seed=2)
+        r32 = solve_smo(kernel.astype(np.float32), y, tol=1e-3)
+        r64 = solve_smo(kernel, y, tol=1e-3)
+        assert abs(r32.objective - r64.objective) < 1e-2 * max(abs(r64.objective), 1)
+
+    def test_integer_kernel_promoted(self):
+        kernel = np.array([[2, 0], [0, 2]])
+        y = np.array([1, -1])
+        res = solve_smo(kernel, y, c=1.0)
+        assert np.issubdtype(res.alpha.dtype, np.floating)
+
+
+class TestValidation:
+    def test_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            solve_smo(np.zeros((3, 4)), np.array([1, -1, 1]))
+
+    def test_wrong_label_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            solve_smo(np.eye(3), np.array([1, -1]))
+
+    def test_bad_labels(self):
+        with pytest.raises(ValueError, match="-1 or"):
+            solve_smo(np.eye(2), np.array([0, 1]))
+
+    def test_bad_c(self):
+        with pytest.raises(ValueError, match="C"):
+            solve_smo(np.eye(2), np.array([1, -1]), c=0)
+
+    def test_bad_tol(self):
+        with pytest.raises(ValueError, match="tol"):
+            solve_smo(np.eye(2), np.array([1, -1]), tol=0)
+
+    def test_max_iter_caps(self):
+        kernel, y, _ = separable_problem(n=60, noise=1.0, seed=9)
+        res = solve_smo(kernel, y, tol=1e-12, max_iter=5)
+        assert res.iterations == 5
+        assert not res.converged
+
+    def test_single_class_converges_trivially(self):
+        res = solve_smo(np.eye(4), np.ones(4, dtype=np.int64))
+        assert res.converged
+        np.testing.assert_allclose(res.alpha, 0.0)
+
+
+class TestDenseKernel:
+    def test_row_and_diagonal(self):
+        k = np.arange(9.0).reshape(3, 3)
+        dk = DenseKernel(k)
+        np.testing.assert_array_equal(dk.row(1), k[1])
+        np.testing.assert_array_equal(dk.diagonal(), [0, 4, 8])
+        assert dk.shape == (3, 3)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            DenseKernel(np.zeros((2, 3)))

@@ -1,0 +1,118 @@
+"""Property-based tests for the SMO solver over random PSD kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.svm import (
+    AdaptiveSelector,
+    FirstOrderSelector,
+    SecondOrderSelector,
+    solve_smo,
+)
+
+
+def random_problem(n, d, seed, c_scale=1.0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, d))
+    kernel = x @ x.T + 1e-8 * np.eye(n)  # PSD by construction
+    y = np.where(rng.uniform(size=n) > 0.5, 1, -1)
+    if np.abs(y.sum()) == n:  # single class; flip one
+        y[0] = -y[0]
+    return kernel, y
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(4, 60),
+    d=st.integers(1, 8),
+    seed=st.integers(0, 10_000),
+    c=st.sampled_from([0.5, 1.0, 5.0]),
+)
+def test_feasibility_invariants(n, d, seed, c):
+    """Property: solutions always satisfy the dual constraints."""
+    kernel, y = random_problem(n, d, seed)
+    res = solve_smo(kernel, y, c=c, tol=1e-4, max_iter=30_000)
+    assert res.alpha.min() >= -1e-9
+    assert res.alpha.max() <= c + 1e-9
+    assert abs(res.alpha @ y) <= 1e-6 * c * n + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(6, 40),
+    d=st.integers(1, 6),
+    seed=st.integers(0, 10_000),
+)
+def test_objective_nonpositive_and_bounded(n, d, seed):
+    """Property: the optimal dual objective is <= 0 (alpha = 0 is
+    feasible with objective 0) and >= -C * n (each -e^T a term bounded)."""
+    kernel, y = random_problem(n, d, seed)
+    res = solve_smo(kernel, y, c=1.0, tol=1e-3, max_iter=30_000)
+    assume(res.converged)
+    assert res.objective <= 1e-9
+    assert res.objective >= -1.0 * n
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(8, 40),
+    d=st.integers(2, 6),
+    seed=st.integers(0, 10_000),
+)
+def test_selectors_agree_on_objective(n, d, seed):
+    """Property: all three heuristics find the same optimum."""
+    kernel, y = random_problem(n, d, seed)
+    objectives = []
+    for sel in (FirstOrderSelector(), SecondOrderSelector(), AdaptiveSelector()):
+        res = solve_smo(kernel, y, tol=1e-5, selector=sel, max_iter=50_000)
+        assume(res.converged)
+        objectives.append(res.objective)
+    spread = max(objectives) - min(objectives)
+    assert spread <= 1e-3 * max(1.0, abs(objectives[0]))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(8, 30),
+    d=st.integers(2, 6),
+    seed=st.integers(0, 10_000),
+)
+def test_gap_history_reaches_tolerance(n, d, seed):
+    """Property: on convergence the recorded final gap is below tol."""
+    kernel, y = random_problem(n, d, seed)
+    tol = 1e-3
+    res = solve_smo(kernel, y, tol=tol, max_iter=30_000)
+    assume(res.converged)
+    assert res.gap_history[-1] < tol
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(6, 30),
+    d=st.integers(2, 5),
+    seed=st.integers(0, 10_000),
+    scale=st.sampled_from([0.25, 4.0]),
+)
+def test_kernel_scaling_relation(n, d, seed, scale):
+    """Property: scaling the kernel by s leaves the decision boundary's
+    signs unchanged for separable problems with a large box (the
+    hard-margin solution scales as a -> a/s, rho -> rho; signs of
+    K (a y) - rho are invariant)."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, d))
+    w = rng.standard_normal(d)
+    margin = x @ w
+    assume(np.abs(margin).min() > 0.1)  # avoid knife-edge samples
+    y = np.where(margin > 0, 1, -1)
+    assume(np.unique(y).size == 2)
+    kernel = x @ x.T + 1e-8 * np.eye(n)
+    base = solve_smo(kernel, y, c=1e6, tol=1e-6, max_iter=50_000)
+    scaled = solve_smo(scale * kernel, y, c=1e6, tol=1e-6, max_iter=50_000)
+    assume(base.converged and scaled.converged)
+    dec_base = kernel @ (base.alpha * y) - base.rho
+    dec_scaled = (scale * kernel) @ (scaled.alpha * y) - scaled.rho
+    big = np.abs(dec_base) > 1e-3
+    np.testing.assert_array_equal(
+        np.sign(dec_base[big]), np.sign(dec_scaled[big])
+    )

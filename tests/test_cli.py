@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def dataset_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "ds.npz"
+    rc = main([
+        "generate", str(path), "--preset", "quickstart",
+        "--voxels", "80", "--seed", "11",
+    ])
+    assert rc == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["transmogrify"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.dataset == "face-scene"
+        assert args.machine == "phi"
+
+
+class TestGenerate:
+    def test_writes_loadable_dataset(self, dataset_file):
+        from repro.data import load_dataset
+
+        ds = load_dataset(dataset_file)
+        assert ds.n_voxels == 80
+
+    def test_subject_override(self, tmp_path):
+        path = tmp_path / "s.npz"
+        assert main(["generate", str(path), "--subjects", "2"]) == 0
+        from repro.data import load_dataset
+
+        assert load_dataset(path).n_subjects == 2
+
+
+class TestSelect:
+    def test_prints_top_voxels(self, dataset_file, capsys):
+        rc = main([
+            "select", str(dataset_file), "--top", "3", "--task-voxels", "40",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "top 3 voxels" in out
+        assert out.count("accuracy") >= 3
+
+    def test_csv_output(self, dataset_file, tmp_path, capsys):
+        csv = tmp_path / "scores.csv"
+        rc = main([
+            "select", str(dataset_file), "--top", "2",
+            "--task-voxels", "40", "--output", str(csv),
+        ])
+        assert rc == 0
+        lines = csv.read_text().splitlines()
+        assert lines[0] == "voxel,accuracy"
+        assert len(lines) == 81
+        accs = np.array([float(l.split(",")[1]) for l in lines[1:]])
+        assert (np.diff(accs) <= 1e-9).all()  # sorted descending
+
+    def test_baseline_variant(self, dataset_file, capsys):
+        rc = main([
+            "select", str(dataset_file), "--variant", "baseline",
+            "--top", "2", "--task-voxels", "80",
+        ])
+        assert rc == 0
+
+
+class TestAnalysisCommands:
+    def test_offline(self, dataset_file, capsys):
+        rc = main(["offline", str(dataset_file), "--top", "8",
+                   "--task-voxels", "80"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mean held-out accuracy" in out
+
+    def test_online(self, dataset_file, capsys):
+        rc = main(["online", str(dataset_file), "--subject", "1", "--top", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "selected 5 voxels" in out
+
+
+class TestModelCommands:
+    def test_report(self, capsys):
+        rc = main(["report", "--dataset", "attention", "--machine", "phi",
+                   "--task-voxels", "60"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "LibSVM" in out
+        assert "speedup" in out
+
+    def test_report_knl(self, capsys):
+        assert main(["report", "--machine", "knl"]) == 0
+        assert "KNL" in capsys.readouterr().out
+
+    def test_simulate_offline(self, capsys):
+        rc = main(["simulate", "--dataset", "face-scene", "--nodes", "1", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "8 coprocessors" in out
+        assert "utilization" in out
+
+    def test_simulate_online(self, capsys):
+        rc = main(["simulate", "--mode", "online", "--nodes", "1"])
+        assert rc == 0
+        assert "online workload" in capsys.readouterr().out

@@ -1,0 +1,71 @@
+"""Compare modeled kernel estimates against the paper's published numbers."""
+import numpy as np
+from repro.data import FACE_SCENE, ATTENTION
+from repro.hw import PHI_5110P, E5_2670
+from repro.perf.matmul_model import model_correlation_matmul, model_kernel_syrk
+from repro.perf.norm_model import model_normalization
+from repro.perf.svm_model import model_svm_cv
+
+hw = PHI_5110P
+fs = FACE_SCENE
+V = 120
+
+def row(name, est, paper_ms=None, paper_gf=None):
+    msg = f"{name:26s} {est.milliseconds:7.0f} ms"
+    if paper_ms: msg += f" (paper {paper_ms:5.0f}, {est.milliseconds/paper_ms:5.2f}x)"
+    msg += f"  {est.gflops:6.0f} GF"
+    if paper_gf: msg += f" (paper {paper_gf})"
+    msg += f"  refs={est.counters.mem_refs/1e9:6.2f}G miss={est.counters.total_l2_misses/1e6:7.1f}M VI={est.counters.vectorization_intensity:.1f}"
+    print(msg)
+    return est
+
+print("=== Table 5 (Phi) ===")
+oc = row("ours corr", model_correlation_matmul(fs, V, hw, "ours"), 170, 126)
+osy = row("ours syrk", model_kernel_syrk(fs, V, hw, "ours"), 400, 430)
+mc = row("mkl corr", model_correlation_matmul(fs, V, hw, "mkl"), 230, 93)
+msy = row("mkl syrk", model_kernel_syrk(fs, V, hw, "mkl"), 1600, 108)
+
+print("\n=== Table 6 combined ===")
+for nm, a, b, paper in (("ours", oc, osy, (9.97e9, 121.8e6, 16)), ("mkl", mc, msy, (34.86e9, 708.9e6, 3.6))):
+    c = a.counters + b.counters
+    print(f"{nm}: refs {c.mem_refs/1e9:.2f}G (paper {paper[0]/1e9}) miss {c.total_l2_misses/1e6:.1f}M (paper {paper[1]/1e6}) VI {c.vectorization_intensity:.1f} (paper {paper[2]})")
+
+print("\n=== Table 7 (corr + norm) ===")
+for var, pt, pr, pm in (("merged", 320, 1.93e9, 67.5e6), ("separated", 420, 4.35e9, 188.1e6)):
+    n = model_normalization(fs, V, hw, var)
+    t = oc.milliseconds + n.milliseconds
+    c = oc.counters + n.counters
+    print(f"{var:10s} {t:5.0f} ms (paper {pt})  refs {c.mem_refs/1e9:.2f}G (paper {pr/1e9})  miss {c.total_l2_misses/1e6:.1f}M (paper {pm/1e6})")
+
+print("\n=== Table 1 baseline norm ===")
+row("baseline norm", model_normalization(fs, V, hw, "baseline"), 766)
+
+print("\n=== Table 8 SVM ===")
+row("libsvm", model_svm_cv(fs, V, hw, "libsvm"), 3600)
+row("libsvm-opt", model_svm_cv(fs, V, hw, "libsvm-opt"), 1150)
+row("phisvm", model_svm_cv(fs, V, hw, "phisvm"), 390)
+
+print("\n=== Fig 9 single-task per-voxel speedups ===")
+for spec, vb, vo, paper in ((FACE_SCENE, 120, 240, 5.24), (ATTENTION, 60, 240, 16.39)):
+    base = (model_correlation_matmul(spec, vb, hw, "mkl").seconds
+            + model_normalization(spec, vb, hw, "baseline").seconds
+            + model_kernel_syrk(spec, vb, hw, "mkl").seconds
+            + model_svm_cv(spec, vb, hw, "libsvm").seconds) / vb
+    opt = (model_correlation_matmul(spec, vo, hw, "ours").seconds
+           + model_normalization(spec, vo, hw, "merged").seconds
+           + model_kernel_syrk(spec, vo, hw, "ours").seconds
+           + model_svm_cv(spec, vo, hw, "phisvm").seconds) / vo
+    print(f"{spec.name}: base {base*1e3:.1f} ms/vox, opt {opt*1e3:.1f} -> {base/opt:.2f}x (paper {paper})")
+
+print("\n=== Fig 10 Xeon ===")
+hx = E5_2670
+for spec, vb, paper in ((FACE_SCENE, 120, 1.4), (ATTENTION, 60, 2.5)):
+    base = (model_correlation_matmul(spec, vb, hx, "mkl").seconds
+            + model_normalization(spec, vb, hx, "baseline").seconds
+            + model_kernel_syrk(spec, vb, hx, "mkl").seconds
+            + model_svm_cv(spec, vb, hx, "libsvm").seconds) / vb
+    opt = (model_correlation_matmul(spec, vb, hx, "ours").seconds
+           + model_normalization(spec, vb, hx, "merged").seconds
+           + model_kernel_syrk(spec, vb, hx, "ours").seconds
+           + model_svm_cv(spec, vb, hx, "phisvm").seconds) / vb
+    print(f"{spec.name}: {base/opt:.2f}x (paper {paper})")
