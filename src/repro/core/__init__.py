@@ -11,6 +11,7 @@ from .correlation import (
 )
 from .kernels import (
     kernel_matrix_baseline,
+    kernel_matrix_batched,
     kernel_matrix_blocked,
     symmetrize_from_triangle,
 )
@@ -20,28 +21,39 @@ from .normalization import (
     normalize_separated,
     zscore_within_subject,
 )
-from .pipeline import FCMAConfig, make_backend, run_task, task_partition
+from .pipeline import (
+    FCMAConfig,
+    clear_preprocess_cache,
+    make_backend,
+    preprocess_dataset,
+    run_task,
+    task_partition,
+)
 from .results import VoxelScores
-from .voxel_selection import score_voxels
+from .voxel_selection import score_voxels, score_voxels_reference
 
 __all__ = [
     "BlockingPlan",
     "FCMAConfig",
     "MergedNormalizer",
     "VoxelScores",
+    "clear_preprocess_cache",
     "correlate_baseline",
     "correlate_blocked",
     "epoch_windows",
     "fisher_z",
     "iter_blocks",
     "kernel_matrix_baseline",
+    "kernel_matrix_batched",
     "kernel_matrix_blocked",
     "make_backend",
     "normalize_epoch_data",
     "normalize_separated",
     "plan_blocks",
+    "preprocess_dataset",
     "run_task",
     "score_voxels",
+    "score_voxels_reference",
     "symmetrize_from_triangle",
     "task_partition",
     "zscore_within_subject",

@@ -7,10 +7,18 @@ working set from an ``M x N`` data matrix (~60 MB at paper scale) to an
 ``M x M`` kernel (~160 KB), which is what lets the optimized pipeline
 keep 240+ voxel problems resident on the coprocessor.
 
-Both a single-BLAS-call baseline and the paper's blocked accumulation
-(96-column panels feeding a 16x9 register-tiled microkernel) are
-implemented; they are numerically equivalent up to float32 summation
-order.
+Three implementations are provided:
+
+* :func:`kernel_matrix_baseline` — one BLAS call per voxel.
+* :func:`kernel_matrix_blocked` — the paper's blocked accumulation
+  (96-column panels feeding a 16x9 register-tiled microkernel), triangle
+  only.
+* :func:`kernel_matrix_batched` — **all V voxel kernels at once** as a
+  stacked ``(V, M, N) @ (V, N, M)`` GEMM (optionally panel-blocked along
+  N), the batch axis that keeps many voxel problems in flight the way
+  the paper keeps 240+ problems resident on the coprocessor.
+
+All are numerically equivalent up to float32 summation order.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ from .correlation import iter_blocks
 __all__ = [
     "kernel_matrix_baseline",
     "kernel_matrix_blocked",
+    "kernel_matrix_batched",
     "symmetrize_from_triangle",
 ]
 
@@ -53,10 +62,15 @@ def kernel_matrix_blocked(
     Walks the long dimension in ``panel_depth`` slices (each panel is
     the ``A_local`` buffer of Fig. 7), accumulating partial products
     into ``C``.  Only the lower triangle is computed ("only upper or
-    lower triangle of the resulting matrix needs to be computed"), then
-    mirrored.  Passing ``micro_tile`` additionally tiles each panel
-    product into 16x9 output blocks, reproducing the microkernel loop
-    structure exactly (slower in Python; used by equivalence tests).
+    lower triangle of the resulting matrix needs to be computed"): each
+    panel's contribution is accumulated as row-band tiles
+    ``C[i0:i1, :i1] += panel[i0:i1] @ panel[:i1]^T`` that stop at the
+    diagonal block, so — unlike a full ``panel @ panel.T`` followed by a
+    mask — only the triangle plus a narrow diagonal band is ever
+    computed, halving the temporary traffic exactly as the paper claims.
+    Passing ``micro_tile`` additionally tiles each panel product into
+    16x9 output blocks, reproducing the microkernel loop structure
+    exactly (slower in Python; used by equivalence tests).
     """
     data = np.asarray(data)
     if data.ndim != 2:
@@ -68,12 +82,17 @@ def kernel_matrix_blocked(
     out = np.zeros((m, m), dtype=np.float32)
 
     if micro_tile is None:
+        row_band = MICRO_TILE[0]
         for n0, n1 in iter_blocks(n, panel_depth):
             panel = data[:, n0:n1]  # A_local of Fig. 7: (M, depth)
-            # Triangle-only accumulation: keep the lower half of the
-            # panel's contribution, as each thread in the paper adds its
-            # partial triangle to C under a lock.
-            out += np.tril(panel @ panel.T)
+            for i0, i1 in iter_blocks(m, row_band):
+                # Row-band tile ending at the diagonal block: every
+                # column strictly right of i1 belongs to the upper
+                # triangle and is never computed.
+                out[i0:i1, :i1] += panel[i0:i1] @ panel[:i1].T
+        # The diagonal bands picked up their (symmetric) upper corners;
+        # drop them before mirroring.
+        out = np.tril(out)
     else:
         tr, tc = micro_tile
         if tr < 1 or tc < 1:
@@ -89,12 +108,57 @@ def kernel_matrix_blocked(
     return symmetrize_from_triangle(out)
 
 
+def kernel_matrix_batched(
+    data: np.ndarray, panel_depth: int | None = None
+) -> np.ndarray:
+    """Batched syrk: all ``V`` voxel kernels in one stacked GEMM.
+
+    ``data`` holds every voxel problem's data matrix stacked on a batch
+    axis, shape ``(V, M, N)``; the result is the ``(V, M, M)`` stack of
+    linear kernels ``data[v] @ data[v].T``.  With ``panel_depth=None``
+    (the default) this is a single ``np.matmul`` over the stack — one
+    BLAS dispatch for V problems instead of V Python-level calls.  An
+    integer ``panel_depth`` instead accumulates 96-deep panels with
+    triangle-only row bands across the whole batch at once, mirroring
+    the Fig. 7 walk with the batch axis innermost in each BLAS call.
+
+    Per-voxel slices equal :func:`kernel_matrix_baseline` /
+    :func:`kernel_matrix_blocked` outputs up to float32 summation order
+    (bitwise for the unblocked path, which issues the identical GEMM per
+    slice).
+    """
+    data = np.asarray(data)
+    if data.ndim != 3:
+        raise ValueError(
+            f"data must be (problems, samples, features), got {data.shape}"
+        )
+    data = np.ascontiguousarray(data, dtype=np.float32)
+    if panel_depth is None:
+        return data @ data.transpose(0, 2, 1)
+    if panel_depth < 1:
+        raise ValueError("panel_depth must be >= 1")
+    v, m, n = data.shape
+    out = np.zeros((v, m, m), dtype=np.float32)
+    row_band = MICRO_TILE[0]
+    for n0, n1 in iter_blocks(n, panel_depth):
+        panel = data[:, :, n0:n1]
+        panel_t = panel.transpose(0, 2, 1)
+        for i0, i1 in iter_blocks(m, row_band):
+            out[:, i0:i1, :i1] += panel[:, i0:i1, :] @ panel_t[:, :, :i1]
+    return symmetrize_from_triangle(np.tril(out))
+
+
 def symmetrize_from_triangle(lower: np.ndarray) -> np.ndarray:
-    """Mirror a lower-triangular matrix into a full symmetric one."""
+    """Mirror lower-triangular matrices into full symmetric ones.
+
+    Accepts a single ``(M, M)`` matrix or a stack ``(..., M, M)`` (the
+    batched syrk path); the mirror is applied to the last two axes.
+    """
     lower = np.asarray(lower)
-    if lower.ndim != 2 or lower.shape[0] != lower.shape[1]:
-        raise ValueError(f"expected a square matrix, got {lower.shape}")
-    diag = np.diagonal(lower).copy()
-    full = lower + lower.T
-    np.fill_diagonal(full, diag)
+    if lower.ndim < 2 or lower.shape[-1] != lower.shape[-2]:
+        raise ValueError(f"expected square matrices, got {lower.shape}")
+    diag = np.diagonal(lower, axis1=-2, axis2=-1).copy()
+    full = lower + np.swapaxes(lower, -1, -2)
+    idx = np.arange(lower.shape[-1])
+    full[..., idx, idx] = diag
     return full

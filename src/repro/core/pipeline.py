@@ -14,6 +14,7 @@ blocked syrk, PhiSVM — Section 4); both produce the same voxel ranking.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, replace
 from typing import Literal
 
@@ -28,9 +29,16 @@ from .correlation import correlate_baseline, correlate_blocked, epoch_windows
 from .kernels import kernel_matrix_baseline, kernel_matrix_blocked
 from .normalization import MergedNormalizer, normalize_separated
 from .results import VoxelScores
-from .voxel_selection import score_voxels
+from .voxel_selection import DEFAULT_BATCH_VOXELS, score_voxels
 
-__all__ = ["FCMAConfig", "run_task", "make_backend", "task_partition"]
+__all__ = [
+    "FCMAConfig",
+    "run_task",
+    "make_backend",
+    "task_partition",
+    "preprocess_dataset",
+    "clear_preprocess_cache",
+]
 
 Variant = Literal["baseline", "optimized"]
 Backend = Literal["phisvm", "libsvm", "libsvm-float32"]
@@ -60,6 +68,14 @@ class FCMAConfig:
     #: Folds for single-subject (online) CV, used when the dataset has
     #: only one subject and LOSO is impossible.
     online_folds: int = 4
+    #: Voxel problems per stage-3 batch (stacked-GEMM kernels + the
+    #: multi-problem SMO solver).  0 forces the per-voxel reference
+    #: path; backends without a batched trainer fall back automatically.
+    batch_voxels: int = DEFAULT_BATCH_VOXELS
+    #: Tasks per worker message in ``parallel_voxel_selection``'s
+    #: ``pool.map``; None picks ~4 chunks per worker.  The default
+    #: chunksize of 1 would serialize one result round-trip per task.
+    chunksize: int | None = None
 
     def __post_init__(self) -> None:
         if self.variant not in ("baseline", "optimized"):
@@ -74,6 +90,10 @@ class FCMAConfig:
             raise ValueError("block sizes must be >= 1")
         if self.online_folds < 2:
             raise ValueError("online_folds must be >= 2")
+        if self.batch_voxels < 0:
+            raise ValueError("batch_voxels must be >= 0")
+        if self.chunksize is not None and self.chunksize < 1:
+            raise ValueError("chunksize must be >= 1 (or None for auto)")
 
     def resolved_backend(self) -> Backend:
         """The backend actually used, resolving the variant default."""
@@ -121,6 +141,36 @@ def task_partition(n_voxels: int, task_voxels: int) -> list[np.ndarray]:
     ]
 
 
+# Task-invariant preprocessing (subject-contiguous regrouping + eq.-2
+# normalized epoch windows) cached per dataset *identity*: every task of
+# a voxel-selection run shares the same dataset object, so serial and
+# parallel drivers pay the O(epochs x voxels x time) preprocessing once
+# instead of once per task.  Weak keys let datasets be garbage collected.
+_PREPROCESS_CACHE: "weakref.WeakKeyDictionary[FMRIDataset, tuple[FMRIDataset, np.ndarray]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def preprocess_dataset(dataset: FMRIDataset) -> tuple[FMRIDataset, np.ndarray]:
+    """Subject-grouped dataset + normalized epoch windows, memoized.
+
+    Returns ``(grouped_dataset, z)`` where ``z`` is the equation-2
+    normalized epoch stack of the grouped dataset.  Cached by dataset
+    identity; treat both returns as read-only.
+    """
+    hit = _PREPROCESS_CACHE.get(dataset)
+    if hit is None:
+        ds = dataset.grouped_by_subject()
+        hit = (ds, epoch_windows(ds))
+        _PREPROCESS_CACHE[dataset] = hit
+    return hit
+
+
+def clear_preprocess_cache() -> None:
+    """Drop all memoized preprocessing (e.g. after mutating BOLD data)."""
+    _PREPROCESS_CACHE.clear()
+
+
 def run_task(
     dataset: FMRIDataset,
     assigned: np.ndarray,
@@ -137,8 +187,7 @@ def run_task(
     if assigned.ndim != 1 or assigned.size == 0:
         raise ValueError("assigned must be a non-empty 1D index array")
 
-    ds = dataset.grouped_by_subject()
-    z = epoch_windows(ds)
+    ds, z = preprocess_dataset(dataset)
     epochs = ds.epochs
     labels = epochs.labels()
     e_per_subject = epochs.epochs_per_subject()
@@ -166,5 +215,11 @@ def run_task(
 
     backend = make_backend(config)
     return score_voxels(
-        corr, assigned, labels, fold_ids, backend, kernel_fn=kernel_fn
+        corr,
+        assigned,
+        labels,
+        fold_ids,
+        backend,
+        kernel_fn=kernel_fn,
+        batch_voxels=config.batch_voxels,
     )

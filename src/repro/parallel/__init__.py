@@ -2,7 +2,13 @@
 multiprocessing executor."""
 
 from .comm import ANY_SOURCE, ANY_TAG, Comm, CommGroup, run_ranks
-from .executor import parallel_voxel_selection, serial_voxel_selection
+from .executor import (
+    SharedDatasetHandle,
+    attach_shared_dataset,
+    parallel_voxel_selection,
+    serial_voxel_selection,
+    share_dataset,
+)
 from .master_worker import master_loop, mpi_voxel_selection, worker_loop
 
 __all__ = [
@@ -10,10 +16,13 @@ __all__ = [
     "ANY_TAG",
     "Comm",
     "CommGroup",
+    "SharedDatasetHandle",
+    "attach_shared_dataset",
     "master_loop",
     "mpi_voxel_selection",
     "parallel_voxel_selection",
     "run_ranks",
     "serial_voxel_selection",
+    "share_dataset",
     "worker_loop",
 ]

@@ -3,35 +3,132 @@
 While :mod:`repro.parallel.master_worker` exercises the paper's MPI
 protocol in-process, this module provides the path a user runs for
 actual wall-clock speedup on one machine: the same row-partitioned task
-decomposition fanned out over a process pool.  The dataset is shipped to
-workers once at pool start (initializer), mirroring the master's one-time
-data distribution, so per-task messages carry only voxel index arrays
-and score arrays.
+decomposition fanned out over a process pool.
+
+The BOLD data is shipped to workers **once, zero-copy**: the master
+packs every subject's array into a single
+:class:`multiprocessing.shared_memory.SharedMemory` segment and sends
+workers only a :class:`SharedDatasetHandle` — segment name plus subject
+offsets — so the per-pool pickle payload is a few hundred bytes no
+matter how large the scan is.  Each worker attaches views over the
+segment, rebuilds the dataset without copying, and memoizes the
+task-invariant preprocessing (subject-contiguous regrouping + epoch
+windows) in its process globals.  Per-task messages then carry only
+voxel index arrays and score arrays, in chunks of ``config.chunksize``
+tasks per round-trip.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import shared_memory
 
 import numpy as np
 
-from ..core.pipeline import FCMAConfig, run_task, task_partition
+from ..core.pipeline import FCMAConfig, preprocess_dataset, run_task, task_partition
 from ..core.results import VoxelScores
 from ..data.dataset import FMRIDataset
+from ..data.epochs import EpochTable
+from ..data.mask import BrainMask
 
-__all__ = ["parallel_voxel_selection", "serial_voxel_selection"]
+__all__ = [
+    "SharedDatasetHandle",
+    "attach_shared_dataset",
+    "parallel_voxel_selection",
+    "serial_voxel_selection",
+    "share_dataset",
+]
+
+
+@dataclass(frozen=True)
+class SharedDatasetHandle:
+    """Picklable recipe for rebuilding a dataset from shared memory.
+
+    Carries only metadata — the BOLD arrays themselves live in the named
+    shared-memory segment — so pickling the handle costs bytes, not the
+    gigabytes the paper's datasets occupy.
+    """
+
+    #: Name of the shared-memory segment holding all subjects' BOLD data.
+    shm_name: str
+    #: Per subject: (subject id, byte offset into the segment, array shape).
+    subjects: tuple[tuple[int, int, tuple[int, int]], ...]
+    epochs: EpochTable
+    mask: BrainMask | None
+    name: str
+
+
+def share_dataset(
+    dataset: FMRIDataset,
+) -> tuple[shared_memory.SharedMemory, SharedDatasetHandle]:
+    """Pack a dataset's BOLD arrays into one shared-memory segment.
+
+    Returns the owning segment (caller must ``close()`` and ``unlink()``
+    it when the pool is done) and the handle workers rebuild from.
+    """
+    total = dataset.nbytes()
+    shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+    subjects: list[tuple[int, int, tuple[int, int]]] = []
+    offset = 0
+    for subject in dataset.subject_ids():
+        arr = dataset.subject_data(subject)
+        view = np.ndarray(arr.shape, dtype=np.float32, buffer=shm.buf, offset=offset)
+        view[:] = arr
+        subjects.append((subject, offset, arr.shape))
+        offset += arr.nbytes
+    handle = SharedDatasetHandle(
+        shm_name=shm.name,
+        subjects=tuple(subjects),
+        epochs=dataset.epochs,
+        mask=dataset.mask,
+        name=dataset.name,
+    )
+    return shm, handle
+
+
+def attach_shared_dataset(
+    handle: SharedDatasetHandle,
+) -> tuple[FMRIDataset, shared_memory.SharedMemory]:
+    """Rebuild a dataset as zero-copy views over the shared segment.
+
+    The returned dataset's subject arrays alias the segment's buffer
+    (``FMRIDataset`` keeps already-contiguous float32 arrays as-is), so
+    the caller must hold the returned segment open for the dataset's
+    lifetime and treat the data as read-only.
+    """
+    # Python 3.11's SharedMemory registers attachments with the resource
+    # tracker as if they were owners (bpo-39959).  Pool workers share the
+    # parent's tracker process, whose cache is a *set*: attach
+    # registrations dedupe against the owner's and the single unregister
+    # at unlink() cleans them all up, so no correction is needed here —
+    # an explicit per-attach unregister would instead strip the owner's
+    # entry and make unlink() crash the tracker with a KeyError.
+    shm = shared_memory.SharedMemory(name=handle.shm_name, create=False)
+    data = {
+        subject: np.ndarray(shape, dtype=np.float32, buffer=shm.buf, offset=offset)
+        for subject, offset, shape in handle.subjects
+    }
+    dataset = FMRIDataset(data, handle.epochs, mask=handle.mask, name=handle.name)
+    return dataset, shm
+
 
 # Worker-process globals installed by the pool initializer; module-level
-# so the per-task pickle payload stays tiny.
+# so the per-task pickle payload stays tiny.  The segment is held to keep
+# the dataset's views backed for the worker's lifetime.
 _WORKER_DATASET: FMRIDataset | None = None
 _WORKER_CONFIG: FCMAConfig | None = None
+_WORKER_SHM: shared_memory.SharedMemory | None = None
 
 
-def _init_worker(dataset: FMRIDataset, config: FCMAConfig) -> None:
-    global _WORKER_DATASET, _WORKER_CONFIG
-    _WORKER_DATASET = dataset
+def _init_worker(handle: SharedDatasetHandle, config: FCMAConfig) -> None:
+    global _WORKER_DATASET, _WORKER_CONFIG, _WORKER_SHM
+    _WORKER_DATASET, _WORKER_SHM = attach_shared_dataset(handle)
     _WORKER_CONFIG = config
+    # Warm the task-invariant preprocessing (grouped epochs + normalized
+    # windows) once per worker instead of lazily inside the first task.
+    preprocess_dataset(_WORKER_DATASET)
 
 
 def _run_assigned(assigned: np.ndarray) -> VoxelScores:
@@ -51,6 +148,11 @@ def _tasks_for(
         voxels[s : s + config.task_voxels]
         for s in range(0, voxels.size, config.task_voxels)
     ]
+
+
+def _auto_chunksize(n_tasks: int, n_workers: int) -> int:
+    """~4 chunks per worker: amortizes round-trips, keeps the tail short."""
+    return max(1, -(-n_tasks // (n_workers * 4)))
 
 
 def serial_voxel_selection(
@@ -82,10 +184,21 @@ def parallel_voxel_selection(
     tasks = _tasks_for(dataset, config, voxels)
     if n_workers == 1 or len(tasks) == 1:
         return serial_voxel_selection(dataset, config, voxels)
-    with ProcessPoolExecutor(
-        max_workers=min(n_workers, len(tasks)),
-        initializer=_init_worker,
-        initargs=(dataset, config),
-    ) as pool:
-        parts = list(pool.map(_run_assigned, tasks))
+    workers = min(n_workers, len(tasks))
+    chunksize = (
+        config.chunksize
+        if config.chunksize is not None
+        else _auto_chunksize(len(tasks), workers)
+    )
+    shm, handle = share_dataset(dataset)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(handle, config),
+        ) as pool:
+            parts = list(pool.map(_run_assigned, tasks, chunksize=chunksize))
+    finally:
+        shm.close()
+        shm.unlink()
     return VoxelScores.concatenate(parts).sorted_by_accuracy()

@@ -6,6 +6,14 @@ columns are first-principles vs calibrated.
 """
 
 from .base import KernelEstimate, arch_key, calibration_for, estimate_kernel
+from .batched_model import (
+    DISPATCH_OVERHEAD_SECONDS,
+    BatchedSyrkShape,
+    batched_syrk_shape_for,
+    dispatch_amortization,
+    max_resident_batch,
+    model_batched_syrk,
+)
 from .calibration import CALIBRATION, KernelCalibration, get_calibration
 from .memory_model import MemoryFootprint, max_resident_voxels, task_memory
 from .matmul_model import (
@@ -37,8 +45,10 @@ from .vtune import (
 )
 
 __all__ = [
+    "BatchedSyrkShape",
     "CALIBRATION",
     "CorrShape",
+    "DISPATCH_OVERHEAD_SECONDS",
     "InstrumentationRow",
     "KernelCalibration",
     "KernelEstimate",
@@ -56,12 +66,16 @@ __all__ = [
     "attainable_gflops",
     "baseline_report",
     "baseline_task_voxels",
+    "batched_syrk_shape_for",
     "calibration_for",
+    "dispatch_amortization",
     "corr_shape_for",
     "estimate_kernel",
     "format_report",
     "get_calibration",
+    "max_resident_batch",
     "max_resident_voxels",
+    "model_batched_syrk",
     "model_correlation_matmul",
     "model_kernel_syrk",
     "model_normalization",

@@ -1,0 +1,215 @@
+"""Access-pattern model of the *batched* stage-3a kernel syrk.
+
+The batched kernel (:func:`repro.core.kernels.kernel_matrix_batched`)
+computes all ``B`` voxel kernels of a stage-3 block in one stacked GEMM
+``(B, M, N) @ (B, N, M)`` instead of ``B`` separate ``(M, N) @ (N, M)``
+calls.  The arithmetic and the DRAM traffic are identical to ``B``
+per-voxel syrks — each A panel is still read once, each C triangle
+written once — so what the model captures is what batching actually
+changes:
+
+* **dispatch amortization** — the per-call fixed cost (interpreter,
+  BLAS setup, thread wake-up) is paid once per *stacked* call instead of
+  once per voxel.  On KNC this is the paper's motivation for keeping
+  "240+ voxel problems resident": tiny M x M problems cannot amortize
+  offload overhead individually.
+* **output residency** — the panel-accumulated variant re-touches the
+  whole ``B x M x M`` output block once per depth panel; whether those
+  re-touches hit cache or DRAM depends on the batch size, which gives a
+  principled ceiling for ``batch_voxels``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..data.presets import DatasetSpec
+from ..hw.counters import PerfCounters
+from ..hw.spec import HardwareSpec
+from .base import KernelEstimate, calibration_for, estimate_kernel
+from .matmul_model import SyrkShape, syrk_shape_for
+
+__all__ = [
+    "BatchedSyrkShape",
+    "DISPATCH_OVERHEAD_SECONDS",
+    "batched_syrk_shape_for",
+    "dispatch_amortization",
+    "max_resident_batch",
+    "model_batched_syrk",
+]
+
+#: Fixed cost of one stacked-GEMM dispatch (interpreter + BLAS setup).
+#: Measured order-of-magnitude for a numpy matmul call on the host; the
+#: KNC offload analogue is far larger, which only strengthens the case.
+DISPATCH_OVERHEAD_SECONDS = 5e-6
+
+
+@dataclass(frozen=True)
+class BatchedSyrkShape:
+    """Shape of one task's stage-3a work under batched dispatch."""
+
+    #: Total voxel problems in the task.
+    n_problems: int
+    #: Training epochs (kernel matrix is m x m).
+    m: int
+    #: Brain voxels (the long reduction dimension).
+    n: int
+    #: Voxel problems per stacked GEMM call.
+    batch: int
+    #: Reduction-depth panel (None = single full-depth call per batch).
+    panel_depth: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_problems < 1 or self.m < 1 or self.n < 1:
+            raise ValueError("n_problems, m, n must all be >= 1")
+        if self.batch < 1:
+            raise ValueError("batch must be >= 1")
+        if self.panel_depth is not None and self.panel_depth < 1:
+            raise ValueError("panel_depth must be >= 1 (or None)")
+
+    @property
+    def as_syrk(self) -> SyrkShape:
+        """The equivalent per-voxel shape (arithmetic is identical)."""
+        return SyrkShape(n_problems=self.n_problems, m=self.m, n=self.n)
+
+    @property
+    def flops(self) -> float:
+        """Triangle-only FLOPs — batching does not change arithmetic."""
+        return self.as_syrk.flops
+
+    @property
+    def n_batches(self) -> int:
+        """Stacked GEMM groups the task splits into."""
+        return math.ceil(self.n_problems / self.batch)
+
+    @property
+    def n_panels(self) -> int:
+        """Depth panels per batch (1 without panel accumulation)."""
+        if self.panel_depth is None:
+            return 1
+        return math.ceil(self.n / self.panel_depth)
+
+    @property
+    def dispatches(self) -> int:
+        """GEMM dispatches the batched driver issues."""
+        return self.n_batches * self.n_panels
+
+    @property
+    def dispatches_per_voxel_path(self) -> int:
+        """GEMM dispatches the per-voxel reference driver issues."""
+        return self.n_problems * self.n_panels
+
+    @property
+    def batch_a_bytes(self) -> int:
+        """Input bytes of one full batch's data matrices (float32)."""
+        return 4 * self.batch * self.m * self.n
+
+    @property
+    def batch_c_bytes(self) -> int:
+        """Output bytes of one batch's kernel matrices (float32)."""
+        return 4 * self.batch * self.m * self.m
+
+    @property
+    def panel_working_set_bytes(self) -> int:
+        """Bytes live during one dispatch: A panel slice + C block."""
+        depth = self.panel_depth if self.panel_depth is not None else self.n
+        depth = min(depth, self.n)
+        return 4 * self.batch * self.m * depth + self.batch_c_bytes
+
+
+def batched_syrk_shape_for(
+    spec: DatasetSpec,
+    n_assigned: int,
+    batch: int,
+    panel_depth: int | None = None,
+) -> BatchedSyrkShape:
+    """Batched stage-3a shape for a task on a dataset (LOSO training)."""
+    base = syrk_shape_for(spec, n_assigned)
+    return BatchedSyrkShape(
+        n_problems=base.n_problems,
+        m=base.m,
+        n=base.n,
+        batch=batch,
+        panel_depth=panel_depth,
+    )
+
+
+def dispatch_amortization(shape: BatchedSyrkShape) -> float:
+    """How many per-voxel dispatches one batched dispatch replaces.
+
+    Equals the effective batch size: overhead seconds saved per task are
+    ``(dispatches_per_voxel_path - dispatches) * DISPATCH_OVERHEAD_SECONDS``.
+    """
+    return shape.dispatches_per_voxel_path / shape.dispatches
+
+
+def max_resident_batch(
+    hw: HardwareSpec, m: int, panel_depth: int | None = None, n: int | None = None
+) -> int:
+    """Largest batch whose per-dispatch working set stays cache-resident.
+
+    Uses the LLC when the machine has one (host), else the aggregate L2
+    (KNC keeps a task's working set distributed across the ring).  With
+    panel accumulation only the current depth slice of A competes with
+    the C block, so deep reductions allow much larger batches.
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if hw.llc is not None:
+        capacity = hw.llc.size_bytes
+    else:
+        capacity = hw.l2.size_bytes * hw.cores
+    depth = panel_depth if panel_depth is not None else (n if n is not None else m)
+    per_problem = 4 * (m * depth + m * m)
+    return max(1, capacity // per_problem)
+
+
+def model_batched_syrk(
+    spec: DatasetSpec,
+    n_assigned: int,
+    hw: HardwareSpec,
+    batch: int,
+    panel_depth: int | None = None,
+) -> KernelEstimate:
+    """Model the batched stage-3a kernel precompute for one task.
+
+    DRAM accounting matches the optimized per-voxel syrk — A read once,
+    C written once — plus the panel variant's C re-touches: the output
+    block is revisited once per depth panel, from cache while the batch
+    C block fits (:func:`max_resident_batch`), from DRAM beyond that.
+    The returned estimate's time excludes the dispatch fixed cost; add
+    ``shape.dispatches * DISPATCH_OVERHEAD_SECONDS`` for end-to-end
+    driver comparisons (kept separate because it is a host-side cost,
+    not a kernel cost).
+    """
+    shape = batched_syrk_shape_for(spec, n_assigned, batch, panel_depth)
+    syrk = shape.as_syrk
+    line_elems = hw.elements_per_line()
+    a_lines = syrk.n_problems * syrk.a_elements / line_elems
+    c_lines = syrk.output_elements / line_elems
+
+    remote = 0.0
+    dram = a_lines + c_lines
+    if shape.n_panels > 1:
+        # C re-touched (read + write) once per extra panel pass.
+        retouch_lines = 2.0 * (shape.n_panels - 1) * c_lines
+        if batch <= max_resident_batch(hw, syrk.m, panel_depth, syrk.n):
+            remote = retouch_lines
+        else:
+            dram += retouch_lines
+
+    calib = calibration_for("matmul/ours/syrk", hw)
+    refs = syrk.flops * calib.refs_per_flop
+    vpu = syrk.flops / (2.0 * calib.vi)
+    counters = PerfCounters(
+        mem_reads=refs * 0.98,
+        mem_writes=refs * 0.02,
+        l2_misses=dram,
+        l2_remote_hits=remote,
+        flops=syrk.flops,
+        vpu_instructions=vpu,
+        vector_elements=vpu * calib.vi,
+        scalar_instructions=refs * calib.instr_per_ref,
+    )
+    return estimate_kernel("matmul/ours/syrk-batched", hw, counters, calib)

@@ -2,8 +2,10 @@
 LibSVM-like baseline."""
 
 from .cross_validation import (
+    BatchCrossValidationResult,
     CrossValidationResult,
     grouped_cross_validation,
+    grouped_cross_validation_batch,
     kfold_ids,
     loso_cross_validation,
 )
@@ -23,13 +25,23 @@ from .kernels import (
 from .grid import GridResult, default_c_grid, select_c
 from .libsvm_like import CachedLinearKernel, LibSVMClassifier, SparseNodes
 from .multiclass import OneVsOneClassifier, OneVsOneModel, as_multiclass
-from .model import SVMModel
+from .model import BatchSVMModel, SVMModel
 from .phisvm import PhiSVM
 from .platt import PlattScaler, fit_platt
-from .smo import DenseKernel, KernelOracle, SMOResult, solve_smo
+from .smo import (
+    BatchSMOResult,
+    DenseKernel,
+    KernelOracle,
+    SMOResult,
+    solve_smo,
+    solve_smo_batch,
+)
 
 __all__ = [
     "AdaptiveSelector",
+    "BatchCrossValidationResult",
+    "BatchSMOResult",
+    "BatchSVMModel",
     "CachedLinearKernel",
     "CrossValidationResult",
     "DenseKernel",
@@ -51,6 +63,7 @@ __all__ = [
     "default_c_grid",
     "fit_platt",
     "grouped_cross_validation",
+    "grouped_cross_validation_batch",
     "kfold_ids",
     "linear_kernel",
     "loso_cross_validation",
@@ -58,5 +71,6 @@ __all__ = [
     "rbf_kernel",
     "select_c",
     "solve_smo",
+    "solve_smo_batch",
     "validate_kernel_matrix",
 ]

@@ -17,8 +17,11 @@ import numpy as np
 
 __all__ = [
     "KernelBackend",
+    "BatchKernelBackend",
     "CrossValidationResult",
+    "BatchCrossValidationResult",
     "grouped_cross_validation",
+    "grouped_cross_validation_batch",
     "loso_cross_validation",
     "kfold_ids",
 ]
@@ -28,6 +31,12 @@ class KernelBackend(Protocol):
     """Any SVM backend trainable from a precomputed kernel."""
 
     def fit_kernel(self, kernel: np.ndarray, labels: np.ndarray): ...
+
+
+class BatchKernelBackend(Protocol):
+    """An SVM backend that can train many stacked kernels jointly."""
+
+    def fit_kernel_batch(self, kernels: np.ndarray, labels: np.ndarray): ...
 
 
 @dataclass(frozen=True)
@@ -100,6 +109,97 @@ def grouped_cross_validation(
         accuracies[k] = model.accuracy(test_block, labels[test_idx])
         iterations[k] = model.iterations
     return CrossValidationResult(
+        folds=folds,
+        fold_accuracies=accuracies,
+        fold_sizes=sizes,
+        fold_iterations=iterations,
+    )
+
+
+@dataclass(frozen=True)
+class BatchCrossValidationResult:
+    """Per-fold outcomes of one grouped CV over ``B`` stacked problems."""
+
+    #: Distinct fold ids in evaluation order, shape (F,).
+    folds: np.ndarray
+    #: Held-out accuracy per problem and fold, shape (B, F).
+    fold_accuracies: np.ndarray
+    #: Held-out sample count per fold (shared by all problems), shape (F,).
+    fold_sizes: np.ndarray
+    #: Solver iterations per problem and fold, shape (B, F).
+    fold_iterations: np.ndarray
+
+    @property
+    def accuracies(self) -> np.ndarray:
+        """Sample-weighted mean held-out accuracy per problem, shape (B,)."""
+        total = self.fold_sizes.sum()
+        if total == 0:
+            return np.zeros(self.fold_accuracies.shape[0])
+        return (self.fold_accuracies * self.fold_sizes[None, :]).sum(
+            axis=1
+        ) / total
+
+    @property
+    def total_iterations(self) -> np.ndarray:
+        """Total SMO iterations per problem across folds, shape (B,)."""
+        return self.fold_iterations.sum(axis=1)
+
+    def problem(self, b: int) -> CrossValidationResult:
+        """Problem ``b``'s folds as a scalar :class:`CrossValidationResult`."""
+        return CrossValidationResult(
+            folds=self.folds,
+            fold_accuracies=self.fold_accuracies[b],
+            fold_sizes=self.fold_sizes,
+            fold_iterations=self.fold_iterations[b],
+        )
+
+
+def grouped_cross_validation_batch(
+    backend: BatchKernelBackend,
+    kernels: np.ndarray,
+    labels: np.ndarray,
+    fold_ids: np.ndarray,
+) -> BatchCrossValidationResult:
+    """Grouped CV over ``B`` stacked kernel matrices at once.
+
+    The batched counterpart of :func:`grouped_cross_validation` for the
+    FCMA stage-3 situation: every problem (voxel) shares the epochs, so
+    the fold partition is common and each fold's training kernels are
+    pure stacked submatrix slices ``kernels[:, train, train]``.  Fold
+    semantics are identical to the sequential driver, including the
+    degenerate-training-fold rule (accuracy 0 for every problem).
+    """
+    kernels = np.asarray(kernels)
+    labels = np.asarray(labels)
+    fold_ids = np.asarray(fold_ids)
+    if kernels.ndim != 3 or kernels.shape[1] != kernels.shape[2]:
+        raise ValueError(
+            f"kernels must be (problems, n, n), got {kernels.shape}"
+        )
+    b, n = kernels.shape[0], kernels.shape[1]
+    if labels.shape != (n,) or fold_ids.shape != (n,):
+        raise ValueError("labels and fold_ids must match the kernel size")
+    folds = np.unique(fold_ids)
+    if folds.size < 2:
+        raise ValueError("grouped CV needs at least 2 folds")
+
+    accuracies = np.zeros((b, folds.size))
+    sizes = np.zeros(folds.size, dtype=np.int64)
+    iterations = np.zeros((b, folds.size), dtype=np.int64)
+    for k, fold in enumerate(folds):
+        test_mask = fold_ids == fold
+        train_idx = np.nonzero(~test_mask)[0]
+        test_idx = np.nonzero(test_mask)[0]
+        sizes[k] = test_idx.size
+        train_labels = labels[train_idx]
+        if np.unique(train_labels).size < 2:
+            continue
+        sub_kernels = kernels[:, train_idx[:, None], train_idx[None, :]]
+        models = backend.fit_kernel_batch(sub_kernels, train_labels)
+        test_blocks = kernels[:, test_idx[:, None], train_idx[None, :]]
+        accuracies[:, k] = models.accuracy(test_blocks, labels[test_idx])
+        iterations[:, k] = models.iterations
+    return BatchCrossValidationResult(
         folds=folds,
         fold_accuracies=accuracies,
         fold_sizes=sizes,

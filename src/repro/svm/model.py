@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["SVMModel"]
+__all__ = ["SVMModel", "BatchSVMModel"]
 
 
 @dataclass(frozen=True)
@@ -101,6 +101,100 @@ class SVMModel:
                 f"{self.n_train}"
             )
         return x_train.T @ self.dual_coef
+
+
+@dataclass(frozen=True)
+class BatchSVMModel:
+    """``B`` binary C-SVCs trained jointly on stacked kernels.
+
+    The batched counterpart of :class:`SVMModel`: problem ``b``'s
+    decision function for a test block ``K_test[b]`` of shape
+    ``(n_test, n_train)`` is ``K_test[b] @ dual_coef[b] - rho[b]``.
+    All problems share the training epochs (and therefore the class
+    pair) — the FCMA stage-3 situation, where the batch axis is voxels.
+    """
+
+    #: ``alpha_i * y_i`` per problem and training sample, shape (B, n_train).
+    dual_coef: np.ndarray
+    #: Per-problem decision-function offsets, shape (B,).
+    rho: np.ndarray
+    #: Original class labels; classes[0] -> -1, classes[1] -> +1.
+    classes: tuple[int, int]
+    #: Box constraint the models were trained with.
+    c: float
+    #: Working-set iterations per problem, shape (B,).
+    iterations: np.ndarray
+    #: Per-problem convergence flags, shape (B,).
+    converged: np.ndarray
+    #: Final dual objective per problem, shape (B,).
+    objective: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.dual_coef.ndim != 2:
+            raise ValueError("dual_coef must be (problems, n_train)")
+        if len(self.classes) != 2 or self.classes[0] == self.classes[1]:
+            raise ValueError("classes must be two distinct labels")
+
+    def __len__(self) -> int:
+        return self.dual_coef.shape[0]
+
+    @property
+    def n_train(self) -> int:
+        """Number of training samples each problem was fit on."""
+        return self.dual_coef.shape[1]
+
+    def model(self, b: int) -> SVMModel:
+        """Problem ``b`` as a standalone :class:`SVMModel`."""
+        return SVMModel(
+            dual_coef=self.dual_coef[b],
+            rho=float(self.rho[b]),
+            classes=self.classes,
+            c=self.c,
+            iterations=int(self.iterations[b]),
+            converged=bool(self.converged[b]),
+            objective=float(self.objective[b]),
+        )
+
+    def _check_blocks(self, kernel_blocks: np.ndarray) -> np.ndarray:
+        kernel_blocks = np.asarray(kernel_blocks)
+        if kernel_blocks.ndim == 2:
+            # One shared test block (e.g. identical fold slices).
+            kernel_blocks = np.broadcast_to(
+                kernel_blocks, (len(self),) + kernel_blocks.shape
+            )
+        if kernel_blocks.ndim != 3 or kernel_blocks.shape[0] != len(self):
+            raise ValueError(
+                f"kernel blocks must be ({len(self)}, n_test, {self.n_train}), "
+                f"got {kernel_blocks.shape}"
+            )
+        if kernel_blocks.shape[2] != self.n_train:
+            raise ValueError(
+                f"kernel blocks have {kernel_blocks.shape[2]} columns, "
+                f"models expect {self.n_train}"
+            )
+        return kernel_blocks
+
+    def decision_function(self, kernel_blocks: np.ndarray) -> np.ndarray:
+        """Scores for stacked ``(B, n_test, n_train)`` test blocks."""
+        kernel_blocks = self._check_blocks(kernel_blocks)
+        scores = kernel_blocks @ self.dual_coef[:, :, None]
+        return scores[:, :, 0] - self.rho[:, None]
+
+    def predict(self, kernel_blocks: np.ndarray) -> np.ndarray:
+        """Predicted labels per problem, shape ``(B, n_test)``."""
+        scores = self.decision_function(kernel_blocks)
+        out = np.where(scores > 0.0, self.classes[1], self.classes[0])
+        return out.astype(np.int64)
+
+    def accuracy(self, kernel_blocks: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Per-problem fraction of correct predictions, shape ``(B,)``."""
+        labels = np.asarray(labels)
+        pred = self.predict(kernel_blocks)
+        if labels.shape != (pred.shape[1],):
+            raise ValueError(
+                f"labels must have shape ({pred.shape[1]},), got {labels.shape}"
+            )
+        return (pred == labels[None, :]).mean(axis=1)
 
 
 def encode_labels(labels: np.ndarray) -> tuple[np.ndarray, tuple[int, int]]:

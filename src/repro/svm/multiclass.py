@@ -108,6 +108,26 @@ class OneVsOneClassifier:
             n_train=kernel.shape[0],
         )
 
+    def fit_kernel_batch(self, kernels: np.ndarray, labels: np.ndarray):
+        """Batched training passthrough for binary problems.
+
+        Binary label sets delegate to the wrapped backend's
+        ``fit_kernel_batch`` (zero overhead, like the scalar path);
+        multiclass batches are not vectorized — callers fall back to the
+        per-voxel loop, which votes pairwise machines per problem.
+        """
+        labels = np.asarray(labels)
+        if np.unique(labels).size != 2:
+            raise NotImplementedError(
+                "batched training supports binary problems only"
+            )
+        fit_batch = getattr(self._backend, "fit_kernel_batch", None)
+        if fit_batch is None:
+            raise NotImplementedError(
+                f"{type(self._backend).__name__} has no batched trainer"
+            )
+        return fit_batch(np.asarray(kernels), labels)
+
 
 def as_multiclass(backend: KernelBackend) -> OneVsOneClassifier:
     """Wrap a binary backend for arbitrary class counts."""

@@ -21,10 +21,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from .heuristics import AdaptiveSelector, WorkingSetSelector
+from .heuristics import (
+    AdaptiveSelector,
+    FirstOrderSelector,
+    SecondOrderSelector,
+    WorkingSetSelector,
+)
 from .kernels import linear_kernel, validate_kernel_matrix
-from .model import SVMModel, encode_labels
-from .smo import solve_smo
+from .model import BatchSVMModel, SVMModel, encode_labels
+from .smo import solve_smo, solve_smo_batch
 
 __all__ = ["PhiSVM"]
 
@@ -88,6 +93,58 @@ class PhiSVM:
         )
         return SVMModel(
             dual_coef=(result.alpha * y).astype(np.float32),
+            rho=result.rho,
+            classes=classes,
+            c=self.c,
+            iterations=result.iterations,
+            converged=result.converged,
+            objective=result.objective,
+        )
+
+    def _batch_selection(self) -> str:
+        """solve_smo_batch selection mode mirroring the selector factory."""
+        if self._selector_factory is AdaptiveSelector:
+            return "adaptive"
+        if self._selector_factory is FirstOrderSelector:
+            return "first"
+        if self._selector_factory is SecondOrderSelector:
+            return "second"
+        raise NotImplementedError(
+            f"no batched equivalent of {self._selector_factory.__name__}; "
+            "use the per-voxel path"
+        )
+
+    def fit_kernel_batch(
+        self, kernels: np.ndarray, labels: np.ndarray
+    ) -> BatchSVMModel:
+        """Train ``B`` voxel problems jointly on stacked kernels.
+
+        ``kernels`` has shape ``(B, n, n)``; all problems share
+        ``labels`` (the FCMA case — every voxel classifies the same
+        epochs).  This is the batch analogue of :meth:`fit_kernel`:
+        each problem follows the same SMO trajectory it would follow
+        alone, but the working-set selection and updates for all B
+        problems are single vectorized operations per sweep.
+        """
+        kernels = np.asarray(kernels)
+        if kernels.ndim != 3 or kernels.shape[1] != kernels.shape[2]:
+            raise ValueError(
+                f"kernels must be (problems, n, n), got {kernels.shape}"
+            )
+        kernels = np.ascontiguousarray(kernels, dtype=np.float32)
+        y, classes = encode_labels(labels)
+        result = solve_smo_batch(
+            kernels,
+            y,
+            c=self.c,
+            tol=self.tol,
+            max_iter=self.max_iter,
+            selection=self._batch_selection(),
+        )
+        return BatchSVMModel(
+            dual_coef=(result.alpha * y[None, :].astype(np.float32)).astype(
+                np.float32
+            ),
             rho=result.rho,
             classes=classes,
             c=self.c,

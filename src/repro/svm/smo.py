@@ -27,7 +27,14 @@ import numpy as np
 
 from .heuristics import SelectionState, WorkingSetSelector, SecondOrderSelector
 
-__all__ = ["KernelOracle", "DenseKernel", "SMOResult", "solve_smo"]
+__all__ = [
+    "KernelOracle",
+    "DenseKernel",
+    "SMOResult",
+    "solve_smo",
+    "BatchSMOResult",
+    "solve_smo_batch",
+]
 
 #: Lower bound used in place of a non-positive second derivative
 #: (LibSVM's TAU).
@@ -315,4 +322,323 @@ def solve_smo(
         gap_history=np.asarray(gaps, dtype=np.float64),
         shrink_events=shrink_events,
         min_active=min_active if shrinking else n,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Multi-problem (voxel-batched) SMO
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BatchSMOResult:
+    """Output of one batched SMO solve over ``B`` independent problems."""
+
+    #: Dual coefficients, shape (B, n), in the kernel dtype.
+    alpha: np.ndarray
+    #: Per-problem offsets; decision function b is ``K @ (a_b y_b) - rho_b``.
+    rho: np.ndarray
+    #: Working-set iterations each problem performed before freezing.
+    iterations: np.ndarray
+    #: Whether each problem met the duality-gap stopping criterion.
+    converged: np.ndarray
+    #: Final dual objective per problem.
+    objective: np.ndarray
+    #: Final KKT violation gap per problem.
+    gap: np.ndarray
+    #: Batch sweeps executed (== max(iterations) unless capped).
+    sweeps: int
+
+
+def _batch_calculate_rho(
+    y: np.ndarray, grad: np.ndarray, alpha: np.ndarray, c: float
+) -> np.ndarray:
+    """Vectorized :func:`_calculate_rho` over the batch axis."""
+    yg = y * grad
+    free = (alpha > 0.0) & (alpha < c)
+    n_free = free.sum(axis=1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        rho_free = np.where(free, yg, 0.0).sum(axis=1) / np.maximum(n_free, 1)
+    upper = ((y > 0) & (alpha <= 0.0)) | ((y < 0) & (alpha >= c))
+    lower = ((y > 0) & (alpha >= c)) | ((y < 0) & (alpha <= 0.0))
+    ub = np.where(upper, yg, np.inf).min(axis=1)
+    lb = np.where(lower, yg, -np.inf).max(axis=1)
+    with np.errstate(invalid="ignore"):  # inf + -inf in unselected lanes
+        rho_bound = np.where(
+            np.isfinite(ub) & np.isfinite(lb),
+            (ub + lb) / 2.0,
+            np.where(np.isfinite(ub), ub, np.where(np.isfinite(lb), lb, 0.0)),
+        )
+    return np.asarray(np.where(n_free > 0, rho_free, rho_bound), dtype=np.float64)
+
+
+class _BatchAdaptivePhases:
+    """Vectorized mirror of :class:`~repro.svm.heuristics.AdaptiveSelector`.
+
+    All live problems advance one SMO iteration per batch sweep, so the
+    probe/commit *timing* (probe first-order, probe second-order, commit
+    the winner, re-probe) is shared scalar state, while the measured
+    convergence rates — and therefore the committed heuristic — are
+    per-problem arrays.
+    """
+
+    def __init__(self, n_problems: int, probe_iters: int = 8, commit_iters: int = 64):
+        self._probe = probe_iters
+        self._commit = commit_iters
+        self._phase = "probe_first"
+        self._phase_left = probe_iters
+        self._gap_start: np.ndarray | None = None
+        self._rate_first = np.zeros(n_problems)
+        #: Committed choice per problem; second-order initially (the
+        #: sequential selector's default commitment).
+        self.use_second = np.ones(n_problems, dtype=bool)
+
+    def current_use_second(self) -> np.ndarray:
+        if self._phase == "probe_first":
+            return np.zeros_like(self.use_second)
+        if self._phase == "probe_second":
+            return np.ones_like(self.use_second)
+        return self.use_second
+
+    def _rates(self, gap_end: np.ndarray, cost: float) -> np.ndarray:
+        assert self._gap_start is not None
+        start = self._gap_start
+        with np.errstate(divide="ignore", invalid="ignore"):
+            shrink = np.log(
+                np.maximum(start, 1e-300) / np.maximum(gap_end, 1e-300)
+            )
+            rate = shrink / (self._probe * cost)
+        return np.where((start <= 0) | (gap_end <= 0), np.inf, rate)
+
+    def step(self, gap: np.ndarray) -> None:
+        """Advance one iteration; ``gap`` is this sweep's KKT violation."""
+        if self._gap_start is None:
+            self._gap_start = gap.copy()
+        self._phase_left -= 1
+        if self._phase_left > 0:
+            return
+        if self._phase == "probe_first":
+            self._rate_first = self._rates(gap, cost=1.0)
+            self._phase, self._phase_left = "probe_second", self._probe
+        elif self._phase == "probe_second":
+            rate_second = self._rates(gap, cost=2.0)
+            # Mirrors the sequential rule: first order wins only on a
+            # strictly greater per-cost rate.
+            self.use_second = ~(self._rate_first > rate_second)
+            self._phase, self._phase_left = "commit", self._commit
+        else:
+            self._phase, self._phase_left = "probe_first", self._probe
+        self._gap_start = gap.copy()
+
+
+def solve_smo_batch(
+    kernels: np.ndarray,
+    y: np.ndarray,
+    c: float = 1.0,
+    tol: float = 1e-3,
+    max_iter: int | None = None,
+    selection: str = "adaptive",
+) -> BatchSMOResult:
+    """Solve ``B`` independent C-SVC duals simultaneously.
+
+    The paper keeps 240+ voxel problems resident on the coprocessor with
+    one thread per problem; here the batch axis plays that role: every
+    SMO ingredient — working-set selection, the two-variable analytic
+    update, gradient maintenance — is one vectorized operation across
+    all live problems, so the Python-interpreter cost of an iteration is
+    paid once per *sweep* instead of once per problem.  Problems whose
+    KKT gap drops below ``tol`` freeze (their variables stop moving) and
+    the batch loops until every problem converges or ``max_iter`` sweeps
+    elapse.
+
+    Parameters
+    ----------
+    kernels:
+        Stacked symmetric PSD kernels, shape ``(B, n, n)``.  The solve
+        runs in the stack's floating dtype (float32 for PhiSVM).
+    y:
+        Labels in {-1, +1}: shape ``(n,)`` (shared by all problems — the
+        FCMA case, where every voxel sees the same epochs) or ``(B, n)``.
+    c, tol, max_iter:
+        As in :func:`solve_smo`; ``max_iter`` caps batch sweeps, which
+        equals the per-problem iteration cap of the sequential solver.
+    selection:
+        ``"adaptive"`` (default, mirrors PhiSVM's
+        :class:`~repro.svm.heuristics.AdaptiveSelector` per problem),
+        ``"second"`` (WSS 2 throughout) or ``"first"`` (WSS 1).
+
+    A problem solved in a batch follows the same iterate trajectory as
+    :func:`solve_smo` on it alone with the matching selector: selection
+    argmax/argmin tie-breaks, the update arithmetic, and the float32
+    rounding are identical.
+    """
+    kernels = np.asarray(kernels)
+    if kernels.ndim != 3 or kernels.shape[1] != kernels.shape[2]:
+        raise ValueError(
+            f"kernels must be (problems, n, n), got {kernels.shape}"
+        )
+    if selection not in ("adaptive", "second", "first"):
+        raise ValueError(f"unknown selection {selection!r}")
+    if not np.issubdtype(kernels.dtype, np.floating):
+        kernels = kernels.astype(np.float64)
+    b, n = kernels.shape[0], kernels.shape[1]
+    y = np.asarray(y)
+    if y.shape == (n,):
+        y = np.broadcast_to(y, (b, n))
+    elif y.shape != (b, n):
+        raise ValueError(f"y must have shape ({n},) or ({b}, {n}), got {y.shape}")
+    if not np.isin(y, (-1, 1)).all():
+        raise ValueError("labels must be -1 or +1")
+    if c <= 0:
+        raise ValueError("C must be positive")
+    if tol <= 0:
+        raise ValueError("tol must be positive")
+    dtype = kernels.dtype
+    if max_iter is None:
+        max_iter = max(10_000, 100 * n)
+
+    yf = np.ascontiguousarray(y, dtype=dtype)
+    alpha = np.zeros((b, n), dtype=dtype)
+    grad = np.full((b, n), -1.0, dtype=dtype)  # G = Q alpha - e at alpha = 0
+    diag = np.ascontiguousarray(
+        np.diagonal(kernels, axis1=1, axis2=2), dtype=dtype
+    )
+    cval = dtype.type(c)
+    rows = np.arange(b)
+    live = np.ones(b, dtype=bool)
+    iterations = np.zeros(b, dtype=np.int64)
+    final_gap = np.zeros(b, dtype=np.float64)
+    adaptive = (
+        _BatchAdaptivePhases(b) if selection == "adaptive" else None
+    )
+    sweeps = 0
+
+    with np.errstate(invalid="ignore", over="ignore", divide="ignore"):
+        while sweeps < max_iter:
+            # --- working-set selection (all problems at once) -------------
+            minus_yg = -(yf * grad)
+            pos = yf > 0
+            at_upper = alpha >= cval
+            at_lower = alpha <= 0.0
+            i_up = (pos & ~at_upper) | (~pos & ~at_lower)
+            i_low = (pos & ~at_lower) | (~pos & ~at_upper)
+            up_vals = np.where(i_up, minus_yg, -np.inf)
+            low_vals = np.where(i_low, minus_yg, np.inf)
+            i = np.argmax(up_vals, axis=1)
+            gmax = up_vals[rows, i]
+            gmin = low_vals.min(axis=1)
+            # Degenerate problems (empty I_up or I_low) are optimal,
+            # matching the sequential selector's (0, 0, 0.0) return.
+            degenerate = ~np.isfinite(gmax) | ~np.isfinite(gmin)
+            gap = np.where(degenerate, 0.0, gmax - gmin)
+            final_gap = np.where(live, gap, final_gap)
+            if adaptive is not None:
+                use_second = adaptive.current_use_second()
+                adaptive.step(gap)
+            elif selection == "second":
+                use_second = np.ones(b, dtype=bool)
+            else:
+                use_second = np.zeros(b, dtype=bool)
+
+            live &= gap >= tol
+            if not live.any():
+                break
+            sweeps += 1
+            iterations[live] += 1
+
+            # Kernel rows K[b, i_b, :] / K[b, j_b, :]: needed for the
+            # second-order gain and for the gradient update.
+            k_i = np.take_along_axis(kernels, i[:, None, None], axis=1)[:, 0, :]
+            j_first = np.argmin(low_vals, axis=1)
+            if use_second.any():
+                a_coef = diag[rows, i][:, None] + diag - 2.0 * k_i
+                a_coef = np.where(a_coef <= 0.0, dtype.type(_TAU), a_coef)
+                b_coef = gmax[:, None] - minus_yg
+                eligible = i_low & (minus_yg < gmax[:, None])
+                gain = np.where(eligible, (b_coef * b_coef) / a_coef, -np.inf)
+                j_second = np.where(
+                    eligible.any(axis=1), np.argmax(gain, axis=1), j_first
+                )
+                j = np.where(use_second, j_second, j_first)
+            else:
+                j = j_first
+            k_j = np.take_along_axis(kernels, j[:, None, None], axis=1)[:, 0, :]
+
+            # --- two-variable analytic update (vectorized) ----------------
+            yi = yf[rows, i]
+            yj = yf[rows, j]
+            gi = grad[rows, i]
+            gj = grad[rows, j]
+            ai = alpha[rows, i]
+            aj = alpha[rows, j]
+            q_ij = yi * yj * k_i[rows, j]
+            di = diag[rows, i]
+            dj = diag[rows, j]
+            same = yi == yj
+
+            quad = np.where(same, di + dj - 2.0 * q_ij, di + dj + 2.0 * q_ij)
+            quad = np.where(quad <= 0.0, dtype.type(_TAU), quad)
+            delta = np.where(same, gi - gj, -gi - gj) / quad
+
+            # Different-sign branch: alpha_i, alpha_j move together.
+            diff = ai - aj
+            d_ai = ai + delta
+            d_aj = aj + delta
+            clip = (diff > 0) & (d_aj < 0)
+            d_aj = np.where(clip, 0.0, d_aj)
+            d_ai = np.where(clip, diff, d_ai)
+            clip = (diff <= 0) & (d_ai < 0)
+            d_ai = np.where(clip, 0.0, d_ai)
+            d_aj = np.where(clip, -diff, d_aj)
+            clip = (diff > 0) & (d_ai > cval)
+            d_ai = np.where(clip, cval, d_ai)
+            d_aj = np.where(clip, cval - diff, d_aj)
+            clip = (diff <= 0) & (d_aj > cval)
+            d_aj = np.where(clip, cval, d_aj)
+            d_ai = np.where(clip, cval + diff, d_ai)
+
+            # Same-sign branch: alpha_i + alpha_j conserved.
+            total = ai + aj
+            s_ai = ai - delta
+            s_aj = aj + delta
+            clip = (total > cval) & (s_ai > cval)
+            s_ai = np.where(clip, cval, s_ai)
+            s_aj = np.where(clip, total - cval, s_aj)
+            clip = (total <= cval) & (s_aj < 0)
+            s_aj = np.where(clip, 0.0, s_aj)
+            s_ai = np.where(clip, total, s_ai)
+            clip = (total > cval) & (s_aj > cval)
+            s_aj = np.where(clip, cval, s_aj)
+            s_ai = np.where(clip, total - cval, s_ai)
+            clip = (total <= cval) & (s_ai < 0)
+            s_ai = np.where(clip, 0.0, s_ai)
+            s_aj = np.where(clip, total, s_aj)
+
+            new_ai = np.where(same, s_ai, d_ai).astype(dtype, copy=False)
+            new_aj = np.where(same, s_aj, d_aj).astype(dtype, copy=False)
+            step_i = np.where(live, new_ai - ai, dtype.type(0.0))
+            step_j = np.where(live, new_aj - aj, dtype.type(0.0))
+            # Assign (not +=): the sequential solver stores the clipped
+            # values directly, and `a + (new - a)` can differ by an ulp.
+            alpha[rows, i] = np.where(live, new_ai, ai)
+            alpha[rows, j] = np.where(live, new_aj, aj)
+
+            moved = (step_i != 0.0) | (step_j != 0.0)
+            if moved.any():
+                q_i_rows = yi[:, None] * (yf * k_i)
+                q_j_rows = yj[:, None] * (yf * k_j)
+                grad += q_i_rows * step_i[:, None] + q_j_rows * step_j[:, None]
+
+    converged = ~live
+    objective = (
+        0.5 * (alpha * grad).sum(axis=1) - 0.5 * alpha.sum(axis=1)
+    ).astype(np.float64)
+    rho = _batch_calculate_rho(yf, grad, alpha, float(c))
+    return BatchSMOResult(
+        alpha=alpha,
+        rho=rho,
+        iterations=iterations,
+        converged=converged,
+        objective=objective,
+        gap=final_gap,
+        sweeps=sweeps,
     )

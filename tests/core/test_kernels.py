@@ -6,6 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.kernels import (
     kernel_matrix_baseline,
+    kernel_matrix_batched,
     kernel_matrix_blocked,
     symmetrize_from_triangle,
 )
@@ -80,6 +81,51 @@ class TestBlocked:
             kernel_matrix_blocked(np.zeros(5))
 
 
+def stacked(v=5, m=10, n=300, seed=0):
+    return np.random.default_rng(seed).standard_normal((v, m, n)).astype(np.float32)
+
+
+class TestBatched:
+    def test_bitwise_equals_per_voxel_baseline(self):
+        """The stacked GEMM must reproduce each per-voxel BLAS Gram
+        matrix exactly — same dtype, same reduction order, same bits."""
+        x = stacked(seed=7)
+        out = kernel_matrix_batched(x)
+        for i in range(x.shape[0]):
+            np.testing.assert_array_equal(out[i], kernel_matrix_baseline(x[i]))
+
+    @pytest.mark.parametrize("panel", [1, 7, 96, 1000])
+    def test_panel_variant_matches_blocked(self, panel):
+        x = stacked(v=4, m=12, n=500, seed=8)
+        out = kernel_matrix_batched(x, panel_depth=panel)
+        for i in range(x.shape[0]):
+            np.testing.assert_allclose(
+                out[i],
+                kernel_matrix_blocked(x[i], panel_depth=panel),
+                rtol=1e-4,
+                atol=1e-3,
+            )
+
+    def test_panel_variant_exactly_symmetric(self):
+        out = kernel_matrix_batched(stacked(seed=9), panel_depth=96)
+        np.testing.assert_array_equal(out, out.transpose(0, 2, 1))
+
+    def test_single_problem_batch(self):
+        x = stacked(v=1, seed=10)
+        np.testing.assert_array_equal(
+            kernel_matrix_batched(x)[0], kernel_matrix_baseline(x[0])
+        )
+
+    def test_float32(self):
+        assert kernel_matrix_batched(stacked()).dtype == np.float32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kernel_matrix_batched(np.zeros((10, 300)))
+        with pytest.raises(ValueError):
+            kernel_matrix_batched(stacked(), panel_depth=0)
+
+
 class TestSymmetrize:
     def test_round_trip(self):
         full = np.array([[1.0, 2.0], [2.0, 3.0]])
@@ -90,6 +136,13 @@ class TestSymmetrize:
         lower = np.diag([1.0, 2.0, 3.0])
         out = symmetrize_from_triangle(lower)
         np.testing.assert_array_equal(np.diagonal(out), [1, 2, 3])
+
+    def test_stacked_round_trip(self):
+        rng = np.random.default_rng(11)
+        sym = rng.standard_normal((4, 6, 6))
+        sym = sym + sym.transpose(0, 2, 1)
+        lower = np.tril(sym)
+        np.testing.assert_array_equal(symmetrize_from_triangle(lower), sym)
 
     def test_requires_square(self):
         with pytest.raises(ValueError):

@@ -4,7 +4,11 @@ import numpy as np
 import pytest
 
 from repro.core import FCMAConfig, VoxelScores, run_task, task_partition
-from repro.core.pipeline import make_backend
+from repro.core.pipeline import (
+    clear_preprocess_cache,
+    make_backend,
+    preprocess_dataset,
+)
 from repro.data import ground_truth_voxels
 from repro.svm import LibSVMClassifier, PhiSVM
 
@@ -35,6 +39,8 @@ class TestConfig:
             {"task_voxels": 0},
             {"voxel_block": 0},
             {"online_folds": 1},
+            {"batch_voxels": -1},
+            {"chunksize": 0},
         ],
     )
     def test_validation(self, kwargs):
@@ -52,6 +58,44 @@ class TestConfig:
         sp = make_backend(FCMAConfig(svm_backend="libsvm-float32"))
         assert isinstance(sp._backend, LibSVMClassifier)
         assert sp._backend.single_precision
+
+
+class TestPreprocessCache:
+    def test_second_call_is_cached(self, tiny_dataset):
+        clear_preprocess_cache()
+        ds1, z1 = preprocess_dataset(tiny_dataset)
+        ds2, z2 = preprocess_dataset(tiny_dataset)
+        assert ds1 is ds2
+        assert z1 is z2
+
+    def test_distinct_datasets_distinct_entries(self, tiny_dataset):
+        clear_preprocess_cache()
+        other = tiny_dataset.subset_subjects(tiny_dataset.subject_ids()[:2])
+        ds_a, _ = preprocess_dataset(tiny_dataset)
+        ds_b, _ = preprocess_dataset(other)
+        assert ds_a is not ds_b
+
+    def test_run_task_reuses_preprocessing(self, tiny_dataset, monkeypatch):
+        """Consecutive tasks on one dataset must not regroup/renormalize."""
+        import repro.core.pipeline as pipeline_mod
+
+        clear_preprocess_cache()
+        run_task(tiny_dataset, np.array([0, 1]), FCMAConfig(target_block=32))
+        calls = []
+        orig = tiny_dataset.grouped_by_subject
+        monkeypatch.setattr(
+            type(tiny_dataset),
+            "grouped_by_subject",
+            lambda self: calls.append(1) or orig(),
+        )
+        run_task(tiny_dataset, np.array([2, 3]), FCMAConfig(target_block=32))
+        assert calls == []
+
+    def test_clear_forces_recompute(self, tiny_dataset):
+        ds1, _ = preprocess_dataset(tiny_dataset)
+        clear_preprocess_cache()
+        ds2, _ = preprocess_dataset(tiny_dataset)
+        assert ds1 is not ds2
 
 
 class TestTaskPartition:

@@ -4,8 +4,9 @@ import numpy as np
 import pytest
 
 from repro.core.kernels import kernel_matrix_baseline, kernel_matrix_blocked
-from repro.core.voxel_selection import score_voxels
-from repro.svm import PhiSVM
+from repro.core.voxel_selection import score_voxels, score_voxels_reference
+from repro.svm import LibSVMClassifier, PhiSVM
+from repro.svm.multiclass import as_multiclass
 
 
 def correlations(v=3, m=24, n=30, seed=0, informative_first=True):
@@ -54,3 +55,63 @@ class TestScoreVoxels:
             score_voxels(corr, np.arange(2), labels, folds, PhiSVM())
         with pytest.raises(ValueError, match="per epoch"):
             score_voxels(corr, np.arange(3), labels[:-1], folds[:-1], PhiSVM())
+
+
+class TestBatchedPath:
+    def test_batched_matches_reference(self):
+        """The default (batched) path must reproduce the per-voxel
+        reference within float32 tolerance — the solver trajectories are
+        bitwise-equal, so in practice the accuracies are identical."""
+        corr, labels, folds = correlations(v=7, seed=2)
+        svm = PhiSVM(tol=1e-4)
+        batched = score_voxels(
+            corr, np.arange(7), labels, folds, svm, batch_voxels=3
+        )
+        reference = score_voxels_reference(
+            corr, np.arange(7), labels, folds, svm
+        )
+        np.testing.assert_allclose(
+            batched.accuracies, reference.accuracies, atol=1e-6
+        )
+
+    def test_batch_disabled_falls_back(self):
+        corr, labels, folds = correlations(seed=3)
+        svm = PhiSVM(tol=1e-4)
+        off = score_voxels(
+            corr, np.arange(3), labels, folds, svm, batch_voxels=0
+        )
+        ref = score_voxels_reference(corr, np.arange(3), labels, folds, svm)
+        np.testing.assert_array_equal(off.accuracies, ref.accuracies)
+
+    def test_backend_without_batch_trainer_falls_back(self):
+        """The LibSVM-like baseline has no batched trainer, even behind
+        the one-vs-one wrapper that always advertises one."""
+        corr, labels, folds = correlations(v=2, seed=4)
+        backend = as_multiclass(LibSVMClassifier(tol=1e-3))
+        scores = score_voxels(corr, np.arange(2), labels, folds, backend)
+        ref = score_voxels_reference(
+            corr, np.arange(2), labels, folds, backend
+        )
+        np.testing.assert_array_equal(scores.accuracies, ref.accuracies)
+
+    def test_multiclass_labels_fall_back(self):
+        corr, labels, folds = correlations(seed=5)
+        labels3 = labels.copy()
+        labels3[::3] = 2
+        backend = as_multiclass(PhiSVM(tol=1e-3))
+        scores = score_voxels(corr, np.arange(3), labels3, folds, backend)
+        ref = score_voxels_reference(
+            corr, np.arange(3), labels3, folds, backend
+        )
+        np.testing.assert_array_equal(scores.accuracies, ref.accuracies)
+
+    def test_uneven_last_batch(self):
+        corr, labels, folds = correlations(v=5, seed=6)
+        svm = PhiSVM(tol=1e-4)
+        batched = score_voxels(
+            corr, np.arange(5), labels, folds, svm, batch_voxels=2
+        )
+        ref = score_voxels_reference(corr, np.arange(5), labels, folds, svm)
+        np.testing.assert_allclose(
+            batched.accuracies, ref.accuracies, atol=1e-6
+        )

@@ -1,0 +1,194 @@
+"""Tests for the multi-problem (batched) SMO solver and its wrappers.
+
+The load-bearing claim is *trajectory equivalence*: a problem solved in
+a batch takes exactly the iterates it would take through the sequential
+solver with the matching selector, so the batched stage 3 is a pure
+performance change, not a numerics change.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.svm import (
+    AdaptiveSelector,
+    FirstOrderSelector,
+    PhiSVM,
+    SecondOrderSelector,
+    grouped_cross_validation,
+    grouped_cross_validation_batch,
+    solve_smo,
+    solve_smo_batch,
+)
+
+
+def random_problem(n, d, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, d)).astype(np.float32)
+    kernel = x @ x.T
+    y = np.where(rng.uniform(size=n) > 0.5, 1, -1)
+    if np.abs(y.sum()) == n:
+        y[0] = -y[0]
+    return kernel, y
+
+
+def random_batch(b, n, d, seed):
+    """B problems over shared labels (the FCMA stage-3 situation)."""
+    kernels = np.stack(
+        [random_problem(n, d, seed * 1000 + i)[0] for i in range(b)]
+    )
+    _, y = random_problem(n, d, seed)
+    return np.ascontiguousarray(kernels, dtype=np.float32), y
+
+
+SELECTORS = {
+    "first": FirstOrderSelector,
+    "second": SecondOrderSelector,
+    "adaptive": AdaptiveSelector,
+}
+
+
+class TestTrajectoryEquivalence:
+    @pytest.mark.parametrize("selection", ["first", "second", "adaptive"])
+    def test_matches_sequential_bitwise(self, selection):
+        kernels, y = random_batch(b=12, n=24, d=5, seed=3)
+        batch = solve_smo_batch(kernels, y, c=1.0, tol=1e-3, selection=selection)
+        for i in range(kernels.shape[0]):
+            seq = solve_smo(
+                kernels[i], y, c=1.0, tol=1e-3,
+                selector=SELECTORS[selection](),
+            )
+            np.testing.assert_array_equal(batch.alpha[i], seq.alpha)
+            assert batch.iterations[i] == seq.iterations
+            assert bool(batch.converged[i]) == seq.converged
+            np.testing.assert_allclose(batch.rho[i], seq.rho, atol=1e-6)
+            np.testing.assert_allclose(
+                batch.objective[i], seq.objective, rtol=1e-5, atol=1e-6
+            )
+
+    def test_per_problem_labels(self):
+        kernels, _ = random_batch(b=6, n=20, d=4, seed=5)
+        ys = np.stack(
+            [random_problem(20, 4, 77 + i)[1] for i in range(6)]
+        )
+        batch = solve_smo_batch(kernels, ys, tol=1e-3, selection="adaptive")
+        for i in range(6):
+            seq = solve_smo(
+                kernels[i], ys[i], tol=1e-3, selector=AdaptiveSelector()
+            )
+            np.testing.assert_array_equal(batch.alpha[i], seq.alpha)
+            assert batch.iterations[i] == seq.iterations
+
+    def test_early_convergers_freeze(self):
+        """A trivially easy problem must not keep iterating (and must not
+        perturb the hard problems sharing its batch)."""
+        hard, y = random_batch(b=3, n=30, d=4, seed=9)
+        easy = np.eye(30, dtype=np.float32) * 100.0  # converges in O(1) steps
+        kernels = np.concatenate([easy[None], hard])
+        batch = solve_smo_batch(kernels, y, tol=1e-3, selection="second")
+        solo_easy = solve_smo(easy, y, tol=1e-3)
+        assert batch.iterations[0] == solo_easy.iterations
+        assert batch.iterations[0] < batch.iterations[1:].max()
+        for i in range(3):
+            seq = solve_smo(hard[i], y, tol=1e-3)
+            np.testing.assert_array_equal(batch.alpha[i + 1], seq.alpha)
+
+    def test_sweeps_equals_max_iterations(self):
+        kernels, y = random_batch(b=4, n=16, d=3, seed=13)
+        batch = solve_smo_batch(kernels, y, tol=1e-3)
+        assert batch.sweeps == batch.iterations.max()
+
+    def test_validation(self):
+        kernels, y = random_batch(b=2, n=10, d=3, seed=1)
+        with pytest.raises(ValueError, match="problems, n, n"):
+            solve_smo_batch(kernels[0], y)
+        with pytest.raises(ValueError, match="selection"):
+            solve_smo_batch(kernels, y, selection="bogus")
+        with pytest.raises(ValueError, match="-1 or"):
+            solve_smo_batch(kernels, np.zeros(10))
+        with pytest.raises(ValueError, match="shape"):
+            solve_smo_batch(kernels, y[:-1])
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    b=st.integers(1, 8),
+    n=st.integers(4, 24),
+    d=st.integers(1, 6),
+    seed=st.integers(0, 10_000),
+    c=st.sampled_from([0.5, 1.0, 5.0]),
+)
+def test_mixed_batch_matches_solo_property(b, n, d, seed, c):
+    """Property: batch-solving B random problems of mixed difficulty is
+    indistinguishable from solving each alone."""
+    kernels, y = random_batch(b, n, d, seed)
+    batch = solve_smo_batch(kernels, y, c=c, tol=1e-3, selection="adaptive")
+    assert batch.alpha.min() >= -1e-9 and batch.alpha.max() <= c + 1e-9
+    for i in range(b):
+        seq = solve_smo(
+            kernels[i], y, c=c, tol=1e-3, selector=AdaptiveSelector()
+        )
+        np.testing.assert_array_equal(batch.alpha[i], seq.alpha)
+        assert batch.iterations[i] == seq.iterations
+        assert bool(batch.converged[i]) == seq.converged
+
+
+class TestFitKernelBatch:
+    def test_models_match_sequential(self):
+        kernels, y = random_batch(b=5, n=20, d=4, seed=21)
+        labels = np.where(y > 0, 1, 0)  # arbitrary binary labels
+        svm = PhiSVM(tol=1e-4)
+        models = svm.fit_kernel_batch(kernels, labels)
+        assert len(models) == 5
+        for i in range(5):
+            solo = svm.fit_kernel(kernels[i], labels)
+            sub = models.model(i)
+            np.testing.assert_array_equal(sub.dual_coef, solo.dual_coef)
+            np.testing.assert_allclose(sub.rho, solo.rho, atol=1e-6)
+            np.testing.assert_array_equal(
+                sub.predict(kernels[i]), solo.predict(kernels[i])
+            )
+
+    def test_batch_accuracy_matches_per_model(self):
+        kernels, y = random_batch(b=4, n=20, d=4, seed=22)
+        labels = np.where(y > 0, 1, 0)
+        models = PhiSVM().fit_kernel_batch(kernels, labels)
+        acc = models.accuracy(kernels, labels)
+        for i in range(4):
+            assert acc[i] == models.model(i).accuracy(kernels[i], labels)
+
+    def test_requires_stacked_square(self):
+        kernels, y = random_batch(b=2, n=10, d=3, seed=23)
+        with pytest.raises(ValueError):
+            PhiSVM().fit_kernel_batch(kernels[:, :5, :], y)
+
+
+class TestBatchedCrossValidation:
+    def test_matches_sequential_cv(self):
+        """Batched CV accuracies equal the per-problem sequential CV
+        within float32 tolerance (trajectories are bitwise-equal, the
+        accuracy reduction is float64)."""
+        kernels, y = random_batch(b=6, n=24, d=5, seed=31)
+        labels = np.where(y > 0, 1, 0)
+        folds = np.repeat(np.arange(4), 6)
+        svm = PhiSVM(tol=1e-4)
+        batch = grouped_cross_validation_batch(svm, kernels, labels, folds)
+        for i in range(6):
+            seq = grouped_cross_validation(svm, kernels[i], labels, folds)
+            np.testing.assert_allclose(
+                batch.fold_accuracies[i], seq.fold_accuracies, atol=1e-7
+            )
+            np.testing.assert_array_equal(
+                batch.fold_iterations[i], seq.fold_iterations
+            )
+            assert batch.problem(i).accuracy == pytest.approx(
+                seq.accuracy, abs=1e-7
+            )
+
+    def test_degenerate_training_fold_zeroed(self):
+        kernels, _ = random_batch(b=2, n=12, d=3, seed=32)
+        labels = np.array([0] * 6 + [1] * 6)
+        folds = np.array([0] * 6 + [1] * 6)  # both training sets one-class
+        res = grouped_cross_validation_batch(PhiSVM(), kernels, labels, folds)
+        np.testing.assert_array_equal(res.fold_accuracies, 0.0)
+        np.testing.assert_array_equal(res.accuracies, 0.0)
