@@ -1,9 +1,10 @@
-"""Measured benchmarks of the parallel runtime on real FCMA work.
+"""Measured benchmarks of the execution core on real FCMA work.
 
-Runs the actual master-worker protocol and the process-pool executor
-over a small synthetic dataset.  On a multi-core machine the pool shows
-real speedup; on a single-core CI box these still verify the protocol's
-overhead stays bounded and the outputs stay identical.
+Runs the actual executors — serial reference, master-worker protocol,
+and zero-copy process pool — over a small synthetic dataset.  On a
+multi-core machine the pool shows real speedup; on a single-core CI box
+these still verify the protocol's overhead stays bounded and the
+outputs stay identical.
 """
 
 import numpy as np
@@ -11,10 +12,11 @@ import pytest
 
 from repro.core import FCMAConfig
 from repro.data import SyntheticConfig, generate_dataset
-from repro.parallel import (
-    mpi_voxel_selection,
-    parallel_voxel_selection,
-    serial_voxel_selection,
+from repro.exec import (
+    MasterWorkerExecutor,
+    ProcessPoolExecutor,
+    RunContext,
+    SerialExecutor,
 )
 
 
@@ -29,19 +31,21 @@ def workload():
 
 def test_serial_selection(benchmark, workload):
     ds, cfg = workload
-    scores = benchmark(serial_voxel_selection, ds, cfg)
+    scores = benchmark(lambda: SerialExecutor().run(ds, RunContext(cfg)))
     assert len(scores) == 90
 
 
 def test_mpi_protocol_selection(benchmark, workload):
     ds, cfg = workload
-    scores = benchmark(mpi_voxel_selection, ds, cfg, 2)
-    reference = serial_voxel_selection(ds, cfg)
+    executor = MasterWorkerExecutor(n_workers=2)
+    scores = benchmark(lambda: executor.run(ds, RunContext(cfg)))
+    reference = SerialExecutor().run(ds, RunContext(cfg))
     np.testing.assert_allclose(scores.accuracies, reference.accuracies)
 
 
 def test_process_pool_selection(benchmark, workload):
     ds, cfg = workload
-    scores = benchmark(parallel_voxel_selection, ds, cfg, 2)
-    reference = serial_voxel_selection(ds, cfg)
+    executor = ProcessPoolExecutor(n_workers=2)
+    scores = benchmark(lambda: executor.run(ds, RunContext(cfg)))
+    reference = SerialExecutor().run(ds, RunContext(cfg))
     np.testing.assert_allclose(scores.accuracies, reference.accuracies)

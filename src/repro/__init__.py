@@ -20,6 +20,7 @@ Quickstart::
 Subpackages
 -----------
 ``repro.core``      the three-stage pipeline (the paper's contribution)
+``repro.exec``      execution core: stage graph, RunContext, executors
 ``repro.svm``       SMO solver, PhiSVM, LibSVM-like baseline
 ``repro.data``      dataset model, synthetic fMRI generator, presets
 ``repro.parallel``  MPI-like comm, master-worker protocol, process pool
@@ -60,6 +61,13 @@ from .data import (
     quickstart_config,
     save_dataset,
 )
+from .exec import (
+    MasterWorkerExecutor,
+    ProcessPoolExecutor,
+    RunContext,
+    SerialExecutor,
+    make_executor,
+)
 from .parallel import (
     mpi_voxel_selection,
     parallel_voxel_selection,
@@ -81,11 +89,15 @@ __all__ = [
     "FCMAConfig",
     "FMRIDataset",
     "LibSVMClassifier",
+    "MasterWorkerExecutor",
     "OfflineResult",
     "OnlineResult",
     "PhiSVM",
+    "ProcessPoolExecutor",
+    "RunContext",
     "SVMModel",
     "ScannerSimulator",
+    "SerialExecutor",
     "SyntheticConfig",
     "VoxelScores",
     "attention_scaled",
@@ -93,6 +105,7 @@ __all__ = [
     "generate_dataset",
     "ground_truth_voxels",
     "load_dataset",
+    "make_executor",
     "mpi_voxel_selection",
     "parallel_voxel_selection",
     "quickstart_config",

@@ -26,7 +26,8 @@ from ..core.normalization import normalize_separated
 from ..core.pipeline import FCMAConfig, make_backend
 from ..core.results import VoxelScores
 from ..data.dataset import FMRIDataset
-from ..parallel.executor import serial_voxel_selection
+from ..exec.context import RunContext
+from ..exec.executors import Executor, SerialExecutor
 from ..svm.kernels import linear_kernel
 
 __all__ = ["FoldResult", "OfflineResult", "run_offline_analysis", "selected_voxel_features"]
@@ -105,11 +106,17 @@ def run_offline_analysis(
     config: FCMAConfig = FCMAConfig(),
     top_k: int = 20,
     selection_runner: SelectionRunner | None = None,
+    executor: Executor | None = None,
+    context: RunContext | None = None,
 ) -> OfflineResult:
     """Run the full nested leave-one-subject-out analysis.
 
-    ``selection_runner`` lets callers swap in the parallel executor; the
-    default runs voxel selection serially.
+    ``executor`` picks the voxel-selection backend (serial by default;
+    any :class:`~repro.exec.Executor` works — pool, master-worker, or a
+    third-party one).  ``selection_runner`` remains as the legacy hook
+    and wins over ``executor`` when both are given.  Per-stage wall
+    time accumulates into ``context`` (pass your own to read it back;
+    the final per-fold classifier is charged to ``final-classifier``).
     """
     if top_k < 1:
         raise ValueError("top_k must be >= 1")
@@ -118,11 +125,14 @@ def run_offline_analysis(
             "nested LOSO needs >= 3 subjects (2 for the inner CV after "
             "holding one out)"
         )
-    runner: SelectionRunner = (
-        selection_runner
-        if selection_runner is not None
-        else lambda ds, cfg: serial_voxel_selection(ds, cfg)
-    )
+    ctx = context if context is not None else RunContext(config)
+    if selection_runner is not None:
+        runner = selection_runner
+    else:
+        exe = executor if executor is not None else SerialExecutor()
+
+        def runner(ds: FMRIDataset, cfg: FCMAConfig) -> VoxelScores:
+            return exe.run(ds, ctx if cfg is ctx.config else RunContext(cfg))
 
     folds = []
     for held_out in dataset.subject_ids():
@@ -134,17 +144,18 @@ def run_offline_analysis(
 
         # Final classifier: correlation patterns of the selected voxels,
         # trained on the training subjects, tested on the held-out one.
-        features, labels, subjects = selected_voxel_features(
-            dataset, selected.voxels
-        )
-        train_mask = subjects != held_out
-        test_mask = ~train_mask
-        backend = make_backend(config)
-        x_train = features[train_mask]
-        kernel = linear_kernel(x_train)
-        model = backend.fit_kernel(kernel, labels[train_mask])
-        test_block = linear_kernel(features[test_mask], x_train)
-        accuracy = model.accuracy(test_block, labels[test_mask])
+        with ctx.timer("final-classifier"):
+            features, labels, subjects = selected_voxel_features(
+                dataset, selected.voxels
+            )
+            train_mask = subjects != held_out
+            test_mask = ~train_mask
+            backend = make_backend(config)
+            x_train = features[train_mask]
+            kernel = linear_kernel(x_train)
+            model = backend.fit_kernel(kernel, labels[train_mask])
+            test_block = linear_kernel(features[test_mask], x_train)
+            accuracy = model.accuracy(test_block, labels[test_mask])
         folds.append(
             FoldResult(
                 held_out_subject=held_out,

@@ -19,7 +19,8 @@ from ..core.normalization import normalize_separated
 from ..core.pipeline import FCMAConfig, make_backend
 from ..core.results import VoxelScores
 from ..data.dataset import FMRIDataset
-from ..parallel.executor import serial_voxel_selection
+from ..exec.context import RunContext
+from ..exec.executors import Executor, SerialExecutor
 from ..svm.kernels import linear_kernel
 from ..svm.model import SVMModel
 from ..svm.platt import PlattScaler, fit_platt
@@ -104,34 +105,44 @@ def run_online_analysis(
     config: FCMAConfig = FCMAConfig(),
     top_k: int = 20,
     selection_runner: SelectionRunner | None = None,
+    executor: Executor | None = None,
+    context: RunContext | None = None,
 ) -> OnlineResult:
     """Select voxels from one subject's data and train the feedback model.
 
     ``dataset`` may contain many subjects; only ``subject``'s data is
-    used, as in a live scan.
+    used, as in a live scan.  ``executor`` picks the voxel-selection
+    backend (serial by default); the legacy ``selection_runner`` hook
+    wins when both are given.  Stage timings accumulate into
+    ``context`` (classifier training lands under ``train-classifier``).
     """
     if top_k < 1:
         raise ValueError("top_k must be >= 1")
     single = dataset.single_subject(subject)
-    runner: SelectionRunner = (
-        selection_runner
-        if selection_runner is not None
-        else lambda ds, cfg: serial_voxel_selection(ds, cfg)
-    )
+    ctx = context if context is not None else RunContext(config)
+    if selection_runner is not None:
+        runner = selection_runner
+    else:
+        exe = executor if executor is not None else SerialExecutor()
+
+        def runner(ds: FMRIDataset, cfg: FCMAConfig) -> VoxelScores:
+            return exe.run(ds, ctx if cfg is ctx.config else RunContext(cfg))
+
     scores = runner(single, config)
     selected = scores.top(top_k)
 
-    features, labels, _ = selected_voxel_features(single, selected.voxels)
-    backend = make_backend(config)
-    kernel = linear_kernel(features)
-    model = backend.fit_kernel(kernel, labels)
-    accuracy = model.accuracy(kernel, labels)
-    platt = None
-    if hasattr(model, "decision_function") and np.unique(labels).size == 2:
-        try:
-            platt = fit_platt(model.decision_function(kernel), labels)
-        except ValueError:
-            platt = None  # degenerate decisions: feedback stays binary
+    with ctx.timer("train-classifier"):
+        features, labels, _ = selected_voxel_features(single, selected.voxels)
+        backend = make_backend(config)
+        kernel = linear_kernel(features)
+        model = backend.fit_kernel(kernel, labels)
+        accuracy = model.accuracy(kernel, labels)
+        platt = None
+        if hasattr(model, "decision_function") and np.unique(labels).size == 2:
+            try:
+                platt = fit_platt(model.decision_function(kernel), labels)
+            except ValueError:
+                platt = None  # degenerate decisions: feedback stays binary
     classifier = OnlineClassifier(
         model=model,
         voxels=selected.voxels,

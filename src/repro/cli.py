@@ -3,6 +3,7 @@
 Commands
 --------
 ``generate``  write a synthetic dataset to a .npz file
+``run``       voxel selection on any executor, with per-stage timings
 ``select``    run FCMA voxel selection on a dataset file
 ``offline``   nested leave-one-subject-out analysis
 ``online``    single-subject voxel selection + classifier summary
@@ -13,6 +14,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -37,6 +39,27 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--subjects", type=int, default=None,
                      help="override subject count")
     gen.add_argument("--seed", type=int, default=None)
+
+    run = sub.add_parser(
+        "run",
+        help="voxel selection on a chosen executor, timings via RunContext",
+    )
+    run.add_argument("dataset", help="input .npz dataset")
+    run.add_argument("--executor", choices=["serial", "pool", "master-worker"],
+                     default="serial",
+                     help="execution backend (all produce identical results)")
+    run.add_argument("--workers", type=int, default=None,
+                     help="worker count (pool defaults to CPUs, "
+                          "master-worker to 2)")
+    run.add_argument("--variant", choices=["optimized", "baseline"],
+                     default="optimized")
+    run.add_argument("--task-voxels", type=int, default=120)
+    run.add_argument("--top", type=int, default=20, help="voxels to report")
+    run.add_argument("--seed", type=int, default=None,
+                     help="RunContext seed (stochastic components only)")
+    run.add_argument("--json", action="store_true",
+                     help="emit the run report (per-stage timings, task "
+                          "stream, top voxels) as JSON")
 
     sel = sub.add_parser("select", help="run voxel selection on a dataset")
     sel.add_argument("dataset", help="input .npz dataset")
@@ -128,17 +151,57 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_select(args: argparse.Namespace) -> int:
+def _cmd_run(args: argparse.Namespace) -> int:
     from .core import FCMAConfig
     from .data import load_dataset
-    from .parallel import parallel_voxel_selection, serial_voxel_selection
+    from .exec import RunContext, make_executor
 
     dataset = load_dataset(args.dataset)
     config = FCMAConfig(variant=args.variant, task_voxels=args.task_voxels)
-    if args.workers > 1:
-        scores = parallel_voxel_selection(dataset, config, n_workers=args.workers)
-    else:
-        scores = serial_voxel_selection(dataset, config)
+    ctx = RunContext(config, seed=args.seed)
+    executor = make_executor(args.executor, n_workers=args.workers)
+    scores = executor.run(dataset, ctx)
+    top = scores.top(args.top)
+
+    if args.json:
+        report = ctx.timing_report()
+        report["dataset"] = str(dataset)
+        report["variant"] = config.variant
+        report["top"] = [
+            {"voxel": int(v), "accuracy": float(a)}
+            for v, a in zip(top.voxels, top.accuracies)
+        ]
+        print(json.dumps(report, indent=2))
+        return 0
+
+    print(f"dataset: {dataset}")
+    print(f"executor: {ctx.metadata['executor']} "
+          f"({ctx.metadata['n_tasks']} tasks, "
+          f"{ctx.metadata['measured_elapsed_s']:.3f} s elapsed)")
+    print("per-stage wall time:")
+    for stage, stats in ctx.stages.items():
+        print(f"  {stage:24s} {stats.seconds:8.3f} s  ({stats.calls} calls)")
+    predicted = ctx.metadata.get("predicted")
+    if predicted is not None:
+        print(f"simulated schedule: {predicted['elapsed_s']:.3f} s predicted "
+              f"vs {ctx.metadata['measured_elapsed_s']:.3f} s measured "
+              f"({predicted['utilization']:.0%} predicted utilization)")
+    print(f"top {len(top)} voxels by cross-validated accuracy:")
+    for voxel, acc in zip(top.voxels, top.accuracies):
+        print(f"  voxel {voxel:6d}  accuracy {acc:.3f}")
+    return 0
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    from .core import FCMAConfig
+    from .data import load_dataset
+    from .exec import RunContext, make_executor
+
+    dataset = load_dataset(args.dataset)
+    config = FCMAConfig(variant=args.variant, task_voxels=args.task_voxels)
+    executor = make_executor("pool" if args.workers > 1 else "serial",
+                             n_workers=args.workers)
+    scores = executor.run(dataset, RunContext(config))
     top = scores.top(args.top)
     print(f"dataset: {dataset}")
     print(f"top {len(top)} voxels by cross-validated accuracy:")
@@ -249,6 +312,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "generate": _cmd_generate,
+    "run": _cmd_run,
     "select": _cmd_select,
     "offline": _cmd_offline,
     "online": _cmd_online,

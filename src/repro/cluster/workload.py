@@ -16,10 +16,10 @@ Builders mirror the paper's two experiments:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 from ..data.presets import DatasetSpec
+from ..exec.partition import n_tasks as _partition_n_tasks
 
 __all__ = ["TaskSpec", "FoldSpec", "Workload", "offline_workload", "online_workload"]
 
@@ -91,9 +91,8 @@ class Workload:
 
 
 def _n_tasks(spec: DatasetSpec, task_voxels: int) -> int:
-    if task_voxels < 1:
-        raise ValueError("task_voxels must be >= 1")
-    return math.ceil(spec.n_voxels / task_voxels)
+    # Same carve as the real executors: one partition helper for all.
+    return _partition_n_tasks(spec.n_voxels, task_voxels)
 
 
 def offline_workload(

@@ -16,20 +16,14 @@ from __future__ import annotations
 
 import weakref
 from dataclasses import dataclass, replace
-from typing import Literal
 
 import numpy as np
 
 from ..data.dataset import FMRIDataset
-from ..svm.cross_validation import KernelBackend, kfold_ids
-from ..svm.libsvm_like import LibSVMClassifier
-from ..svm.multiclass import as_multiclass
-from ..svm.phisvm import PhiSVM
-from .correlation import correlate_baseline, correlate_blocked, epoch_windows
-from .kernels import kernel_matrix_baseline, kernel_matrix_blocked
-from .normalization import MergedNormalizer, normalize_separated
+from ..svm.cross_validation import KernelBackend
+from .correlation import epoch_windows
 from .results import VoxelScores
-from .voxel_selection import DEFAULT_BATCH_VOXELS, score_voxels
+from .voxel_selection import DEFAULT_BATCH_VOXELS
 
 __all__ = [
     "FCMAConfig",
@@ -40,8 +34,11 @@ __all__ = [
     "clear_preprocess_cache",
 ]
 
-Variant = Literal["baseline", "optimized"]
-Backend = Literal["phisvm", "libsvm", "libsvm-float32"]
+#: Pipeline variant / SVM backend names.  No longer ``Literal`` types:
+#: any name registered with :mod:`repro.exec.registry` is valid, so
+#: third-party variants and backends plug in without editing this file.
+Variant = str
+Backend = str
 
 
 @dataclass(frozen=True)
@@ -78,9 +75,11 @@ class FCMAConfig:
     chunksize: int | None = None
 
     def __post_init__(self) -> None:
-        if self.variant not in ("baseline", "optimized"):
+        from ..exec.registry import available_backends, available_variants
+
+        if self.variant not in available_variants():
             raise ValueError(f"unknown variant {self.variant!r}")
-        if self.svm_backend not in (None, "phisvm", "libsvm", "libsvm-float32"):
+        if self.svm_backend is not None and self.svm_backend not in available_backends():
             raise ValueError(f"unknown svm_backend {self.svm_backend!r}")
         if self.svm_c <= 0 or self.svm_tol <= 0:
             raise ValueError("svm_c and svm_tol must be positive")
@@ -109,36 +108,28 @@ class FCMAConfig:
 def make_backend(config: FCMAConfig) -> KernelBackend:
     """Instantiate the configured SVM backend.
 
-    The backend is wrapped for one-vs-one multiclass voting; binary
+    Resolves through the :mod:`repro.exec.registry` tables (the paper's
+    backends are pre-registered; third-party ones register themselves).
+    The built-in factories wrap for one-vs-one multiclass voting; binary
     problems (the paper's two-condition experiments) pass through to
     the bare solver with no overhead.
     """
-    name = config.resolved_backend()
-    if name == "phisvm":
-        base: KernelBackend = PhiSVM(c=config.svm_c, tol=config.svm_tol)
-    elif name == "libsvm":
-        base = LibSVMClassifier(c=config.svm_c, tol=config.svm_tol)
-    else:
-        base = LibSVMClassifier(
-            c=config.svm_c, tol=config.svm_tol, single_precision=True
-        )
-    return as_multiclass(base)
+    from ..exec.registry import create_backend
+
+    return create_backend(config)
 
 
 def task_partition(n_voxels: int, task_voxels: int) -> list[np.ndarray]:
     """Partition all brain voxels into master-assignable tasks.
 
     "The tasks are defined by partitioning the correlation matrices
-    along their rows" (Section 3.1.1).
+    along their rows" (Section 3.1.1).  Compatibility alias for
+    :func:`repro.exec.partition.partition_tasks`, the one place task
+    carving lives now.
     """
-    if n_voxels < 1:
-        raise ValueError("n_voxels must be >= 1")
-    if task_voxels < 1:
-        raise ValueError("task_voxels must be >= 1")
-    return [
-        np.arange(start, min(start + task_voxels, n_voxels), dtype=np.int64)
-        for start in range(0, n_voxels, task_voxels)
-    ]
+    from ..exec.partition import partition_tasks
+
+    return partition_tasks(n_voxels, task_voxels)
 
 
 # Task-invariant preprocessing (subject-contiguous regrouping + eq.-2
@@ -182,44 +173,14 @@ def run_task(
     layout stage 2 requires).  With a single-subject dataset the CV folds
     are contiguous epoch k-folds (online mode); otherwise folds are
     subjects (offline LOSO).
+
+    Compatibility shim: the implementation lives in the stage graph
+    (:func:`repro.exec.stage_graph.execute_task`); this wrapper runs it
+    under a throwaway :class:`~repro.exec.context.RunContext` and
+    returns bitwise-identical scores.  Pass a context of your own (via
+    ``execute_task`` or an executor) to keep the per-stage timings.
     """
-    assigned = np.asarray(assigned, dtype=np.int64)
-    if assigned.ndim != 1 or assigned.size == 0:
-        raise ValueError("assigned must be a non-empty 1D index array")
+    from ..exec.context import RunContext
+    from ..exec.stage_graph import execute_task
 
-    ds, z = preprocess_dataset(dataset)
-    epochs = ds.epochs
-    labels = epochs.labels()
-    e_per_subject = epochs.epochs_per_subject()
-
-    if config.variant == "baseline":
-        corr = correlate_baseline(z, assigned)
-        normalize_separated(corr, e_per_subject)
-        kernel_fn = kernel_matrix_baseline
-    else:
-        merger = MergedNormalizer(e_per_subject)
-        corr = correlate_blocked(
-            z,
-            assigned,
-            voxel_block=config.voxel_block,
-            target_block=config.target_block,
-            epoch_block=e_per_subject,
-            tile_callback=merger,
-        )
-        kernel_fn = kernel_matrix_blocked
-
-    if epochs.n_subjects >= 2:
-        fold_ids = epochs.subjects()
-    else:
-        fold_ids = kfold_ids(len(epochs), config.online_folds)
-
-    backend = make_backend(config)
-    return score_voxels(
-        corr,
-        assigned,
-        labels,
-        fold_ids,
-        backend,
-        kernel_fn=kernel_fn,
-        batch_voxels=config.batch_voxels,
-    )
+    return execute_task(dataset, assigned, RunContext(config))

@@ -1,0 +1,220 @@
+"""RunContext: the one telemetry and configuration carrier of a run.
+
+Every executor — serial, process pool, master-worker, and the rtfmri
+closed loop — threads a :class:`RunContext` through the stage graph, so
+per-stage wall time and simulated counter events are recorded the same
+way no matter which path executed the work.  Perf models, reports, and
+the ``--json`` CLI output all consume this object instead of scattering
+``time.perf_counter()`` calls through the drivers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
+
+import numpy as np
+
+from ..hw.counters import PerfCounters
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..core.pipeline import FCMAConfig
+    from ..hw.spec import HardwareSpec
+
+__all__ = ["RunContext", "StageStats", "StageTimer"]
+
+
+@dataclass
+class StageStats:
+    """Accumulated telemetry of one pipeline stage."""
+
+    #: Total wall-clock seconds spent in the stage across all tasks.
+    seconds: float = 0.0
+    #: Times the stage ran (== tasks for per-task stages).
+    calls: int = 0
+    #: Simulated hardware events attributed to the stage, if any model
+    #: emitted them (the paper's Table-1 vocabulary).
+    counters: PerfCounters = field(default_factory=PerfCounters)
+
+    def merge(self, other: "StageStats") -> None:
+        """Fold another stage's accumulation into this one."""
+        self.seconds += other.seconds
+        self.calls += other.calls
+        for f in fields(PerfCounters):
+            setattr(
+                self.counters,
+                f.name,
+                getattr(self.counters, f.name) + getattr(other.counters, f.name),
+            )
+
+
+class StageTimer:
+    """Handle yielded by :meth:`RunContext.timer`; read ``seconds`` after
+    the ``with`` block for this call's own elapsed time."""
+
+    def __init__(self) -> None:
+        self.seconds: float = 0.0
+
+
+class RunContext:
+    """Configuration, determinism, and instrumentation for one run.
+
+    Parameters
+    ----------
+    config:
+        The pipeline configuration all tasks of the run share.
+    seed:
+        Seed for :meth:`rng`; deterministic components ignore it, but
+        any stochastic stage (noise models, heterogeneity draws) must
+        draw from here so executors stay seed-reproducible.
+    hardware:
+        Optional hardware model for stages that emit simulated counter
+        events alongside wall time.
+
+    All mutation is lock-protected: the master-worker executor's thread
+    ranks may share one context.
+    """
+
+    def __init__(
+        self,
+        config: "FCMAConfig | None" = None,
+        *,
+        seed: int | None = None,
+        hardware: "HardwareSpec | None" = None,
+    ) -> None:
+        if config is None:
+            from ..core.pipeline import FCMAConfig
+
+            config = FCMAConfig()
+        self.config = config
+        self.seed = seed
+        self.hardware = hardware
+        #: Free-form run annotations (executor name, worker count,
+        #: predicted-vs-measured blocks, ...).
+        self.metadata: dict[str, Any] = {}
+        self._stages: dict[str, StageStats] = {}
+        self._task_seconds: list[float] = []
+        self._lock = threading.Lock()
+
+    # -- determinism -----------------------------------------------------
+
+    def rng(self) -> np.random.Generator:
+        """A fresh generator from this run's seed (0 if unseeded)."""
+        return np.random.default_rng(0 if self.seed is None else self.seed)
+
+    # -- recording -------------------------------------------------------
+
+    @contextmanager
+    def timer(self, stage: str) -> Iterator[StageTimer]:
+        """Time a block and charge it to ``stage``.
+
+        The yielded :class:`StageTimer` carries this call's elapsed
+        seconds after the block exits (for per-event latencies such as
+        rtfmri feedback), while the context accumulates the total.
+        """
+        handle = StageTimer()
+        t0 = time.perf_counter()
+        try:
+            yield handle
+        finally:
+            handle.seconds = time.perf_counter() - t0
+            self.add_time(stage, handle.seconds)
+
+    def add_time(self, stage: str, seconds: float, calls: int = 1) -> None:
+        """Charge ``seconds`` of wall time to ``stage``."""
+        if seconds < 0:
+            raise ValueError("seconds must be >= 0")
+        with self._lock:
+            stats = self._stages.setdefault(stage, StageStats())
+            stats.seconds += seconds
+            stats.calls += calls
+
+    def add_counters(self, stage: str, counters: PerfCounters) -> None:
+        """Attribute simulated hardware events to ``stage``."""
+        with self._lock:
+            stats = self._stages.setdefault(stage, StageStats())
+            stats.merge(StageStats(counters=counters))
+
+    def record_task(self, seconds: float) -> None:
+        """Record one completed task's total pipeline seconds.
+
+        The per-task stream is what the cluster simulator replays for
+        predicted-vs-measured schedule comparisons.
+        """
+        if seconds < 0:
+            raise ValueError("seconds must be >= 0")
+        with self._lock:
+            self._task_seconds.append(seconds)
+
+    def merge(self, other: "RunContext") -> None:
+        """Fold another context's telemetry into this one.
+
+        Used by executors whose workers each accumulate privately (the
+        process pool cannot share memory; master-worker ranks could but
+        merging keeps the hot path lock-free).
+        """
+        with self._lock:
+            for stage, stats in other._stages.items():
+                self._stages.setdefault(stage, StageStats()).merge(stats)
+            self._task_seconds.extend(other._task_seconds)
+
+    def export(self) -> dict[str, Any]:
+        """Picklable telemetry snapshot (no locks, no config).
+
+        This is the form process-pool workers ship home; fold it back
+        with :meth:`merge_export`.
+        """
+        with self._lock:
+            return {
+                "stages": {
+                    name: {"seconds": stats.seconds, "calls": stats.calls}
+                    for name, stats in self._stages.items()
+                },
+                "task_seconds": list(self._task_seconds),
+            }
+
+    def merge_export(self, payload: Mapping[str, Any]) -> None:
+        """Fold an :meth:`export` snapshot from another process in."""
+        for stage, stats in payload.get("stages", {}).items():
+            self.add_time(stage, stats["seconds"], calls=stats["calls"])
+        with self._lock:
+            self._task_seconds.extend(payload.get("task_seconds", ()))
+
+    # -- reading ---------------------------------------------------------
+
+    @property
+    def stages(self) -> dict[str, StageStats]:
+        """Snapshot of the per-stage telemetry (copy; safe to iterate)."""
+        with self._lock:
+            return {name: stats for name, stats in self._stages.items()}
+
+    def stage_seconds(self) -> dict[str, float]:
+        """Per-stage wall seconds, in first-recorded order."""
+        with self._lock:
+            return {name: stats.seconds for name, stats in self._stages.items()}
+
+    @property
+    def task_seconds(self) -> list[float]:
+        """Per-task pipeline seconds, in completion order."""
+        with self._lock:
+            return list(self._task_seconds)
+
+    def timing_report(self) -> dict[str, Any]:
+        """JSON-serializable run telemetry (the ``--json`` CLI payload)."""
+        with self._lock:
+            stages = {
+                name: {"seconds": stats.seconds, "calls": stats.calls}
+                for name, stats in self._stages.items()
+            }
+            tasks = list(self._task_seconds)
+        report: dict[str, Any] = {
+            "stages": stages,
+            "total_stage_seconds": sum(s["seconds"] for s in stages.values()),
+            "n_tasks": len(tasks),
+            "task_seconds": tasks,
+        }
+        report.update(self.metadata)
+        return report

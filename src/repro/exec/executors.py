@@ -1,0 +1,320 @@
+"""Pluggable executors: one task stream, three ways to run it.
+
+Every executor consumes the same inputs — a dataset, a
+:class:`~repro.exec.context.RunContext`, and the task stream produced by
+:func:`repro.exec.partition.partition_tasks` — and returns the same
+sorted :class:`~repro.core.results.VoxelScores`, bitwise-identical
+across backends for a fixed seed (pinned by the cross-executor
+equivalence test):
+
+* :class:`SerialExecutor` — in-process reference loop;
+* :class:`ProcessPoolExecutor` — the zero-copy shared-memory fan-out
+  over a local process pool (absorbed from ``parallel/executor.py``);
+* :class:`MasterWorkerExecutor` — the paper's pull-based master-worker
+  protocol over thread ranks, which additionally replays its measured
+  task stream through the discrete-event cluster simulator for a
+  predicted-vs-measured schedule comparison.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor as _StdProcessPool
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+from numpy.typing import NDArray
+
+from ..cluster.simulator import ClusterConfig, SimulationResult, simulate
+from ..cluster.workload import FoldSpec, TaskSpec, Workload
+from ..core.pipeline import FCMAConfig, preprocess_dataset
+from ..core.results import VoxelScores
+from ..data.dataset import FMRIDataset
+from ..parallel.comm import Comm, run_ranks
+from ..parallel.executor import (
+    SharedDatasetHandle,
+    attach_shared_dataset,
+    share_dataset,
+)
+from .context import RunContext
+from .partition import auto_chunksize, partition_tasks
+from .stage_graph import execute_task
+
+__all__ = [
+    "Executor",
+    "MasterWorkerExecutor",
+    "ProcessPoolExecutor",
+    "SerialExecutor",
+    "EXECUTOR_NAMES",
+    "make_executor",
+    "predicted_schedule",
+]
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Anything that can run the FCMA task stream to completion."""
+
+    #: Stable name (CLI ``--executor`` value, telemetry key).
+    name: str
+
+    def run(
+        self,
+        dataset: FMRIDataset,
+        ctx: RunContext,
+        voxels: NDArray[Any] | None = None,
+    ) -> VoxelScores:
+        """Run voxel selection; telemetry accumulates into ``ctx``."""
+        ...
+
+
+def _task_stream(
+    dataset: FMRIDataset, ctx: RunContext, voxels: NDArray[Any] | None
+) -> list[NDArray[np.int64]]:
+    return partition_tasks(dataset.n_voxels, ctx.config.task_voxels, voxels)
+
+
+def _finish(
+    ctx: RunContext, executor: "Executor", n_tasks: int, elapsed: float
+) -> None:
+    ctx.metadata["executor"] = executor.name
+    ctx.metadata["n_tasks"] = n_tasks
+    ctx.metadata["measured_elapsed_s"] = elapsed
+
+
+class SerialExecutor:
+    """The single-process reference: tasks in order, one at a time."""
+
+    name = "serial"
+
+    def run(
+        self,
+        dataset: FMRIDataset,
+        ctx: RunContext,
+        voxels: NDArray[Any] | None = None,
+    ) -> VoxelScores:
+        t0 = time.perf_counter()
+        tasks = _task_stream(dataset, ctx, voxels)
+        parts = [execute_task(dataset, task, ctx) for task in tasks]
+        scores = VoxelScores.concatenate(parts).sorted_by_accuracy()
+        _finish(ctx, self, len(tasks), time.perf_counter() - t0)
+        return scores
+
+
+# -- process pool ---------------------------------------------------------
+
+# Worker-process globals installed by the pool initializer; module-level
+# so the per-task pickle payload stays tiny.  The shared-memory segment
+# is held to keep the dataset's zero-copy views backed for the worker's
+# lifetime.
+_WORKER_DATASET: FMRIDataset | None = None
+_WORKER_CONFIG: FCMAConfig | None = None
+_WORKER_SHM: Any = None
+
+
+def _init_worker(handle: SharedDatasetHandle, config: FCMAConfig) -> None:
+    global _WORKER_DATASET, _WORKER_CONFIG, _WORKER_SHM
+    _WORKER_DATASET, _WORKER_SHM = attach_shared_dataset(handle)
+    _WORKER_CONFIG = config
+    # Warm the task-invariant preprocessing (grouped epochs + normalized
+    # windows) once per worker instead of lazily inside the first task.
+    preprocess_dataset(_WORKER_DATASET)
+
+
+def _run_assigned_timed(
+    assigned: NDArray[np.int64],
+) -> tuple[VoxelScores, dict[str, Any]]:
+    """Worker body: run one task, return scores + telemetry snapshot."""
+    assert _WORKER_DATASET is not None and _WORKER_CONFIG is not None
+    ctx = RunContext(_WORKER_CONFIG)
+    scores = execute_task(_WORKER_DATASET, assigned, ctx)
+    return scores, ctx.export()
+
+
+class ProcessPoolExecutor:
+    """Zero-copy shared-memory fan-out over a local process pool.
+
+    The BOLD data is packed into one ``SharedMemory`` segment and
+    workers attach views, so the per-pool pickle payload is metadata
+    only; per-task messages carry voxel indices, scores, and a tiny
+    telemetry snapshot that merges into the caller's context (stage
+    seconds sum across workers, i.e. they report aggregate CPU time,
+    not wall time).
+
+    Falls back to the serial path for one worker (or one task) so
+    worker-count sweeps stay uniform.
+    """
+
+    name = "pool"
+
+    def __init__(self, n_workers: int | None = None):
+        if n_workers is not None and n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers
+
+    def run(
+        self,
+        dataset: FMRIDataset,
+        ctx: RunContext,
+        voxels: NDArray[Any] | None = None,
+    ) -> VoxelScores:
+        t0 = time.perf_counter()
+        n_workers = self.n_workers or os.cpu_count() or 1
+        tasks = _task_stream(dataset, ctx, voxels)
+        if n_workers == 1 or len(tasks) == 1:
+            scores = SerialExecutor().run(dataset, ctx, voxels)
+            ctx.metadata["executor"] = self.name
+            ctx.metadata["n_workers"] = 1
+            return scores
+        workers = min(n_workers, len(tasks))
+        config = ctx.config
+        chunksize = (
+            config.chunksize
+            if config.chunksize is not None
+            else auto_chunksize(len(tasks), workers)
+        )
+        shm, handle = share_dataset(dataset)
+        try:
+            with _StdProcessPool(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(handle, config),
+            ) as pool:
+                results = list(
+                    pool.map(_run_assigned_timed, tasks, chunksize=chunksize)
+                )
+        finally:
+            shm.close()
+            shm.unlink()
+        for _, payload in results:
+            ctx.merge_export(payload)
+        scores = VoxelScores.concatenate(
+            [scores for scores, _ in results]
+        ).sorted_by_accuracy()
+        _finish(ctx, self, len(tasks), time.perf_counter() - t0)
+        ctx.metadata["n_workers"] = workers
+        return scores
+
+
+# -- master-worker --------------------------------------------------------
+
+
+class MasterWorkerExecutor:
+    """The paper's pull-based protocol over in-process thread ranks.
+
+    Wraps :mod:`repro.parallel.master_worker`: rank 0 serves the task
+    stream on demand and aggregates, ranks 1..n run the stage graph.
+    After the run, the measured per-task stream is replayed through the
+    cluster simulator (:func:`predicted_schedule`) and the predicted
+    elapsed time lands in ``ctx.metadata["predicted"]`` next to the
+    measured one — the predicted-vs-measured hook the perf models use.
+    """
+
+    name = "master-worker"
+
+    def __init__(self, n_workers: int = 2, max_retries: int = 2):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+        self.n_workers = n_workers
+        self.max_retries = max_retries
+
+    def run(
+        self,
+        dataset: FMRIDataset,
+        ctx: RunContext,
+        voxels: NDArray[Any] | None = None,
+    ) -> VoxelScores:
+        from ..parallel.master_worker import _master_loop, _worker_loop
+
+        t0 = time.perf_counter()
+        tasks = _task_stream(dataset, ctx, voxels)
+        # Per-rank contexts keep the hot path lock-free; merged below.
+        worker_ctxs = [RunContext(ctx.config) for _ in range(self.n_workers)]
+
+        def spmd(comm: Comm) -> Any:
+            # The paper's master "first distributes brain data to the
+            # worker nodes": the broadcast shares the dataset reference.
+            ds = comm.bcast(dataset if comm.rank == 0 else None)
+            if comm.rank == 0:
+                return _master_loop(comm, tasks, max_retries=self.max_retries)
+            wctx = worker_ctxs[comm.rank - 1]
+
+            def run_one(
+                d: FMRIDataset, assigned: NDArray[np.int64], _cfg: FCMAConfig
+            ) -> VoxelScores:
+                return execute_task(d, assigned, wctx)
+
+            return _worker_loop(comm, ds, ctx.config, run=run_one)
+
+        results = run_ranks(self.n_workers + 1, spmd)
+        for wctx in worker_ctxs:
+            ctx.merge(wctx)
+        scores = results[0]
+        assert isinstance(scores, VoxelScores)
+        elapsed = time.perf_counter() - t0
+        _finish(ctx, self, len(tasks), elapsed)
+        ctx.metadata["n_workers"] = self.n_workers
+        predicted = predicted_schedule(ctx, dataset, self.n_workers)
+        ctx.metadata["predicted"] = {
+            "elapsed_s": predicted.elapsed_seconds,
+            "utilization": predicted.utilization,
+            "n_workers": predicted.n_workers,
+        }
+        return scores
+
+
+def predicted_schedule(
+    ctx: RunContext,
+    dataset: FMRIDataset,
+    n_workers: int,
+    cluster: ClusterConfig | None = None,
+) -> SimulationResult:
+    """Replay a run's measured task stream through the cluster simulator.
+
+    Builds a one-fold :class:`~repro.cluster.workload.Workload` whose
+    per-task compute times are the seconds :func:`execute_task` actually
+    recorded in ``ctx``, then schedules it on a simulated cluster —
+    the predicted half of every predicted-vs-measured comparison.
+    """
+    task_seconds = ctx.task_seconds
+    if not task_seconds:
+        raise ValueError("context has no recorded tasks to replay")
+    result_bytes = ctx.config.task_voxels * 8
+    fold = FoldSpec(
+        tasks=tuple(
+            TaskSpec(max(s, 1e-9), result_bytes=result_bytes)
+            for s in task_seconds
+        ),
+        label="measured-tasks",
+    )
+    workload = Workload(
+        name="measured-replay",
+        dataset_bytes=dataset.nbytes(),
+        folds=(fold,),
+    )
+    config = cluster if cluster is not None else ClusterConfig(n_workers=n_workers)
+    return simulate(workload, config)
+
+
+#: CLI / factory names of the built-in executors.
+EXECUTOR_NAMES = ("serial", "pool", "master-worker")
+
+
+def make_executor(
+    name: str,
+    n_workers: int | None = None,
+    **kwargs: Any,
+) -> Executor:
+    """Build a built-in executor by name (the CLI ``--executor`` values)."""
+    if name == "serial":
+        return SerialExecutor()
+    if name == "pool":
+        return ProcessPoolExecutor(n_workers=n_workers, **kwargs)
+    if name == "master-worker":
+        return MasterWorkerExecutor(n_workers=n_workers or 2, **kwargs)
+    raise KeyError(
+        f"unknown executor {name!r}; choose from {', '.join(EXECUTOR_NAMES)}"
+    )

@@ -1,0 +1,66 @@
+"""Task partitioning: the single place voxel ranges are carved.
+
+"The tasks are defined by partitioning the correlation matrices along
+their rows" (paper Section 3.1.1).  Every execution path — the serial
+driver, the process-pool executor, the master-worker protocol, and the
+cluster simulator's workload builders — used to carve those row ranges
+independently; they all delegate here now, so a change to the task
+decomposition happens exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+from numpy.typing import NDArray
+
+__all__ = ["partition_tasks", "n_tasks", "auto_chunksize"]
+
+
+def partition_tasks(
+    n_voxels: int,
+    task_voxels: int,
+    voxels: NDArray[Any] | None = None,
+) -> list[NDArray[np.int64]]:
+    """Partition voxels into master-assignable tasks of ``task_voxels``.
+
+    With ``voxels=None`` the whole brain ``[0, n_voxels)`` is carved
+    into contiguous ranges; otherwise the given index array is chunked
+    in order.  The final task may be short.  Task order is the
+    aggregation order every executor preserves, so identical inputs
+    yield identical concatenated results on any backend.
+    """
+    if task_voxels < 1:
+        raise ValueError("task_voxels must be >= 1")
+    if voxels is None:
+        if n_voxels < 1:
+            raise ValueError("n_voxels must be >= 1")
+        return [
+            np.arange(start, min(start + task_voxels, n_voxels), dtype=np.int64)
+            for start in range(0, n_voxels, task_voxels)
+        ]
+    out = np.asarray(voxels, dtype=np.int64)
+    if out.ndim != 1 or out.size == 0:
+        raise ValueError("voxels must be a non-empty 1D index array")
+    return [out[s : s + task_voxels] for s in range(0, out.size, task_voxels)]
+
+
+def n_tasks(n_voxels: int, task_voxels: int) -> int:
+    """Number of tasks a partition produces (``ceil(n/task_voxels)``)."""
+    if n_voxels < 1:
+        raise ValueError("n_voxels must be >= 1")
+    if task_voxels < 1:
+        raise ValueError("task_voxels must be >= 1")
+    return -(-n_voxels // task_voxels)
+
+
+def auto_chunksize(n_tasks: int, n_workers: int) -> int:
+    """Tasks per worker message: ~4 chunks per worker.
+
+    Amortizes result round-trips while keeping the last wave short
+    enough that dynamic scheduling can still balance it.
+    """
+    if n_tasks < 1 or n_workers < 1:
+        raise ValueError("n_tasks and n_workers must be >= 1")
+    return max(1, -(-n_tasks // (n_workers * 4)))

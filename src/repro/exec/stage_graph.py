@@ -1,0 +1,294 @@
+"""The FCMA pipeline as an explicit stage graph.
+
+:class:`StageGraph` expresses the paper's three-stage pipeline —
+correlate (Section 3.1 stage 1), normalize (stage 2), SVM-score
+(stage 3) — as named nodes with declared inputs and outputs, replacing
+the hard-coded sequencing that used to live inside ``run_task``.  Each
+node's wall time is charged to the :class:`~repro.exec.context.RunContext`
+under the node's name, so every executor emits identical per-stage
+telemetry.
+
+Two built-in graphs mirror ``FCMAConfig.variant``:
+
+* ``baseline`` — three separate nodes (per-epoch gemm correlation,
+  separated normalization, LibSVM-style scoring);
+* ``optimized`` — the paper's idea #2 *merges* normalization into the
+  blocked correlation while tiles are L2-resident, so the graph has a
+  fused ``correlate+normalize`` node followed by ``score``.
+
+Both graphs reproduce the legacy ``run_task`` results bitwise; the
+equivalence is pinned by ``tests/exec/test_stage_graph.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Mapping
+
+import numpy as np
+from numpy.typing import NDArray
+
+from ..core.correlation import correlate_baseline, correlate_blocked
+from ..core.kernels import kernel_matrix_baseline, kernel_matrix_blocked
+from ..core.normalization import MergedNormalizer, normalize_separated
+from ..core.results import VoxelScores
+from ..core.voxel_selection import score_voxels
+from ..svm.cross_validation import kfold_ids
+from .context import RunContext
+from .registry import create_backend, register_variant
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..data.dataset import FMRIDataset
+
+__all__ = [
+    "Stage",
+    "StageGraph",
+    "StageGraphError",
+    "baseline_graph",
+    "optimized_graph",
+    "build_graph",
+    "execute_task",
+]
+
+#: A stage body: reads its declared inputs from the state mapping and
+#: returns its outputs as a new mapping.
+StageFn = Callable[[RunContext, Mapping[str, Any]], Mapping[str, Any]]
+
+
+class StageGraphError(ValueError):
+    """An ill-formed stage graph (dangling input, duplicate name, ...)."""
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One node of the pipeline: a named, typed transformation."""
+
+    name: str
+    fn: StageFn
+    #: State keys the node reads; each must be seeded or produced by an
+    #: earlier node.
+    inputs: tuple[str, ...]
+    #: State keys the node must produce.
+    outputs: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise StageGraphError("stage name must be non-empty")
+        if not self.outputs:
+            raise StageGraphError(f"stage {self.name!r} declares no outputs")
+
+
+@dataclass(frozen=True)
+class StageGraph:
+    """A linear chain of stages with validated dataflow.
+
+    ``validate`` checks the chain once at build time: names unique,
+    every input either in ``seeds`` (the keys the caller provides) or
+    produced by an earlier stage.  ``run`` then executes the chain,
+    timing each node through the context.
+    """
+
+    stages: tuple[Stage, ...]
+    #: State keys the caller seeds (the graph's external inputs).
+    seeds: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`StageGraphError` if the dataflow is broken."""
+        if not self.stages:
+            raise StageGraphError("a stage graph needs at least one stage")
+        seen: set[str] = set()
+        available = set(self.seeds)
+        for stage in self.stages:
+            if stage.name in seen:
+                raise StageGraphError(f"duplicate stage name {stage.name!r}")
+            seen.add(stage.name)
+            missing = [k for k in stage.inputs if k not in available]
+            if missing:
+                raise StageGraphError(
+                    f"stage {stage.name!r} reads {missing} before any "
+                    f"earlier stage (or seed) produces them"
+                )
+            available.update(stage.outputs)
+
+    @property
+    def stage_names(self) -> tuple[str, ...]:
+        """Node names in execution order (the timing keys)."""
+        return tuple(s.name for s in self.stages)
+
+    def run(self, ctx: RunContext, **seeds: Any) -> dict[str, Any]:
+        """Execute the chain; returns the final state mapping."""
+        missing = [k for k in self.seeds if k not in seeds]
+        if missing:
+            raise StageGraphError(f"missing seed values: {missing}")
+        state: dict[str, Any] = dict(seeds)
+        for stage in self.stages:
+            inputs = {k: state[k] for k in stage.inputs}
+            with ctx.timer(stage.name):
+                produced = stage.fn(ctx, inputs)
+            absent = [k for k in stage.outputs if k not in produced]
+            if absent:
+                raise StageGraphError(
+                    f"stage {stage.name!r} did not produce {absent}"
+                )
+            state.update(produced)
+        return state
+
+
+# -- the FCMA stage bodies ------------------------------------------------
+
+
+def _fold_ids(ctx: RunContext, ds: "FMRIDataset") -> NDArray[Any]:
+    """CV fold assignment: LOSO across subjects, k-fold within one."""
+    epochs = ds.epochs
+    if epochs.n_subjects >= 2:
+        return np.asarray(epochs.subjects())
+    return np.asarray(kfold_ids(len(epochs), ctx.config.online_folds))
+
+
+def _preprocess(ctx: RunContext, state: Mapping[str, Any]) -> Mapping[str, Any]:
+    from ..core.pipeline import preprocess_dataset
+
+    ds, z = preprocess_dataset(state["dataset"])
+    return {"grouped": ds, "windows": z}
+
+
+def _correlate_baseline(
+    ctx: RunContext, state: Mapping[str, Any]
+) -> Mapping[str, Any]:
+    corr = correlate_baseline(state["windows"], state["assigned"])
+    return {"correlations": corr}
+
+
+def _normalize_separated(
+    ctx: RunContext, state: Mapping[str, Any]
+) -> Mapping[str, Any]:
+    corr = state["correlations"]
+    normalize_separated(corr, state["grouped"].epochs.epochs_per_subject())
+    return {"correlations": corr}
+
+
+def _correlate_merged(
+    ctx: RunContext, state: Mapping[str, Any]
+) -> Mapping[str, Any]:
+    config = ctx.config
+    e_per_subject = state["grouped"].epochs.epochs_per_subject()
+    merger = MergedNormalizer(e_per_subject)
+    corr = correlate_blocked(
+        state["windows"],
+        state["assigned"],
+        voxel_block=config.voxel_block,
+        target_block=config.target_block,
+        epoch_block=e_per_subject,
+        tile_callback=merger,
+    )
+    return {"correlations": corr}
+
+
+def _make_score_stage(kernel_fn: Callable[..., Any]) -> StageFn:
+    def _score(ctx: RunContext, state: Mapping[str, Any]) -> Mapping[str, Any]:
+        grouped = state["grouped"]
+        backend = create_backend(ctx.config)
+        scores = score_voxels(
+            state["correlations"],
+            state["assigned"],
+            grouped.epochs.labels(),
+            _fold_ids(ctx, grouped),
+            backend,
+            kernel_fn=kernel_fn,
+            batch_voxels=ctx.config.batch_voxels,
+        )
+        return {"scores": scores}
+
+    return _score
+
+
+_SEEDS = ("dataset", "assigned")
+
+
+def baseline_graph(config: Any = None) -> StageGraph:
+    """The Section-3.2 pipeline: three separated stages."""
+    return StageGraph(
+        stages=(
+            Stage("preprocess", _preprocess, ("dataset",), ("grouped", "windows")),
+            Stage(
+                "correlate",
+                _correlate_baseline,
+                ("windows", "assigned"),
+                ("correlations",),
+            ),
+            Stage(
+                "normalize",
+                _normalize_separated,
+                ("correlations", "grouped"),
+                ("correlations",),
+            ),
+            Stage(
+                "score",
+                _make_score_stage(kernel_matrix_baseline),
+                ("correlations", "assigned", "grouped"),
+                ("scores",),
+            ),
+        ),
+        seeds=_SEEDS,
+    )
+
+
+def optimized_graph(config: Any = None) -> StageGraph:
+    """The Section-4 pipeline: normalization merged into correlation."""
+    return StageGraph(
+        stages=(
+            Stage("preprocess", _preprocess, ("dataset",), ("grouped", "windows")),
+            Stage(
+                "correlate+normalize",
+                _correlate_merged,
+                ("windows", "assigned", "grouped"),
+                ("correlations",),
+            ),
+            Stage(
+                "score",
+                _make_score_stage(kernel_matrix_blocked),
+                ("correlations", "assigned", "grouped"),
+                ("scores",),
+            ),
+        ),
+        seeds=_SEEDS,
+    )
+
+
+register_variant("baseline", baseline_graph, overwrite=True)
+register_variant("optimized", optimized_graph, overwrite=True)
+
+
+def build_graph(config: Any) -> StageGraph:
+    """The stage graph for a config's registered pipeline variant."""
+    from .registry import graph_builder
+
+    builder = graph_builder(config.variant)
+    return builder(config)
+
+
+def execute_task(
+    dataset: "FMRIDataset",
+    assigned: NDArray[Any],
+    ctx: RunContext,
+) -> VoxelScores:
+    """Run one task's assigned voxels through the configured graph.
+
+    This is the single implementation behind the legacy ``run_task``
+    shim and every executor; per-stage wall time lands in ``ctx`` and
+    the task's total is appended to ``ctx.task_seconds``.
+    """
+    assigned = np.asarray(assigned, dtype=np.int64)
+    if assigned.ndim != 1 or assigned.size == 0:
+        raise ValueError("assigned must be a non-empty 1D index array")
+    graph = build_graph(ctx.config)
+    t0 = time.perf_counter()
+    state = graph.run(ctx, dataset=dataset, assigned=assigned)
+    ctx.record_task(time.perf_counter() - t0)
+    scores = state["scores"]
+    assert isinstance(scores, VoxelScores)
+    return scores

@@ -1,37 +1,34 @@
-"""Real multi-core execution of FCMA tasks via multiprocessing.
+"""Zero-copy dataset sharing + legacy process-pool entry points.
 
-While :mod:`repro.parallel.master_worker` exercises the paper's MPI
-protocol in-process, this module provides the path a user runs for
-actual wall-clock speedup on one machine: the same row-partitioned task
-decomposition fanned out over a process pool.
-
-The BOLD data is shipped to workers **once, zero-copy**: the master
-packs every subject's array into a single
+This module owns the shared-memory plumbing the pool executor rides on:
+the master packs every subject's BOLD array into a single
 :class:`multiprocessing.shared_memory.SharedMemory` segment and sends
 workers only a :class:`SharedDatasetHandle` — segment name plus subject
 offsets — so the per-pool pickle payload is a few hundred bytes no
 matter how large the scan is.  Each worker attaches views over the
-segment, rebuilds the dataset without copying, and memoizes the
-task-invariant preprocessing (subject-contiguous regrouping + epoch
-windows) in its process globals.  Per-task messages then carry only
-voxel index arrays and score arrays, in chunks of ``config.chunksize``
-tasks per round-trip.
+segment and rebuilds the dataset without copying.
+
+The execution logic itself moved to :mod:`repro.exec.executors`:
+:func:`serial_voxel_selection` and :func:`parallel_voxel_selection`
+remain as compatibility shims over :class:`~repro.exec.SerialExecutor`
+and :class:`~repro.exec.ProcessPoolExecutor` (the latter emits a
+:class:`DeprecationWarning`), returning seed-identical results.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
+import warnings
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
 import numpy as np
 
-from ..core.pipeline import FCMAConfig, preprocess_dataset, run_task, task_partition
+from ..core.pipeline import FCMAConfig
 from ..core.results import VoxelScores
 from ..data.dataset import FMRIDataset
 from ..data.epochs import EpochTable
 from ..data.mask import BrainMask
+from ..exec.partition import auto_chunksize, partition_tasks
 
 __all__ = [
     "SharedDatasetHandle",
@@ -114,45 +111,16 @@ def attach_shared_dataset(
     return dataset, shm
 
 
-# Worker-process globals installed by the pool initializer; module-level
-# so the per-task pickle payload stays tiny.  The segment is held to keep
-# the dataset's views backed for the worker's lifetime.
-_WORKER_DATASET: FMRIDataset | None = None
-_WORKER_CONFIG: FCMAConfig | None = None
-_WORKER_SHM: shared_memory.SharedMemory | None = None
-
-
-def _init_worker(handle: SharedDatasetHandle, config: FCMAConfig) -> None:
-    global _WORKER_DATASET, _WORKER_CONFIG, _WORKER_SHM
-    _WORKER_DATASET, _WORKER_SHM = attach_shared_dataset(handle)
-    _WORKER_CONFIG = config
-    # Warm the task-invariant preprocessing (grouped epochs + normalized
-    # windows) once per worker instead of lazily inside the first task.
-    preprocess_dataset(_WORKER_DATASET)
-
-
-def _run_assigned(assigned: np.ndarray) -> VoxelScores:
-    assert _WORKER_DATASET is not None and _WORKER_CONFIG is not None
-    return run_task(_WORKER_DATASET, assigned, _WORKER_CONFIG)
-
-
 def _tasks_for(
     dataset: FMRIDataset, config: FCMAConfig, voxels: np.ndarray | None
 ) -> list[np.ndarray]:
-    if voxels is None:
-        return task_partition(dataset.n_voxels, config.task_voxels)
-    voxels = np.asarray(voxels, dtype=np.int64)
-    if voxels.ndim != 1 or voxels.size == 0:
-        raise ValueError("voxels must be a non-empty 1D index array")
-    return [
-        voxels[s : s + config.task_voxels]
-        for s in range(0, voxels.size, config.task_voxels)
-    ]
+    """Compatibility alias for :func:`repro.exec.partition.partition_tasks`."""
+    return partition_tasks(dataset.n_voxels, config.task_voxels, voxels)
 
 
 def _auto_chunksize(n_tasks: int, n_workers: int) -> int:
-    """~4 chunks per worker: amortizes round-trips, keeps the tail short."""
-    return max(1, -(-n_tasks // (n_workers * 4)))
+    """Compatibility alias for :func:`repro.exec.partition.auto_chunksize`."""
+    return auto_chunksize(n_tasks, n_workers)
 
 
 def serial_voxel_selection(
@@ -160,9 +128,16 @@ def serial_voxel_selection(
     config: FCMAConfig = FCMAConfig(),
     voxels: np.ndarray | None = None,
 ) -> VoxelScores:
-    """Single-process voxel selection (the 1-worker reference)."""
-    parts = [run_task(dataset, t, config) for t in _tasks_for(dataset, config, voxels)]
-    return VoxelScores.concatenate(parts).sorted_by_accuracy()
+    """Single-process voxel selection (the 1-worker reference).
+
+    Shim over :class:`repro.exec.SerialExecutor`; pass a
+    :class:`~repro.exec.RunContext` to the executor directly to keep the
+    per-stage timings this wrapper throws away.
+    """
+    from ..exec.context import RunContext
+    from ..exec.executors import SerialExecutor
+
+    return SerialExecutor().run(dataset, RunContext(config), voxels)
 
 
 def parallel_voxel_selection(
@@ -173,32 +148,20 @@ def parallel_voxel_selection(
 ) -> VoxelScores:
     """Voxel selection across a local process pool.
 
-    ``n_workers`` defaults to the CPU count.  Falls back to the serial
-    path for a single worker so callers can sweep worker counts
-    uniformly in scaling studies.
+    .. deprecated:: 1.1
+        Use :class:`repro.exec.ProcessPoolExecutor` — same zero-copy
+        fan-out, identical results, plus per-stage telemetry through the
+        :class:`~repro.exec.RunContext` this shim discards.
     """
-    if n_workers is None:
-        n_workers = os.cpu_count() or 1
-    if n_workers < 1:
-        raise ValueError("n_workers must be >= 1")
-    tasks = _tasks_for(dataset, config, voxels)
-    if n_workers == 1 or len(tasks) == 1:
-        return serial_voxel_selection(dataset, config, voxels)
-    workers = min(n_workers, len(tasks))
-    chunksize = (
-        config.chunksize
-        if config.chunksize is not None
-        else _auto_chunksize(len(tasks), workers)
+    warnings.warn(
+        "parallel_voxel_selection is deprecated; use "
+        "repro.exec.ProcessPoolExecutor(n_workers).run(dataset, RunContext(config))",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    shm, handle = share_dataset(dataset)
-    try:
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_worker,
-            initargs=(handle, config),
-        ) as pool:
-            parts = list(pool.map(_run_assigned, tasks, chunksize=chunksize))
-    finally:
-        shm.close()
-        shm.unlink()
-    return VoxelScores.concatenate(parts).sorted_by_accuracy()
+    from ..exec.context import RunContext
+    from ..exec.executors import ProcessPoolExecutor
+
+    return ProcessPoolExecutor(n_workers=n_workers).run(
+        dataset, RunContext(config), voxels
+    )

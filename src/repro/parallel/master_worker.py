@@ -22,14 +22,15 @@ failure on one node cannot lose voxels from the analysis.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Sequence
 
 import numpy as np
 
-from ..core.pipeline import FCMAConfig, run_task, task_partition
+from ..core.pipeline import FCMAConfig, run_task
 from ..core.results import VoxelScores
 from ..data.dataset import FMRIDataset
-from .comm import Comm, run_ranks
+from .comm import Comm
 
 __all__ = ["mpi_voxel_selection", "master_loop", "worker_loop", "TaskFailedError"]
 
@@ -45,7 +46,7 @@ class TaskFailedError(RuntimeError):
     """A task exhausted its retries across workers."""
 
 
-def master_loop(
+def _master_loop(
     comm: Comm,
     tasks: Sequence[np.ndarray],
     max_retries: int = 2,
@@ -107,7 +108,7 @@ def master_loop(
     return VoxelScores.concatenate(parts).sorted_by_accuracy()
 
 
-def worker_loop(
+def _worker_loop(
     comm: Comm,
     dataset: FMRIDataset,
     config: FCMAConfig,
@@ -138,6 +139,43 @@ def worker_loop(
         completed += 1
 
 
+def master_loop(
+    comm: Comm,
+    tasks: Sequence[np.ndarray],
+    max_retries: int = 2,
+) -> VoxelScores:
+    """Deprecated public alias of the master's serve-and-aggregate loop.
+
+    .. deprecated:: 1.1
+        Use :class:`repro.exec.MasterWorkerExecutor`, which wraps this
+        protocol, merges per-stage timings into a
+        :class:`~repro.exec.RunContext`, and feeds the measured task
+        stream to the cluster simulator.  Results are identical.
+    """
+    warnings.warn(
+        "direct master_loop use is deprecated; use "
+        "repro.exec.MasterWorkerExecutor(n_workers).run(dataset, RunContext(config))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _master_loop(comm, tasks, max_retries=max_retries)
+
+
+def worker_loop(
+    comm: Comm,
+    dataset: FMRIDataset,
+    config: FCMAConfig,
+    run: Callable[[FMRIDataset, np.ndarray, FCMAConfig], VoxelScores] = run_task,
+) -> int:
+    """Public alias of the worker's pull-execute-report loop.
+
+    Kept un-deprecated as the customization seam (its ``run`` hook is
+    how fault-tolerance tests inject failures), but new code should go
+    through :class:`repro.exec.MasterWorkerExecutor`.
+    """
+    return _worker_loop(comm, dataset, config, run=run)
+
+
 def mpi_voxel_selection(
     dataset: FMRIDataset,
     config: FCMAConfig = FCMAConfig(),
@@ -147,29 +185,14 @@ def mpi_voxel_selection(
 ) -> VoxelScores:
     """Full voxel selection through the master-worker protocol.
 
-    Spawns ``n_workers + 1`` thread ranks (threads, because the protocol
-    layer is what is being exercised; for real multi-core speedup use
-    :func:`repro.parallel.executor.parallel_voxel_selection`, which runs
-    the same task decomposition across processes).
+    Shim over :class:`repro.exec.MasterWorkerExecutor`: spawns
+    ``n_workers + 1`` thread ranks (threads, because the protocol layer
+    is what is being exercised; for real multi-core speedup use the
+    process-pool executor, which runs the same task decomposition across
+    processes).
     """
-    if n_workers < 1:
-        raise ValueError("n_workers must be >= 1")
-    if voxels is None:
-        all_tasks = task_partition(dataset.n_voxels, config.task_voxels)
-    else:
-        voxels = np.asarray(voxels, dtype=np.int64)
-        all_tasks = [
-            voxels[s : s + config.task_voxels]
-            for s in range(0, voxels.size, config.task_voxels)
-        ]
+    from ..exec.context import RunContext
+    from ..exec.executors import MasterWorkerExecutor
 
-    def spmd(comm: Comm):
-        # The paper's master "first distributes brain data to the worker
-        # nodes": here the broadcast shares the dataset object reference.
-        ds = comm.bcast(dataset if comm.rank == 0 else None)
-        if comm.rank == 0:
-            return master_loop(comm, all_tasks, max_retries=max_retries)
-        return worker_loop(comm, ds, config)
-
-    results = run_ranks(n_workers + 1, spmd)
-    return results[0]
+    executor = MasterWorkerExecutor(n_workers=n_workers, max_retries=max_retries)
+    return executor.run(dataset, RunContext(config), voxels)

@@ -13,7 +13,6 @@ Orchestrates a full closed-loop session:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -22,6 +21,7 @@ from ..analysis.online import OnlineResult, run_online_analysis
 from ..core.pipeline import FCMAConfig
 from ..data.dataset import FMRIDataset
 from ..data.epochs import Epoch, EpochTable
+from ..exec.context import RunContext
 from .assembler import CompletedEpoch, EpochAssembler
 from .scanner import ScannerSimulator
 
@@ -84,6 +84,11 @@ class ClosedLoopSession:
         ``2 * config.online_folds`` so each CV fold sees both classes.
     top_k:
         Voxels selected for the feedback classifier.
+    context:
+        Optional :class:`~repro.exec.RunContext`; the session times its
+        phases through it (``train``, ``feedback``, ``retrain``) on top
+        of the pipeline's own stage timings, so a deployment reads one
+        telemetry object for the whole closed loop.
     """
 
     def __init__(
@@ -93,6 +98,7 @@ class ClosedLoopSession:
         training_epochs: int = 8,
         top_k: int = 20,
         retrain_every: int | None = None,
+        context: RunContext | None = None,
     ):
         if training_epochs < 4:
             raise ValueError("training_epochs must be >= 4")
@@ -104,6 +110,8 @@ class ClosedLoopSession:
         self._config = config
         self._training_epochs = training_epochs
         self._top_k = top_k
+        #: The session's telemetry carrier (shared with the pipeline).
+        self.context = context if context is not None else RunContext(config)
         #: Adaptive mode: after every N feedback epochs, re-run voxel
         #: selection and retrain on everything seen so far (the epoch
         #: labels are known from the experimental design, so the live
@@ -133,7 +141,11 @@ class ClosedLoopSession:
         )
         dataset = FMRIDataset({0: bold}, table, name="rtfmri-training")
         return run_online_analysis(
-            dataset, subject=0, config=self._config, top_k=self._top_k
+            dataset,
+            subject=0,
+            config=self._config,
+            top_k=self._top_k,
+            context=self.context,
         )
 
     def run(self) -> ClosedLoopResult:
@@ -151,21 +163,23 @@ class ClosedLoopSession:
             if result is None:
                 collected.append(epoch)
                 if len(collected) >= self._training_epochs:
-                    t0 = time.perf_counter()
-                    training = self._train(collected)
+                    with self.context.timer("train") as train_timer:
+                        training = self._train(collected)
                     result = ClosedLoopResult(
                         training=training,
-                        training_latency_s=time.perf_counter() - t0,
+                        training_latency_s=train_timer.seconds,
                     )
                 return
-            t0 = time.perf_counter()
-            predicted = result.training.classifier.classify_epoch(epoch.window)
+            with self.context.timer("feedback") as feedback_timer:
+                predicted = result.training.classifier.classify_epoch(
+                    epoch.window
+                )
             result.events.append(
                 FeedbackEvent(
                     epoch_index=epoch.index,
                     true_condition=epoch.condition,
                     predicted_condition=predicted,
-                    latency_s=time.perf_counter() - t0,
+                    latency_s=feedback_timer.seconds,
                 )
             )
             # Adaptive mode: fold the (design-labeled) epoch into the
@@ -176,7 +190,8 @@ class ClosedLoopSession:
                 self._retrain_every is not None
                 and since_retrain >= self._retrain_every
             ):
-                training = self._train(collected)
+                with self.context.timer("retrain"):
+                    training = self._train(collected)
                 result.training = training
                 self.retrain_count += 1
                 since_retrain = 0

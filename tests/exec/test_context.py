@@ -1,0 +1,127 @@
+"""RunContext: the shared telemetry carrier of every execution path."""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import FCMAConfig
+from repro.exec.context import RunContext, StageStats
+from repro.hw.counters import PerfCounters
+
+
+class TestConstruction:
+    def test_default_config_is_fcma_default(self):
+        ctx = RunContext()
+        assert ctx.config == FCMAConfig()
+
+    def test_carries_given_config(self):
+        config = FCMAConfig(task_voxels=7)
+        assert RunContext(config).config is config
+
+    def test_rng_is_seed_deterministic(self):
+        a = RunContext(seed=42).rng().random(4)
+        b = RunContext(seed=42).rng().random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_unseeded_rng_defaults_to_zero(self):
+        np.testing.assert_array_equal(
+            RunContext().rng().random(4),
+            np.random.default_rng(0).random(4),
+        )
+
+
+class TestTiming:
+    def test_timer_accumulates_and_counts_calls(self):
+        ctx = RunContext()
+        for _ in range(3):
+            with ctx.timer("stage-a"):
+                time.sleep(0.001)
+        stats = ctx.stages["stage-a"]
+        assert stats.calls == 3
+        assert stats.seconds >= 0.003
+
+    def test_timer_handle_reports_single_call_seconds(self):
+        ctx = RunContext()
+        with ctx.timer("x") as t:
+            time.sleep(0.002)
+        assert 0 < t.seconds <= ctx.stages["x"].seconds
+
+    def test_timer_charges_on_exception(self):
+        ctx = RunContext()
+        with pytest.raises(RuntimeError):
+            with ctx.timer("boom"):
+                raise RuntimeError("oops")
+        assert ctx.stages["boom"].calls == 1
+
+    def test_add_time_rejects_negative(self):
+        with pytest.raises(ValueError):
+            RunContext().add_time("s", -0.1)
+
+    def test_record_task_builds_stream(self):
+        ctx = RunContext()
+        ctx.record_task(0.5)
+        ctx.record_task(0.25)
+        assert ctx.task_seconds == [0.5, 0.25]
+
+    def test_record_task_rejects_negative(self):
+        with pytest.raises(ValueError):
+            RunContext().record_task(-1.0)
+
+    def test_add_counters_accumulates(self):
+        ctx = RunContext()
+        ctx.add_counters("score", PerfCounters(flops=100))
+        ctx.add_counters("score", PerfCounters(flops=50))
+        assert ctx.stages["score"].counters.flops == 150
+
+
+class TestMergeAndExport:
+    def test_merge_folds_stages_and_tasks(self):
+        a, b = RunContext(), RunContext()
+        a.add_time("s", 1.0)
+        a.record_task(1.0)
+        b.add_time("s", 2.0)
+        b.add_time("t", 0.5)
+        b.record_task(2.0)
+        a.merge(b)
+        assert a.stages["s"].seconds == pytest.approx(3.0)
+        assert a.stages["s"].calls == 2
+        assert a.stages["t"].seconds == pytest.approx(0.5)
+        assert a.task_seconds == [1.0, 2.0]
+
+    def test_export_roundtrips_through_pickle(self):
+        ctx = RunContext()
+        ctx.add_time("correlate", 1.5, calls=3)
+        ctx.record_task(0.5)
+        payload = pickle.loads(pickle.dumps(ctx.export()))
+        home = RunContext()
+        home.merge_export(payload)
+        assert home.stages["correlate"].seconds == pytest.approx(1.5)
+        assert home.stages["correlate"].calls == 3
+        assert home.task_seconds == [0.5]
+
+    def test_stage_stats_merge_sums_counters(self):
+        a = StageStats(seconds=1.0, calls=1, counters=PerfCounters(flops=10))
+        a.merge(StageStats(seconds=2.0, calls=2, counters=PerfCounters(flops=5)))
+        assert a.seconds == pytest.approx(3.0)
+        assert a.calls == 3
+        assert a.counters.flops == 15
+
+
+class TestTimingReport:
+    def test_report_is_json_shaped_and_carries_metadata(self):
+        import json
+
+        ctx = RunContext()
+        ctx.add_time("score", 2.0)
+        ctx.record_task(2.0)
+        ctx.metadata["executor"] = "serial"
+        report = ctx.timing_report()
+        assert report["stages"]["score"]["seconds"] == pytest.approx(2.0)
+        assert report["total_stage_seconds"] == pytest.approx(2.0)
+        assert report["n_tasks"] == 1
+        assert report["executor"] == "serial"
+        json.dumps(report)  # must be serializable as-is

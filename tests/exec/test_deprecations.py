@@ -1,0 +1,70 @@
+"""Legacy entry points: deprecation warnings fire, results stay identical."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import FCMAConfig, task_partition
+from repro.exec.context import RunContext
+from repro.exec.executors import SerialExecutor
+from repro.parallel.comm import run_ranks
+from repro.parallel.executor import parallel_voxel_selection, serial_voxel_selection
+from repro.parallel.master_worker import master_loop, worker_loop
+
+
+class TestParallelVoxelSelection:
+    def test_warns_and_matches_serial(self, tiny_dataset, fast_fcma_config):
+        reference = SerialExecutor().run(
+            tiny_dataset, RunContext(fast_fcma_config)
+        )
+        with pytest.warns(DeprecationWarning, match="ProcessPoolExecutor"):
+            legacy = parallel_voxel_selection(
+                tiny_dataset, fast_fcma_config, n_workers=2
+            )
+        np.testing.assert_array_equal(reference.voxels, legacy.voxels)
+        np.testing.assert_array_equal(reference.accuracies, legacy.accuracies)
+
+    def test_serial_shim_does_not_warn(self, tiny_dataset, fast_fcma_config):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            serial_voxel_selection(tiny_dataset, fast_fcma_config)
+
+
+class TestMasterLoop:
+    def test_direct_use_warns_and_matches_serial(
+        self, tiny_dataset, fast_fcma_config
+    ):
+        tasks = task_partition(tiny_dataset.n_voxels, fast_fcma_config.task_voxels)
+
+        def spmd(comm):
+            if comm.rank == 0:
+                with pytest.warns(DeprecationWarning, match="MasterWorkerExecutor"):
+                    return master_loop(comm, tasks)
+            return worker_loop(comm, tiny_dataset, fast_fcma_config)
+
+        results = run_ranks(3, spmd)
+        legacy = results[0]
+        reference = SerialExecutor().run(
+            tiny_dataset, RunContext(fast_fcma_config)
+        )
+        np.testing.assert_array_equal(reference.voxels, legacy.voxels)
+        np.testing.assert_array_equal(reference.accuracies, legacy.accuracies)
+
+    def test_worker_loop_stays_quiet(self, tiny_dataset, fast_fcma_config):
+        """worker_loop is the supported customization seam — no warning."""
+        tasks = task_partition(tiny_dataset.n_voxels, fast_fcma_config.task_voxels)
+
+        def spmd(comm):
+            if comm.rank == 0:
+                from repro.parallel.master_worker import _master_loop
+
+                return _master_loop(comm, tasks)
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", DeprecationWarning)
+                return worker_loop(comm, tiny_dataset, fast_fcma_config)
+
+        results = run_ranks(2, spmd)
+        assert results[1] == len(tasks)

@@ -1,0 +1,79 @@
+"""The single task-carving helper every execution path delegates to."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exec.partition import auto_chunksize, n_tasks, partition_tasks
+
+
+class TestPartitionTasks:
+    def test_whole_brain_contiguous_ranges(self):
+        tasks = partition_tasks(10, 4)
+        assert [t.tolist() for t in tasks] == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+        assert all(t.dtype == np.int64 for t in tasks)
+
+    def test_exact_division_has_no_short_tail(self):
+        tasks = partition_tasks(8, 4)
+        assert [len(t) for t in tasks] == [4, 4]
+
+    def test_single_task_covers_everything(self):
+        (task,) = partition_tasks(5, 100)
+        assert task.tolist() == [0, 1, 2, 3, 4]
+
+    def test_explicit_voxel_subset_chunked_in_order(self):
+        voxels = np.array([7, 3, 11, 2, 9])
+        tasks = partition_tasks(1000, 2, voxels)
+        assert [t.tolist() for t in tasks] == [[7, 3], [11, 2], [9]]
+
+    def test_concatenated_partition_is_identity(self):
+        tasks = partition_tasks(101, 7)
+        np.testing.assert_array_equal(np.concatenate(tasks), np.arange(101))
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_nonpositive_task_voxels(self, bad):
+        with pytest.raises(ValueError, match="task_voxels"):
+            partition_tasks(10, bad)
+
+    def test_rejects_nonpositive_n_voxels(self):
+        with pytest.raises(ValueError, match="n_voxels"):
+            partition_tasks(0, 4)
+
+    def test_rejects_empty_voxel_array(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            partition_tasks(10, 4, np.array([], dtype=np.int64))
+
+    def test_rejects_2d_voxel_array(self):
+        with pytest.raises(ValueError, match="1D"):
+            partition_tasks(10, 4, np.zeros((2, 2), dtype=np.int64))
+
+
+class TestNTasks:
+    @pytest.mark.parametrize(
+        "n_voxels,task_voxels,expected",
+        [(10, 4, 3), (8, 4, 2), (1, 100, 1), (100, 1, 100)],
+    )
+    def test_matches_partition_length(self, n_voxels, task_voxels, expected):
+        assert n_tasks(n_voxels, task_voxels) == expected
+        assert len(partition_tasks(n_voxels, task_voxels)) == expected
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            n_tasks(0, 4)
+        with pytest.raises(ValueError):
+            n_tasks(10, 0)
+
+
+class TestAutoChunksize:
+    def test_four_chunks_per_worker(self):
+        assert auto_chunksize(32, 2) == 4
+
+    def test_never_below_one(self):
+        assert auto_chunksize(1, 64) == 1
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            auto_chunksize(0, 2)
+        with pytest.raises(ValueError):
+            auto_chunksize(5, 0)

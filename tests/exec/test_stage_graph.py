@@ -1,0 +1,140 @@
+"""Stage graph: validation, telemetry, and run_task equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FCMAConfig, run_task
+from repro.exec.context import RunContext
+from repro.exec.stage_graph import (
+    Stage,
+    StageGraph,
+    StageGraphError,
+    baseline_graph,
+    build_graph,
+    execute_task,
+    optimized_graph,
+)
+
+
+def _passthrough(ctx, state):
+    return {"out": state.get("x", 0)}
+
+
+class TestGraphValidation:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(StageGraphError, match="at least one"):
+            StageGraph(stages=(), seeds=("x",))
+
+    def test_duplicate_stage_names_rejected(self):
+        s = Stage("dup", _passthrough, ("x",), ("out",))
+        with pytest.raises(StageGraphError, match="duplicate"):
+            StageGraph(stages=(s, s), seeds=("x", "out"))
+
+    def test_dangling_input_rejected(self):
+        s = Stage("needs-y", _passthrough, ("y",), ("out",))
+        with pytest.raises(StageGraphError, match="'needs-y'"):
+            StageGraph(stages=(s,), seeds=("x",))
+
+    def test_empty_stage_name_rejected(self):
+        with pytest.raises(StageGraphError, match="non-empty"):
+            Stage("", _passthrough, (), ("out",))
+
+    def test_stage_without_outputs_rejected(self):
+        with pytest.raises(StageGraphError, match="outputs"):
+            Stage("s", _passthrough, (), ())
+
+    def test_later_stage_may_read_earlier_outputs(self):
+        graph = StageGraph(
+            stages=(
+                Stage("a", lambda c, s: {"mid": s["x"] + 1}, ("x",), ("mid",)),
+                Stage("b", lambda c, s: {"out": s["mid"] * 2}, ("mid",), ("out",)),
+            ),
+            seeds=("x",),
+        )
+        state = graph.run(RunContext(), x=3)
+        assert state["out"] == 8
+
+    def test_run_rejects_missing_seed(self):
+        graph = StageGraph(
+            stages=(Stage("a", _passthrough, ("x",), ("out",)),), seeds=("x",)
+        )
+        with pytest.raises(StageGraphError, match="missing seed"):
+            graph.run(RunContext())
+
+    def test_run_rejects_stage_that_breaks_its_contract(self):
+        graph = StageGraph(
+            stages=(Stage("liar", lambda c, s: {}, (), ("out",)),), seeds=()
+        )
+        with pytest.raises(StageGraphError, match="did not produce"):
+            graph.run(RunContext())
+
+    def test_run_times_each_stage(self):
+        graph = StageGraph(
+            stages=(Stage("a", _passthrough, ("x",), ("out",)),), seeds=("x",)
+        )
+        ctx = RunContext()
+        graph.run(ctx, x=1)
+        assert ctx.stages["a"].calls == 1
+
+
+class TestBuiltinGraphs:
+    def test_stage_names_mirror_the_paper(self):
+        assert baseline_graph().stage_names == (
+            "preprocess",
+            "correlate",
+            "normalize",
+            "score",
+        )
+        assert optimized_graph().stage_names == (
+            "preprocess",
+            "correlate+normalize",
+            "score",
+        )
+
+    def test_build_graph_resolves_config_variant(self):
+        assert (
+            build_graph(FCMAConfig(variant="baseline")).stage_names
+            == baseline_graph().stage_names
+        )
+        assert (
+            build_graph(FCMAConfig(variant="optimized")).stage_names
+            == optimized_graph().stage_names
+        )
+
+
+class TestExecuteTask:
+    @pytest.mark.parametrize("variant", ["baseline", "optimized"])
+    def test_bitwise_identical_to_run_task(self, tiny_dataset, variant):
+        config = FCMAConfig(
+            variant=variant, task_voxels=40, voxel_block=8, target_block=32
+        )
+        assigned = np.arange(20, dtype=np.int64)
+        legacy = run_task(tiny_dataset, assigned, config)
+        graph = execute_task(tiny_dataset, assigned, RunContext(config))
+        np.testing.assert_array_equal(legacy.voxels, graph.voxels)
+        np.testing.assert_array_equal(legacy.accuracies, graph.accuracies)
+
+    def test_records_stage_and_task_telemetry(self, tiny_dataset, fast_fcma_config):
+        ctx = RunContext(fast_fcma_config)
+        execute_task(tiny_dataset, np.arange(10), ctx)
+        assert set(ctx.stages) == {"preprocess", "correlate+normalize", "score"}
+        assert len(ctx.task_seconds) == 1
+        assert ctx.task_seconds[0] > 0
+
+    def test_rejects_empty_assignment(self, tiny_dataset, fast_fcma_config):
+        with pytest.raises(ValueError, match="non-empty"):
+            execute_task(
+                tiny_dataset,
+                np.array([], dtype=np.int64),
+                RunContext(fast_fcma_config),
+            )
+
+    def test_rejects_2d_assignment(self, tiny_dataset, fast_fcma_config):
+        with pytest.raises(ValueError, match="1D"):
+            execute_task(
+                tiny_dataset,
+                np.zeros((2, 2), dtype=np.int64),
+                RunContext(fast_fcma_config),
+            )

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -45,6 +47,57 @@ class TestGenerate:
         from repro.data import load_dataset
 
         assert load_dataset(path).n_subjects == 2
+
+
+class TestRun:
+    @pytest.mark.parametrize("executor", ["serial", "pool", "master-worker"])
+    def test_runs_on_every_executor(self, dataset_file, capsys, executor):
+        rc = main([
+            "run", str(dataset_file), "--executor", executor,
+            "--workers", "2", "--task-voxels", "40", "--top", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"executor: {executor}" in out
+        assert "per-stage wall time" in out
+        assert out.count("accuracy") >= 3
+
+    def test_master_worker_prints_predicted_vs_measured(
+        self, dataset_file, capsys
+    ):
+        rc = main([
+            "run", str(dataset_file), "--executor", "master-worker",
+            "--task-voxels", "40", "--top", "1",
+        ])
+        assert rc == 0
+        assert "predicted" in capsys.readouterr().out
+
+    def test_json_report(self, dataset_file, capsys):
+        rc = main([
+            "run", str(dataset_file), "--json",
+            "--task-voxels", "40", "--top", "2",
+        ])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["executor"] == "serial"
+        assert report["n_tasks"] == 2
+        assert set(report["stages"]) == {
+            "preprocess", "correlate+normalize", "score",
+        }
+        assert len(report["top"]) == 2
+        assert all(0 <= entry["accuracy"] <= 1 for entry in report["top"])
+
+    def test_executors_print_identical_rankings(self, dataset_file, capsys):
+        tops = []
+        for executor in ("serial", "pool", "master-worker"):
+            rc = main([
+                "run", str(dataset_file), "--executor", executor,
+                "--workers", "2", "--task-voxels", "40", "--top", "5",
+                "--json",
+            ])
+            assert rc == 0
+            tops.append(json.loads(capsys.readouterr().out)["top"])
+        assert tops[0] == tops[1] == tops[2]
 
 
 class TestSelect:
