@@ -51,9 +51,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=None,
                      help="worker count (pool defaults to CPUs, "
                           "master-worker to 2)")
-    run.add_argument("--variant", choices=["optimized", "baseline"],
+    run.add_argument("--variant",
+                     choices=["optimized", "baseline", "optimized-batched"],
                      default="optimized")
     run.add_argument("--task-voxels", type=int, default=120)
+    run.add_argument("--autotune", action="store_true",
+                     help="optimized-batched: measure candidate blocking "
+                          "plans instead of trusting the analytic model")
+    run.add_argument("--plan-cache", default=None, metavar="PATH",
+                     help="JSON file persisting autotuned blocking plans "
+                          "across runs (default: in-memory only)")
     run.add_argument("--top", type=int, default=20, help="voxels to report")
     run.add_argument("--seed", type=int, default=None,
                      help="RunContext seed (stochastic components only)")
@@ -64,7 +71,8 @@ def build_parser() -> argparse.ArgumentParser:
     sel = sub.add_parser("select", help="run voxel selection on a dataset")
     sel.add_argument("dataset", help="input .npz dataset")
     sel.add_argument("--top", type=int, default=20, help="voxels to report")
-    sel.add_argument("--variant", choices=["optimized", "baseline"],
+    sel.add_argument("--variant",
+                     choices=["optimized", "baseline", "optimized-batched"],
                      default="optimized")
     sel.add_argument("--workers", type=int, default=1,
                      help="process-pool workers (1 = serial)")
@@ -157,7 +165,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from .exec import RunContext, make_executor
 
     dataset = load_dataset(args.dataset)
-    config = FCMAConfig(variant=args.variant, task_voxels=args.task_voxels)
+    config = FCMAConfig(
+        variant=args.variant,
+        task_voxels=args.task_voxels,
+        autotune_blocks=args.autotune,
+        plan_cache_path=args.plan_cache,
+    )
     ctx = RunContext(config, seed=args.seed)
     executor = make_executor(args.executor, n_workers=args.workers)
     scores = executor.run(dataset, ctx)

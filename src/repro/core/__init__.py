@@ -1,10 +1,19 @@
 """The FCMA core: the paper's three-stage pipeline and its two
 implementations (baseline and optimized)."""
 
-from .blocking import BlockingPlan, plan_blocks
+from .blocking import (
+    BlockingPlan,
+    PlanCache,
+    default_plan_cache,
+    plan_blocks,
+    plan_key,
+)
 from .correlation import (
     correlate_baseline,
+    correlate_batched,
     correlate_blocked,
+    correlate_blocked_reference,
+    correlate_normalize_batched,
     epoch_windows,
     iter_blocks,
     normalize_epoch_data,
@@ -17,7 +26,10 @@ from .kernels import (
 )
 from .normalization import (
     MergedNormalizer,
+    NormalizationWorkspace,
     fisher_z,
+    fuse_normalize_tile,
+    fused_normalize_sweep,
     normalize_separated,
     zscore_within_subject,
 )
@@ -36,12 +48,20 @@ __all__ = [
     "BlockingPlan",
     "FCMAConfig",
     "MergedNormalizer",
+    "NormalizationWorkspace",
+    "PlanCache",
     "VoxelScores",
     "clear_preprocess_cache",
     "correlate_baseline",
+    "correlate_batched",
     "correlate_blocked",
+    "correlate_blocked_reference",
+    "correlate_normalize_batched",
+    "default_plan_cache",
     "epoch_windows",
     "fisher_z",
+    "fuse_normalize_tile",
+    "fused_normalize_sweep",
     "iter_blocks",
     "kernel_matrix_baseline",
     "kernel_matrix_batched",
@@ -50,6 +70,7 @@ __all__ = [
     "normalize_epoch_data",
     "normalize_separated",
     "plan_blocks",
+    "plan_key",
     "preprocess_dataset",
     "run_task",
     "score_voxels",

@@ -8,15 +8,23 @@ correlations between a task's *assigned* voxels and **all** brain voxels
 — a multiplication of a small ``(V, T)`` matrix with a tall-skinny
 ``(T, N)`` matrix.
 
-Two numerically equivalent paths are provided:
+Numerically equivalent paths, slowest to fastest:
 
 * :func:`correlate_baseline` — one BLAS gemm per epoch writing straight
   into the voxel-major output (the baseline's ``cblas_sgemm`` with
   ``ldc`` striding).
-* :func:`correlate_blocked` — the optimized loop structure of Section
-  4.2: tiles of assigned voxels x target voxels sized for the L2 cache,
-  with an optional per-tile callback that enables the merged
-  normalization of Section 4.3.
+* :func:`correlate_blocked_reference` — the pre-batching optimized loop
+  of Section 4.2: L2-sized tiles, one tiny gemm per epoch per tile,
+  optional per-tile callback.  Kept verbatim as the benchmark reference
+  for the batched rewrite.
+* :func:`correlate_blocked` — same tiling, but each tile computes **all**
+  of its epochs in one 3D batched matmul instead of a Python loop.
+* :func:`correlate_batched` — the whole task as a single epoch-batched
+  matmul ``(E, V, T) @ (E, T, N)`` written straight into the voxel-major
+  output through an axis swap.
+* :func:`correlate_normalize_batched` — the fused stage-1/2 engine: the
+  single batched matmul followed by the L2-sized phased voxel sweep of
+  :func:`repro.core.normalization.fused_normalize_sweep`.
 
 Output layout is always **voxel-major**: ``out[v, e, :]`` is voxel ``v``'s
 correlation vector for epoch ``e``, i.e. "all correlation vectors
@@ -31,12 +39,16 @@ import numpy as np
 
 from ..data.dataset import FMRIDataset
 from ..data.epochs import Epoch
+from .normalization import NormalizationWorkspace, fused_normalize_sweep
 
 __all__ = [
     "normalize_epoch_data",
     "epoch_windows",
     "correlate_baseline",
+    "correlate_batched",
     "correlate_blocked",
+    "correlate_blocked_reference",
+    "correlate_normalize_batched",
     "iter_blocks",
 ]
 
@@ -130,6 +142,52 @@ def iter_blocks(total: int, block: int) -> Iterator[tuple[int, int]]:
 TileCallback = Callable[[np.ndarray, tuple[int, int], tuple[int, int], tuple[int, int]], None]
 
 
+def _validate_out(out: np.ndarray, shape: tuple[int, int, int]) -> np.ndarray:
+    """Check a caller-provided output buffer before any BLAS touches it.
+
+    A float64 or strided buffer used to surface as an inscrutable
+    mid-loop gufunc/BLAS error; fail fast with a clear message instead.
+    """
+    if not isinstance(out, np.ndarray):
+        raise TypeError(f"out must be a numpy array, got {type(out).__name__}")
+    if out.dtype != np.float32:
+        raise TypeError(f"out must be float32, got {out.dtype}")
+    if not out.flags.c_contiguous:
+        raise TypeError("out must be C-contiguous")
+    if out.shape != shape:
+        raise ValueError(f"out has shape {out.shape}, expected {shape}")
+    return out
+
+
+def correlate_batched(
+    z: np.ndarray,
+    assigned: np.ndarray,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Stage 1 as one epoch-batched 3D matmul (no Python-level loops).
+
+    Computes ``(E, V, T) @ (E, T, N)`` in a single gufunc call; the
+    batched gemm writes through an axis-swapped view so the result still
+    lands voxel-major ``(V, E, N)`` with no transpose pass.  Replaces
+    ``E`` interpreter-dispatched gemms (and their fancy-indexed A-panel
+    slices) with one dispatch — the stage-1 analogue of the stage-3
+    stacked syrk.
+    """
+    z, assigned = _check_stage1_inputs(z, assigned)
+    n_epochs, n_voxels, _ = z.shape
+    shape = (assigned.size, n_epochs, n_voxels)
+    if out is None:
+        out = np.empty(shape, dtype=np.float32)
+    else:
+        _validate_out(out, shape)
+    # panel: (E, V, T) contiguous copy of the assigned rows; the gufunc
+    # broadcasts the batch axis and writes each epoch's (V, N) slab into
+    # the strided voxel-major view.
+    panel = z[:, assigned]
+    np.matmul(panel, z.swapaxes(1, 2), out=out.swapaxes(0, 1))
+    return out
+
+
 def correlate_blocked(
     z: np.ndarray,
     assigned: np.ndarray,
@@ -145,10 +203,13 @@ def correlate_blocked(
     assigned voxels by ``target_block`` brain voxels, all ``epoch_block``
     epochs of the tile are computed before moving on, so the tile is
     still cache-resident when ``tile_callback`` (the merged stage-2
-    normalization) runs.  Results equal :func:`correlate_baseline` up to
-    float32 rounding (BLAS may pick different accumulation kernels for
-    different tile shapes; each output element is still the same
-    mathematical dot product).
+    normalization) runs.  Each tile's epochs are computed in **one**
+    batched 3D matmul (``(e, B, T) @ (e, T, B')``) rather than a Python
+    loop — see :func:`correlate_blocked_reference` for the pre-batching
+    per-epoch loop this replaces.  Results equal
+    :func:`correlate_baseline` up to float32 rounding (BLAS may pick
+    different accumulation kernels for different tile shapes; each
+    output element is still the same mathematical dot product).
 
     ``epoch_block`` defaults to all epochs; the merged path passes one
     subject's epoch count so a tile holds exactly one normalization
@@ -160,13 +221,56 @@ def correlate_blocked(
         epoch_block = n_epochs
     if voxel_block < 1 or target_block < 1 or epoch_block < 1:
         raise ValueError("block sizes must be >= 1")
+    shape = (assigned.size, n_epochs, n_voxels)
     if out is None:
-        out = np.empty((assigned.size, n_epochs, n_voxels), dtype=np.float32)
-    elif out.shape != (assigned.size, n_epochs, n_voxels):
-        raise ValueError(
-            f"out has shape {out.shape}, expected "
-            f"{(assigned.size, n_epochs, n_voxels)}"
-        )
+        out = np.empty(shape, dtype=np.float32)
+    else:
+        _validate_out(out, shape)
+
+    zt = z.swapaxes(1, 2)  # (E, T, N) view, no copy
+    for v0, v1 in iter_blocks(assigned.size, voxel_block):
+        # One contiguous (E, B, T) A-panel per voxel block, hoisted out
+        # of the epoch/target loops (the reference re-sliced it per
+        # epoch per tile).
+        panel = z[:, assigned[v0:v1]]
+        for e0, e1 in iter_blocks(n_epochs, epoch_block):
+            for n0, n1 in iter_blocks(n_voxels, target_block):
+                tile = out[v0:v1, e0:e1, n0:n1]
+                np.matmul(
+                    panel[e0:e1], zt[e0:e1, :, n0:n1], out=tile.swapaxes(0, 1)
+                )
+                if tile_callback is not None:
+                    tile_callback(tile, (v0, v1), (n0, n1), (e0, e1))
+    return out
+
+
+def correlate_blocked_reference(
+    z: np.ndarray,
+    assigned: np.ndarray,
+    voxel_block: int = 16,
+    target_block: int = 512,
+    epoch_block: int | None = None,
+    tile_callback: TileCallback | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """The pre-batching blocked loop: one tiny gemm per epoch per tile.
+
+    Preserved verbatim as the reference the batched rewrite is measured
+    against (``benchmarks/test_batched_stage12.py``) and as a bitwise
+    anchor for the tiling semantics.  Use :func:`correlate_blocked` for
+    real work.
+    """
+    z, assigned = _check_stage1_inputs(z, assigned)
+    n_epochs, n_voxels, _ = z.shape
+    if epoch_block is None:
+        epoch_block = n_epochs
+    if voxel_block < 1 or target_block < 1 or epoch_block < 1:
+        raise ValueError("block sizes must be >= 1")
+    shape = (assigned.size, n_epochs, n_voxels)
+    if out is None:
+        out = np.empty(shape, dtype=np.float32)
+    else:
+        _validate_out(out, shape)
 
     for v0, v1 in iter_blocks(assigned.size, voxel_block):
         rows = assigned[v0:v1]
@@ -180,3 +284,50 @@ def correlate_blocked(
                 if tile_callback is not None:
                     tile_callback(tile, (v0, v1), (n0, n1), (e0, e1))
     return out
+
+
+def correlate_normalize_batched(
+    z: np.ndarray,
+    assigned: np.ndarray,
+    epochs_per_subject: int,
+    voxel_sweep: int | None = None,
+    out: np.ndarray | None = None,
+    workspace: NormalizationWorkspace | None = None,
+) -> tuple[np.ndarray, int]:
+    """Fused batched stage 1/2: one epoch-batched gemm, then an L2-sized
+    voxel sweep of the vectorized merged normalization.
+
+    The gemm writes the whole task voxel-major in a single dispatch
+    (:func:`correlate_batched`); normalization then walks the output in
+    ``voxel_sweep``-voxel slices via
+    :func:`~repro.core.normalization.fused_normalize_sweep`, which keeps
+    the seven stage-2 vector passes slab-sized (cache-resident instead
+    of streaming the full task from DRAM seven times) while hoisting the
+    small side-buffer ops out of the sweep loop.  ``voxel_sweep`` is the
+    fused engine's ``B``; the blocking planner (``plan_blocks``) chooses
+    it, and the autotuner measures it per machine.  ``None`` normalizes
+    the whole task in one slice.
+
+    Normalized values are bitwise-equal to running
+    ``normalize_separated`` on the same gemm output, for any sweep.
+
+    Returns ``(out, n_tiles)`` where ``n_tiles`` is the number of sweep
+    slices normalized (the ``stage12_tiles`` RunContext counter).
+    """
+    z, assigned = _check_stage1_inputs(z, assigned)
+    n_epochs, n_voxels, _ = z.shape
+    if epochs_per_subject < 1:
+        raise ValueError("epochs_per_subject must be >= 1")
+    if n_epochs % epochs_per_subject != 0:
+        raise ValueError(
+            f"epoch count {n_epochs} not divisible by epochs_per_subject "
+            f"{epochs_per_subject}"
+        )
+    out = correlate_batched(z, assigned, out=out)
+    n_tiles = fused_normalize_sweep(
+        out,
+        epochs_per_subject,
+        voxel_sweep=voxel_sweep,
+        workspace=workspace,
+    )
+    return out, n_tiles

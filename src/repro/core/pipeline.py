@@ -62,6 +62,13 @@ class FCMAConfig:
     #: Stage-1 tile sizes for the optimized variant.
     voxel_block: int = 16
     target_block: int = 512
+    #: ``optimized-batched`` only: autotune the blocking plan by
+    #: measuring candidate voxel sweeps (see ``core.blocking``) instead
+    #: of trusting the analytic model.
+    autotune_blocks: bool = False
+    #: JSON file for persisting autotuned plans across runs; None keeps
+    #: the process-wide in-memory cache.
+    plan_cache_path: str | None = None
     #: Folds for single-subject (online) CV, used when the dataset has
     #: only one subject and LOSO is impossible.
     online_folds: int = 4
@@ -98,7 +105,7 @@ class FCMAConfig:
         """The backend actually used, resolving the variant default."""
         if self.svm_backend is not None:
             return self.svm_backend
-        return "phisvm" if self.variant == "optimized" else "libsvm"
+        return "libsvm" if self.variant == "baseline" else "phisvm"
 
     def with_variant(self, variant: Variant) -> "FCMAConfig":
         """Copy with a different variant (backend default re-resolves)."""

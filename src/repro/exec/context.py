@@ -138,6 +138,23 @@ class RunContext:
             stats = self._stages.setdefault(stage, StageStats())
             stats.merge(StageStats(counters=counters))
 
+    def increment(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to the named run counter.
+
+        Counters live in ``metadata["counters"]`` (autotuner cache
+        hits/misses, tiles processed, ...), travel with :meth:`export`,
+        and sum under :meth:`merge` / :meth:`merge_export`.
+        """
+        with self._lock:
+            counters = self.metadata.setdefault("counters", {})
+            counters[name] = counters.get(name, 0) + value
+
+    def counter(self, name: str) -> int:
+        """Current value of a run counter (0 if never incremented)."""
+        with self._lock:
+            counters = self.metadata.get("counters", {})
+            return int(counters.get(name, 0))
+
     def record_task(self, seconds: float) -> None:
         """Record one completed task's total pipeline seconds.
 
@@ -160,6 +177,9 @@ class RunContext:
             for stage, stats in other._stages.items():
                 self._stages.setdefault(stage, StageStats()).merge(stats)
             self._task_seconds.extend(other._task_seconds)
+            counters = self.metadata.setdefault("counters", {})
+            for name, value in other.metadata.get("counters", {}).items():
+                counters[name] = counters.get(name, 0) + value
 
     def export(self) -> dict[str, Any]:
         """Picklable telemetry snapshot (no locks, no config).
@@ -174,6 +194,7 @@ class RunContext:
                     for name, stats in self._stages.items()
                 },
                 "task_seconds": list(self._task_seconds),
+                "counters": dict(self.metadata.get("counters", {})),
             }
 
     def merge_export(self, payload: Mapping[str, Any]) -> None:
@@ -182,6 +203,9 @@ class RunContext:
             self.add_time(stage, stats["seconds"], calls=stats["calls"])
         with self._lock:
             self._task_seconds.extend(payload.get("task_seconds", ()))
+            counters = self.metadata.setdefault("counters", {})
+            for name, value in payload.get("counters", {}).items():
+                counters[name] = counters.get(name, 0) + value
 
     # -- reading ---------------------------------------------------------
 

@@ -14,9 +14,13 @@ Two built-in graphs mirror ``FCMAConfig.variant``:
   separated normalization, LibSVM-style scoring);
 * ``optimized`` — the paper's idea #2 *merges* normalization into the
   blocked correlation while tiles are L2-resident, so the graph has a
-  fused ``correlate+normalize`` node followed by ``score``.
+  fused ``correlate+normalize`` node followed by ``score``;
+* ``optimized-batched`` — the fused epoch-batched engine: one 3D batched
+  gemm for the whole task plus an L2-sized voxel sweep of the vectorized
+  normalizer, with the sweep width chosen by the blocking planner
+  (optionally autotuned and plan-cached; see ``core.blocking``).
 
-Both graphs reproduce the legacy ``run_task`` results bitwise; the
+All graphs reproduce the legacy ``run_task`` results bitwise; the
 equivalence is pinned by ``tests/exec/test_stage_graph.py``.
 """
 
@@ -29,7 +33,12 @@ from typing import TYPE_CHECKING, Any, Callable, Mapping
 import numpy as np
 from numpy.typing import NDArray
 
-from ..core.correlation import correlate_baseline, correlate_blocked
+from ..core import blocking
+from ..core.correlation import (
+    correlate_baseline,
+    correlate_blocked,
+    correlate_normalize_batched,
+)
 from ..core.kernels import kernel_matrix_baseline, kernel_matrix_blocked
 from ..core.normalization import MergedNormalizer, normalize_separated
 from ..core.results import VoxelScores
@@ -47,6 +56,7 @@ __all__ = [
     "StageGraphError",
     "baseline_graph",
     "optimized_graph",
+    "optimized_batched_graph",
     "build_graph",
     "execute_task",
 ]
@@ -188,6 +198,52 @@ def _correlate_merged(
     return {"correlations": corr}
 
 
+def _correlate_batched_fused(
+    ctx: RunContext, state: Mapping[str, Any]
+) -> Mapping[str, Any]:
+    config = ctx.config
+    z = state["windows"]
+    assigned = state["assigned"]
+    e_per_subject = state["grouped"].epochs.epochs_per_subject()
+
+    hw = ctx.hardware
+    if hw is None:
+        from ..hw import E5_2670
+
+        hw = E5_2670
+    cache_path = getattr(config, "plan_cache_path", None)
+    # Looked up through the module so tests can swap the process-wide
+    # default cache.
+    cache = (
+        blocking.PlanCache(cache_path)
+        if cache_path
+        else blocking.default_plan_cache()
+    )
+    hits0, misses0 = cache.hits, cache.misses
+    plan = blocking.plan_blocks(
+        hw,
+        epochs_per_subject=e_per_subject,
+        epoch_length=z.shape[2],
+        n_assigned=assigned.size,
+        n_voxels=z.shape[1],
+        autotune=getattr(config, "autotune_blocks", False),
+        cache=cache,
+    )
+    ctx.increment("plan_cache_hits", cache.hits - hits0)
+    ctx.increment("plan_cache_misses", cache.misses - misses0)
+    ctx.metadata["blocking_plan"] = {
+        "voxel_block": plan.voxel_block,
+        "target_block": plan.target_block,
+        "epoch_block": plan.epoch_block,
+    }
+
+    corr, n_tiles = correlate_normalize_batched(
+        z, assigned, e_per_subject, voxel_sweep=plan.voxel_block
+    )
+    ctx.increment("stage12_tiles", n_tiles)
+    return {"correlations": corr}
+
+
 def _make_score_stage(kernel_fn: Callable[..., Any]) -> StageFn:
     def _score(ctx: RunContext, state: Mapping[str, Any]) -> Mapping[str, Any]:
         grouped = state["grouped"]
@@ -259,8 +315,31 @@ def optimized_graph(config: Any = None) -> StageGraph:
     )
 
 
+def optimized_batched_graph(config: Any = None) -> StageGraph:
+    """The fused epoch-batched pipeline (this repo's PR-3 engine)."""
+    return StageGraph(
+        stages=(
+            Stage("preprocess", _preprocess, ("dataset",), ("grouped", "windows")),
+            Stage(
+                "correlate+normalize",
+                _correlate_batched_fused,
+                ("windows", "assigned", "grouped"),
+                ("correlations",),
+            ),
+            Stage(
+                "score",
+                _make_score_stage(kernel_matrix_blocked),
+                ("correlations", "assigned", "grouped"),
+                ("scores",),
+            ),
+        ),
+        seeds=_SEEDS,
+    )
+
+
 register_variant("baseline", baseline_graph, overwrite=True)
 register_variant("optimized", optimized_graph, overwrite=True)
+register_variant("optimized-batched", optimized_batched_graph, overwrite=True)
 
 
 def build_graph(config: Any) -> StageGraph:

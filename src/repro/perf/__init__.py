@@ -26,6 +26,15 @@ from .matmul_model import (
     syrk_shape_for,
 )
 from .norm_model import NORM_SWEEPS, NormSweeps, model_normalization
+from .stage12_model import (
+    NORM_VECTOR_PASSES,
+    BatchedStage12Shape,
+    batched_stage12_shape_for,
+    model_batched_stage12,
+    stage12_dispatch_amortization,
+    sweep_fits_l2,
+    sweep_slab_bytes,
+)
 from .roofline import RooflinePoint, attainable_gflops, roofline_point
 from .svm_model import SVM_VARIANTS, SvmVariant, model_svm_cv, svm_problem_count
 from .task_model import (
@@ -45,6 +54,7 @@ from .vtune import (
 )
 
 __all__ = [
+    "BatchedStage12Shape",
     "BatchedSyrkShape",
     "CALIBRATION",
     "CorrShape",
@@ -55,6 +65,7 @@ __all__ = [
     "MKL_SYRK_COLUMN_BLOCK",
     "MemoryFootprint",
     "NORM_SWEEPS",
+    "NORM_VECTOR_PASSES",
     "NormSweeps",
     "OPTIMIZED_TASK_VOXELS",
     "RooflinePoint",
@@ -66,6 +77,7 @@ __all__ = [
     "attainable_gflops",
     "baseline_report",
     "baseline_task_voxels",
+    "batched_stage12_shape_for",
     "batched_syrk_shape_for",
     "calibration_for",
     "dispatch_amortization",
@@ -75,6 +87,7 @@ __all__ = [
     "get_calibration",
     "max_resident_batch",
     "max_resident_voxels",
+    "model_batched_stage12",
     "model_batched_syrk",
     "model_correlation_matmul",
     "model_kernel_syrk",
@@ -86,7 +99,10 @@ __all__ = [
     "per_voxel_seconds",
     "roofline_point",
     "row_from_estimate",
+    "stage12_dispatch_amortization",
     "svm_problem_count",
+    "sweep_fits_l2",
+    "sweep_slab_bytes",
     "syrk_shape_for",
     "task_memory",
 ]

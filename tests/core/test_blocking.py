@@ -94,3 +94,143 @@ class TestPlanBlocks:
             epoch_block=plan.epoch_block,
         )
         np.testing.assert_array_equal(out, correlate_baseline(z, assigned))
+
+
+class TestCandidateGuardFix:
+    def test_tiny_n_assigned_gets_full_width_block(self):
+        """n_assigned=3 used to be budgeted at b=4 (the smallest menu
+        entry passing the old ``b > 2 * n_assigned`` guard); clamping
+        before budgeting yields voxel_block == n_assigned."""
+        plan = plan_blocks(
+            PHI_5110P, epochs_per_subject=12, epoch_length=12,
+            n_assigned=3, n_voxels=34470,
+        )
+        assert plan.voxel_block == 3
+        assert plan.working_set_bytes(12) <= PHI_5110P.l2_per_thread_bytes() * 0.8
+
+    def test_single_assigned_voxel(self):
+        plan = plan_blocks(
+            PHI_5110P, epochs_per_subject=12, epoch_length=12,
+            n_assigned=1, n_voxels=34470,
+        )
+        assert plan.voxel_block == 1
+        assert plan.target_block >= PHI_5110P.vpu_width_sp
+
+
+class TestPlanCache:
+    def test_memory_only_roundtrip(self):
+        from repro.core.blocking import PlanCache
+
+        cache = PlanCache()
+        plan = BlockingPlan(4, 128, 12)
+        assert cache.get("k") is None
+        cache.put("k", plan)
+        assert cache.get("k") == plan
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_json_persistence(self, tmp_path):
+        from repro.core.blocking import PlanCache
+
+        path = tmp_path / "plans.json"
+        cache = PlanCache(path)
+        cache.put("a", BlockingPlan(2, 64, 8))
+        reloaded = PlanCache(path)
+        assert reloaded.get("a") == BlockingPlan(2, 64, 8)
+        assert len(reloaded) == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        from repro.core.blocking import PlanCache
+
+        cache = PlanCache(tmp_path / "nope.json")
+        assert len(cache) == 0
+
+    def test_corrupt_file_is_empty(self, tmp_path):
+        from repro.core.blocking import PlanCache
+
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert len(PlanCache(path)) == 0
+        path.write_text('{"version": 99, "plans": {}}')
+        assert len(PlanCache(path)) == 0
+        path.write_text('{"version": 1, "plans": {"k": {"voxel_block": 0}}}')
+        assert len(PlanCache(path)) == 0  # invalid entry skipped
+
+
+class TestAutotune:
+    def _measure_counter(self, winner_block):
+        calls = []
+
+        def measure(plan):
+            calls.append(plan)
+            return 0.0 if plan.voxel_block == winner_block else 1.0
+
+        return measure, calls
+
+    def test_warm_cache_skips_measurement(self):
+        from repro.core.blocking import PlanCache
+
+        cache = PlanCache()
+        measure, calls = self._measure_counter(winner_block=2)
+        args = dict(
+            epochs_per_subject=12, epoch_length=12,
+            n_assigned=120, n_voxels=34470,
+        )
+        first = plan_blocks(
+            PHI_5110P, autotune=True, cache=cache, measure=measure, **args
+        )
+        assert first.voxel_block == 2
+        assert len(calls) > 0
+        n_measured = len(calls)
+        second = plan_blocks(
+            PHI_5110P, autotune=True, cache=cache, measure=measure, **args
+        )
+        assert second == first
+        assert len(calls) == n_measured  # warm cache: nothing re-measured
+        assert cache.hits == 1
+
+    def test_different_shapes_tune_separately(self):
+        from repro.core.blocking import PlanCache
+
+        cache = PlanCache()
+        measure, _ = self._measure_counter(winner_block=1)
+        plan_blocks(PHI_5110P, 12, 12, 120, 34470,
+                    autotune=True, cache=cache, measure=measure)
+        plan_blocks(PHI_5110P, 12, 12, 60, 34470,
+                    autotune=True, cache=cache, measure=measure)
+        assert cache.misses == 2
+        assert len(cache) == 2
+
+    def test_analytic_fallback_when_all_measurements_fail(self):
+        from repro.core.blocking import PlanCache
+
+        def broken(plan):
+            raise RuntimeError("no timer")
+
+        analytic = plan_blocks(PHI_5110P, 12, 12, 120, 34470)
+        tuned = plan_blocks(
+            PHI_5110P, 12, 12, 120, 34470,
+            autotune=True, cache=PlanCache(), measure=broken,
+        )
+        assert tuned == analytic
+
+    def test_autotune_without_explicit_cache_uses_default(self):
+        from repro.core.blocking import default_plan_cache
+
+        cache = default_plan_cache()
+        measure, _ = self._measure_counter(winner_block=4)
+        plan = plan_blocks(PHI_5110P, 7, 11, 33, 999,
+                           autotune=True, measure=measure)
+        assert plan.voxel_block == 4
+        # And the winner is now resident in the process-wide cache.
+        again = plan_blocks(PHI_5110P, 7, 11, 33, 999,
+                            autotune=True, measure=measure)
+        assert again == plan
+        assert cache is default_plan_cache()
+
+    def test_plan_key_discriminates(self):
+        from repro.core.blocking import plan_key
+
+        k1 = plan_key(PHI_5110P, 12, 12, 120, 34470)
+        k2 = plan_key(PHI_5110P, 12, 12, 60, 34470)
+        k3 = plan_key(E5_2670, 12, 12, 120, 34470)
+        assert len({k1, k2, k3}) == 3

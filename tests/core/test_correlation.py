@@ -205,3 +205,119 @@ def test_blocked_equals_baseline_property(n_epochs, n_voxels, t, vb, tb, seed):
     base = correlate_baseline(z, assigned)
     blocked = correlate_blocked(z, assigned, voxel_block=vb, target_block=tb)
     np.testing.assert_allclose(base, blocked, atol=3e-7, rtol=0)
+
+
+class TestCorrelateBatched:
+    def test_matches_baseline(self):
+        from repro.core.correlation import correlate_batched
+
+        z = normalize_epoch_data(stack(5, 14, 9, seed=4))
+        assigned = np.array([0, 2, 7, 13])
+        np.testing.assert_allclose(
+            correlate_batched(z, assigned),
+            correlate_baseline(z, assigned),
+            atol=3e-7, rtol=0,
+        )
+
+    def test_writes_into_out(self):
+        from repro.core.correlation import correlate_batched
+
+        z = normalize_epoch_data(stack(3, 8, 6, seed=5))
+        assigned = np.arange(8)
+        out = np.empty((8, 3, 8), dtype=np.float32)
+        result = correlate_batched(z, assigned, out=out)
+        assert result is out
+
+    def test_voxel_major_layout(self):
+        """out[v, e, :] is voxel v's correlation vector for epoch e."""
+        from repro.core.correlation import correlate_batched
+
+        z = normalize_epoch_data(stack(4, 6, 7, seed=6))
+        assigned = np.array([1, 4])
+        out = correlate_batched(z, assigned)
+        for vi, v in enumerate(assigned):
+            for e in range(4):
+                np.testing.assert_allclose(
+                    out[vi, e], z[e, v] @ z[e].T, atol=3e-7, rtol=0
+                )
+
+
+class TestOutValidation:
+    def _z(self):
+        return normalize_epoch_data(stack(3, 8, 6, seed=7))
+
+    @pytest.mark.parametrize("fn_name", [
+        "correlate_batched", "correlate_blocked", "correlate_blocked_reference",
+    ])
+    def test_float64_out_rejected(self, fn_name):
+        import repro.core.correlation as corr
+
+        fn = getattr(corr, fn_name)
+        z = self._z()
+        bad = np.empty((8, 3, 8), dtype=np.float64)
+        with pytest.raises(TypeError, match="float32"):
+            fn(z, np.arange(8), out=bad)
+
+    @pytest.mark.parametrize("fn_name", [
+        "correlate_batched", "correlate_blocked", "correlate_blocked_reference",
+    ])
+    def test_non_contiguous_out_rejected(self, fn_name):
+        import repro.core.correlation as corr
+
+        fn = getattr(corr, fn_name)
+        z = self._z()
+        bad = np.empty((8, 3, 16), dtype=np.float32)[:, :, ::2]
+        with pytest.raises(TypeError, match="contiguous"):
+            fn(z, np.arange(8), out=bad)
+
+    @pytest.mark.parametrize("fn_name", [
+        "correlate_batched", "correlate_blocked", "correlate_blocked_reference",
+    ])
+    def test_wrong_shape_out_rejected(self, fn_name):
+        import repro.core.correlation as corr
+
+        fn = getattr(corr, fn_name)
+        z = self._z()
+        bad = np.empty((8, 3, 5), dtype=np.float32)
+        with pytest.raises(ValueError, match="out has shape"):
+            fn(z, np.arange(8), out=bad)
+
+    def test_non_array_out_rejected(self):
+        from repro.core.correlation import correlate_batched
+
+        with pytest.raises(TypeError, match="numpy array"):
+            correlate_batched(self._z(), np.arange(8), out=[])
+
+
+class TestBlockedReference:
+    def test_reference_matches_blocked(self):
+        """The preserved per-epoch loop and the batched rewrite tile
+        identically; outputs agree to float32 tolerance."""
+        from repro.core.correlation import correlate_blocked_reference
+
+        z = normalize_epoch_data(stack(6, 13, 8, seed=8))
+        assigned = np.arange(13)
+        ref = correlate_blocked_reference(
+            z, assigned, voxel_block=4, target_block=5, epoch_block=3
+        )
+        blk = correlate_blocked(
+            z, assigned, voxel_block=4, target_block=5, epoch_block=3
+        )
+        np.testing.assert_allclose(ref, blk, atol=3e-7, rtol=0)
+
+    def test_reference_callback_sequence_preserved(self):
+        from repro.core.correlation import correlate_blocked_reference
+
+        calls = []
+        z = normalize_epoch_data(stack(4, 10, 6, seed=9))
+        correlate_blocked_reference(
+            z, np.arange(10), voxel_block=4, target_block=6, epoch_block=2,
+            tile_callback=lambda tile, v, n, e: calls.append((v, n, e)),
+        )
+        batched_calls = []
+        correlate_blocked(
+            z, np.arange(10), voxel_block=4, target_block=6, epoch_block=2,
+            tile_callback=lambda tile, v, n, e: batched_calls.append((v, n, e)),
+        )
+        assert calls == batched_calls
+        assert len(calls) == 3 * 2 * 2  # ceil(10/4) * ceil(10/6) * ceil(4/2)

@@ -163,3 +163,130 @@ def test_zscore_moments_property(v, subjects, e, n, seed):
     np.testing.assert_allclose(grouped.mean(axis=2)[check], 0.0, atol=1e-4)
     if e > 1:
         np.testing.assert_allclose(grouped.std(axis=2)[check], 1.0, atol=1e-3)
+
+
+class TestFuseNormalizeTile:
+    def test_bitwise_equal_to_separated(self):
+        from repro.core.normalization import fuse_normalize_tile
+
+        corr = corr_array(v=5, subjects=3, e=4, n=11, seed=3)
+        ref = normalize_separated(corr.copy(), 4)
+        fused = fuse_normalize_tile(corr.copy(), 4)
+        assert fused.tobytes() == ref.tobytes()
+
+    def test_bitwise_with_degenerate_population(self):
+        """A zero-variance (voxel, subject, target) column must zero out
+        with exactly the reference's bits (+0.0, not -0.0)."""
+        from repro.core.normalization import fuse_normalize_tile
+
+        corr = corr_array(v=3, subjects=2, e=4, n=7, seed=9)
+        corr[1, 4:8, 2] = 0.73  # subject 1's population for (1, 2): constant
+        ref = normalize_separated(corr.copy(), 4)
+        fused = fuse_normalize_tile(corr.copy(), 4)
+        assert fused.tobytes() == ref.tobytes()
+        assert (fused[1, 4:8, 2] == 0.0).all()
+
+    def test_workspace_reused_across_tiles(self):
+        from repro.core.normalization import (
+            NormalizationWorkspace,
+            fuse_normalize_tile,
+        )
+
+        ws = NormalizationWorkspace()
+        a = corr_array(v=4, subjects=2, e=3, n=6, seed=1)
+        fuse_normalize_tile(a, 3, workspace=ws)
+        first = ws.buffers(a.reshape(4, 2, 3, 6).shape)
+        b = corr_array(v=4, subjects=2, e=3, n=6, seed=2)
+        fuse_normalize_tile(b, 3, workspace=ws)
+        second = ws.buffers(b.reshape(4, 2, 3, 6).shape)
+        for x, y in zip(first, second):
+            assert x is y  # same buffers, no reallocation
+
+    def test_workspace_reallocates_on_shape_change(self):
+        from repro.core.normalization import NormalizationWorkspace
+
+        ws = NormalizationWorkspace()
+        m1 = ws.buffers((2, 2, 3, 5))[0]
+        m2 = ws.buffers((3, 2, 3, 5))[0]
+        assert m1 is not m2
+
+    def test_in_place_and_returns_input(self):
+        from repro.core.normalization import fuse_normalize_tile
+
+        corr = corr_array()
+        out = fuse_normalize_tile(corr, 4)
+        assert out is corr
+
+    def test_rejects_float64(self):
+        from repro.core.normalization import fuse_normalize_tile
+
+        with pytest.raises(TypeError, match="float32"):
+            fuse_normalize_tile(np.zeros((2, 4, 3)), 4)
+
+    def test_rejects_non_contiguous(self):
+        from repro.core.normalization import fuse_normalize_tile
+
+        corr = corr_array(v=4)[::2]
+        with pytest.raises(TypeError, match="contiguous"):
+            fuse_normalize_tile(corr, 4)
+
+    def test_rejects_bad_shape_and_epochs(self):
+        from repro.core.normalization import fuse_normalize_tile
+
+        with pytest.raises(ValueError, match="V, M, N"):
+            fuse_normalize_tile(np.zeros((2, 4), dtype=np.float32), 4)
+        with pytest.raises(ValueError, match="divisible"):
+            fuse_normalize_tile(np.zeros((2, 5, 3), dtype=np.float32), 4)
+        with pytest.raises(ValueError, match=">= 1"):
+            fuse_normalize_tile(np.zeros((2, 4, 3), dtype=np.float32), 0)
+
+
+class TestFusedNormalizeSweep:
+    def test_bitwise_equal_to_separated_any_sweep(self):
+        from repro.core.normalization import fused_normalize_sweep
+
+        corr = corr_array(v=7, subjects=3, e=4, n=11, seed=9)
+        ref = normalize_separated(corr.copy(), 4)
+        for sweep in (1, 2, 7, 50, None):
+            got = corr.copy()
+            n_tiles = fused_normalize_sweep(got, 4, voxel_sweep=sweep)
+            assert got.tobytes() == ref.tobytes()
+            assert n_tiles == -(-7 // min(sweep or 7, 7))
+
+    def test_bitwise_with_degenerate_population(self):
+        from repro.core.normalization import fused_normalize_sweep
+
+        corr = corr_array(v=4, subjects=2, e=3, n=6, seed=10)
+        corr[2, 3:6, 1] = 0.5  # constant within-subject population
+        ref = normalize_separated(corr.copy(), 3)
+        got = corr.copy()
+        fused_normalize_sweep(got, 3, voxel_sweep=2)
+        assert got.tobytes() == ref.tobytes()
+
+    def test_workspace_reuse_across_calls(self):
+        from repro.core.normalization import (
+            NormalizationWorkspace,
+            fused_normalize_sweep,
+        )
+
+        ws = NormalizationWorkspace()
+        corr = corr_array(v=6, subjects=2, e=3, n=8, seed=11)
+        ref = normalize_separated(corr.copy(), 3)
+        for _ in range(2):
+            got = corr.copy()
+            fused_normalize_sweep(got, 3, voxel_sweep=2, workspace=ws)
+            assert got.tobytes() == ref.tobytes()
+
+    def test_validation(self):
+        from repro.core.normalization import fused_normalize_sweep
+
+        with pytest.raises(TypeError, match="float32"):
+            fused_normalize_sweep(np.zeros((2, 4, 3)), 4)
+        with pytest.raises(ValueError, match="divisible"):
+            fused_normalize_sweep(np.zeros((2, 5, 3), dtype=np.float32), 4)
+        with pytest.raises(ValueError, match=">= 1"):
+            fused_normalize_sweep(np.zeros((2, 4, 3), dtype=np.float32), 0)
+        with pytest.raises(TypeError, match="contiguous"):
+            fused_normalize_sweep(
+                np.zeros((4, 4, 6), dtype=np.float32)[:, :, ::2], 4
+            )

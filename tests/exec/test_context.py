@@ -125,3 +125,41 @@ class TestTimingReport:
         assert report["n_tasks"] == 1
         assert report["executor"] == "serial"
         json.dumps(report)  # must be serializable as-is
+
+
+class TestRunCounters:
+    def test_increment_and_read(self):
+        ctx = RunContext()
+        assert ctx.counter("stage12_tiles") == 0
+        ctx.increment("stage12_tiles")
+        ctx.increment("stage12_tiles", 4)
+        assert ctx.counter("stage12_tiles") == 5
+        assert ctx.metadata["counters"] == {"stage12_tiles": 5}
+
+    def test_counters_survive_pickled_export_roundtrip(self):
+        ctx = RunContext()
+        ctx.increment("plan_cache_hits", 2)
+        ctx.increment("plan_cache_misses", 1)
+        ctx.add_time("correlate+normalize", 0.5)
+        payload = pickle.loads(pickle.dumps(ctx.export()))
+        home = RunContext()
+        home.increment("plan_cache_hits", 3)
+        home.merge_export(payload)
+        assert home.counter("plan_cache_hits") == 5
+        assert home.counter("plan_cache_misses") == 1
+        assert home.stages["correlate+normalize"].seconds == 0.5
+
+    def test_merge_sums_counters(self):
+        a, b = RunContext(), RunContext()
+        a.increment("stage12_tiles", 7)
+        b.increment("stage12_tiles", 5)
+        b.increment("plan_cache_hits")
+        a.merge(b)
+        assert a.counter("stage12_tiles") == 12
+        assert a.counter("plan_cache_hits") == 1
+
+    def test_counters_reach_timing_report(self):
+        ctx = RunContext()
+        ctx.increment("stage12_tiles", 3)
+        report = ctx.timing_report()
+        assert report["counters"] == {"stage12_tiles": 3}

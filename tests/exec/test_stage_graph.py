@@ -138,3 +138,81 @@ class TestExecuteTask:
                 np.zeros((2, 2), dtype=np.int64),
                 RunContext(fast_fcma_config),
             )
+
+
+class TestOptimizedBatchedGraph:
+    def test_stage_names(self):
+        from repro.exec.stage_graph import optimized_batched_graph
+
+        assert optimized_batched_graph().stage_names == (
+            "preprocess",
+            "correlate+normalize",
+            "score",
+        )
+        assert (
+            build_graph(FCMAConfig(variant="optimized-batched")).stage_names
+            == optimized_batched_graph().stage_names
+        )
+
+    def test_matches_optimized_variant(self, tiny_dataset):
+        """The fused batched engine ranks voxels identically to the
+        merged blocked path (scores come from the same normalized
+        correlations up to float32 gemm rounding)."""
+        assigned = np.arange(20, dtype=np.int64)
+        opt = execute_task(
+            tiny_dataset, assigned, RunContext(FCMAConfig(variant="optimized"))
+        )
+        bat = execute_task(
+            tiny_dataset,
+            assigned,
+            RunContext(FCMAConfig(variant="optimized-batched")),
+        )
+        np.testing.assert_array_equal(opt.voxels, bat.voxels)
+        np.testing.assert_array_equal(opt.accuracies, bat.accuracies)
+
+    def test_records_plan_and_counters(self, tiny_dataset):
+        ctx = RunContext(FCMAConfig(variant="optimized-batched"))
+        execute_task(tiny_dataset, np.arange(12, dtype=np.int64), ctx)
+        plan = ctx.metadata["blocking_plan"]
+        assert set(plan) == {"voxel_block", "target_block", "epoch_block"}
+        assert ctx.counter("stage12_tiles") >= 1
+        assert set(ctx.stages) == {"preprocess", "correlate+normalize", "score"}
+
+    def test_autotune_populates_plan_cache_counters(self, tiny_dataset):
+        from repro.core.blocking import PlanCache
+        import repro.core.blocking as blocking
+
+        fresh = PlanCache()
+        original = blocking.default_plan_cache
+        blocking.default_plan_cache = lambda: fresh
+        try:
+            config = FCMAConfig(
+                variant="optimized-batched", autotune_blocks=True
+            )
+            ctx1 = RunContext(config)
+            execute_task(tiny_dataset, np.arange(8, dtype=np.int64), ctx1)
+            assert ctx1.counter("plan_cache_misses") == 1
+            assert ctx1.counter("plan_cache_hits") == 0
+            ctx2 = RunContext(config)
+            execute_task(tiny_dataset, np.arange(8, dtype=np.int64), ctx2)
+            assert ctx2.counter("plan_cache_hits") == 1
+            assert ctx2.counter("plan_cache_misses") == 0
+            assert (
+                ctx2.metadata["blocking_plan"] == ctx1.metadata["blocking_plan"]
+            )
+        finally:
+            blocking.default_plan_cache = original
+
+    def test_persistent_plan_cache_path(self, tiny_dataset, tmp_path):
+        path = tmp_path / "plans.json"
+        config = FCMAConfig(
+            variant="optimized-batched",
+            autotune_blocks=True,
+            plan_cache_path=str(path),
+        )
+        ctx = RunContext(config)
+        execute_task(tiny_dataset, np.arange(8, dtype=np.int64), ctx)
+        assert path.exists()
+        ctx2 = RunContext(config)
+        execute_task(tiny_dataset, np.arange(8, dtype=np.int64), ctx2)
+        assert ctx2.counter("plan_cache_hits") == 1
