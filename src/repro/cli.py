@@ -9,12 +9,14 @@ Commands
 ``online``    single-subject voxel selection + classifier summary
 ``report``    the paper's Table-1 style instrumentation report
 ``simulate``  cluster scaling simulation (Tables 3-4 / Fig. 8 style)
+``trace``     inspect or convert a span trace written by ``run --trace``
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Sequence
 
@@ -67,6 +69,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", action="store_true",
                      help="emit the run report (per-stage timings, task "
                           "stream, top voxels) as JSON")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="write the run's span trace to PATH")
+    run.add_argument("--trace-format", choices=["jsonl", "chrome"],
+                     default="jsonl",
+                     help="trace file format: JSON-lines span records or "
+                          "a Chrome trace_event file for chrome://tracing")
 
     sel = sub.add_parser("select", help="run voxel selection on a dataset")
     sel.add_argument("dataset", help="input .npz dataset")
@@ -113,6 +121,23 @@ def build_parser() -> argparse.ArgumentParser:
                      default=[1, 8, 16, 32, 64, 96])
     sim.add_argument("--task-voxels", type=int, default=None,
                      help="defaults to the paper's 120/60 per dataset")
+    sim.add_argument("--trace", default=None, metavar="PATH",
+                     help="write the simulated schedule of the largest "
+                          "node count as a span trace (jsonl)")
+
+    trc = sub.add_parser(
+        "trace", help="inspect or convert a span trace (run --trace)"
+    )
+    trc.add_argument("trace_file", help="JSON-lines trace written by "
+                                        "'fcma run --trace'")
+    trc.add_argument("--view", choices=["tree", "table", "chrome"],
+                     default="tree",
+                     help="tree: indented span hierarchy; table: per-stage "
+                          "metric totals; chrome: trace_event JSON")
+    trc.add_argument("--max-depth", type=int, default=None,
+                     help="tree view: clip spans deeper than this")
+    trc.add_argument("--output", default=None, metavar="PATH",
+                     help="write the view here instead of stdout")
     return parser
 
 
@@ -159,6 +184,17 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_trace(spans, path: str, fmt: str) -> int:
+    """Write a span list to ``path`` in the requested format."""
+    from .obs import to_chrome_trace, write_jsonl
+
+    if fmt == "chrome":
+        with open(path, "w") as fh:
+            json.dump(to_chrome_trace(spans), fh, indent=2)
+        return len(spans)
+    return write_jsonl(spans, path)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from .core import FCMAConfig
     from .data import load_dataset
@@ -176,6 +212,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     scores = executor.run(dataset, ctx)
     top = scores.top(args.top)
 
+    trace_info = None
+    if args.trace:
+        n_spans = _write_trace(ctx.tracer.spans(), args.trace,
+                               args.trace_format)
+        trace_info = {
+            "path": args.trace,
+            "format": args.trace_format,
+            "n_spans": n_spans,
+        }
+
     if args.json:
         report = ctx.timing_report()
         report["dataset"] = str(dataset)
@@ -184,6 +230,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             {"voxel": int(v), "accuracy": float(a)}
             for v, a in zip(top.voxels, top.accuracies)
         ]
+        if trace_info is not None:
+            report["trace"] = trace_info
         print(json.dumps(report, indent=2))
         return 0
 
@@ -202,6 +250,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"top {len(top)} voxels by cross-validated accuracy:")
     for voxel, acc in zip(top.voxels, top.accuracies):
         print(f"  voxel {voxel:6d}  accuracy {acc:.3f}")
+    if trace_info is not None:
+        print(f"trace: {trace_info['n_spans']} spans "
+              f"({trace_info['format']}) -> {trace_info['path']}")
     return 0
 
 
@@ -320,6 +371,45 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"  {n:4d} coprocessors: {res.elapsed_seconds:10.2f} s  "
               f"(speedup {base / res.elapsed_seconds:6.1f}x, "
               f"utilization {res.utilization:.0%})")
+    if args.trace:
+        from .cluster.trace import simulate_with_trace
+        from .obs import spans_from_cluster_trace, write_jsonl
+
+        n = max(args.nodes)
+        trace = simulate_with_trace(workload, ClusterConfig(n_workers=n))
+        n_spans = write_jsonl(spans_from_cluster_trace(trace), args.trace)
+        print(f"trace: {n_spans} spans ({n}-worker schedule) "
+              f"-> {args.trace}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import (
+        format_metrics_table,
+        metrics_table,
+        read_jsonl,
+        render_tree,
+        to_chrome_trace,
+    )
+
+    try:
+        spans = read_jsonl(args.trace_file)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    if args.view == "chrome":
+        text = json.dumps(to_chrome_trace(spans), indent=2)
+    elif args.view == "table":
+        text = format_metrics_table(metrics_table(spans))
+    else:
+        text = render_tree(spans, max_depth=args.max_depth)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.view} view of {len(spans)} spans "
+              f"to {args.output}")
+    else:
+        print(text)
     return 0
 
 
@@ -332,6 +422,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "reproduce": _cmd_reproduce,
     "simulate": _cmd_simulate,
+    "trace": _cmd_trace,
 }
 
 
@@ -339,7 +430,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     np.set_printoptions(precision=3, suppress=True)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error. Detach
+        # stdout so the interpreter's exit-time flush doesn't re-raise.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

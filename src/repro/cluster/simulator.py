@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.runtime import kernel_span
 from .network import NetworkModel, TEN_GBE
 from .workload import Workload
 
@@ -71,7 +72,27 @@ class SimulationResult:
 
 
 def simulate(workload: Workload, config: ClusterConfig) -> SimulationResult:
-    """Run the event simulation; deterministic for a given config."""
+    """Run the event simulation; deterministic for a given config.
+
+    When a tracer is ambient (:mod:`repro.obs.runtime`), the simulation
+    records a ``cluster.simulate`` kernel span carrying the task count
+    and the simulated elapsed/utilization outcome — the predicted half
+    of every predicted-vs-measured comparison lands in the same trace
+    as the measured half.
+    """
+    with kernel_span(
+        "cluster.simulate",
+        attrs={"n_workers": config.n_workers, "schedule": config.schedule},
+    ) as span:
+        result = _simulate_core(workload, config)
+        if span is not None:
+            span.add_metric("tasks", float(workload.n_tasks))
+            span.attrs["elapsed_seconds"] = result.elapsed_seconds
+            span.attrs["utilization"] = result.utilization
+        return result
+
+
+def _simulate_core(workload: Workload, config: ClusterConfig) -> SimulationResult:
     net = config.network
     n = config.n_workers
     rng = np.random.default_rng(config.seed)

@@ -20,7 +20,10 @@ and the fallback when measurement is impossible.
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
+import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -97,7 +100,10 @@ class PlanCache:
     ``path=None`` keeps the cache in memory only (one process).  With a
     path, plans are loaded on construction — missing or corrupt files
     are treated as empty, never an error — and every :meth:`put` writes
-    the file back atomically.  ``hits`` / ``misses`` count :meth:`get`
+    the file back atomically (unique temp file + ``os.replace``),
+    merging with whatever another process flushed in the meantime so
+    concurrent writers never corrupt the file or drop each other's
+    winners.  ``hits`` / ``misses`` count :meth:`get`
     outcomes; the execution layer mirrors them into ``RunContext``
     counters.
     """
@@ -154,6 +160,14 @@ class PlanCache:
             self._flush(self.path)
 
     def _flush(self, path: Path) -> None:
+        # Concurrent runs (a pool worker per autotune, parallel CI jobs)
+        # may flush the same cache file.  Merge with what is on disk so
+        # another writer's winners survive, then write through a
+        # uniquely named temp file: a fixed ".tmp" name would let two
+        # writers interleave write_text/replace and publish a torn file.
+        merged = self._load(path)
+        merged.update(self._plans)
+        self._plans = merged
         payload = {
             "version": self.VERSION,
             "plans": {
@@ -166,9 +180,19 @@ class PlanCache:
             },
         }
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(path.suffix + ".tmp")
-        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
-        tmp.replace(path)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.name + ".", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(json.dumps(payload, indent=2, sort_keys=True))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
 
 
 _DEFAULT_CACHE: PlanCache | None = None

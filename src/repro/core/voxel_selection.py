@@ -23,6 +23,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..obs.runtime import kernel_span
 from ..svm.cross_validation import (
     KernelBackend,
     grouped_cross_validation,
@@ -144,18 +145,24 @@ def score_voxels(
     accuracies = np.empty(v, dtype=np.float64)
     for b0 in range(0, v, batch_voxels):
         b1 = min(b0 + batch_voxels, v)
-        kernels = batch_kernel_fn(correlations[b0:b1])
-        try:
-            result = grouped_cross_validation_batch(
-                backend, kernels, labels, fold_ids
-            )
-        except NotImplementedError:
-            # Backends advertising fit_kernel_batch only through a
-            # wrapper (e.g. the one-vs-one shim over LibSVM) surface
-            # here; score the whole task on the reference path instead.
-            return score_voxels_reference(
-                correlations, voxel_ids, labels, fold_ids, backend,
-                kernel_fn=kernel_fn,
-            )
+        with kernel_span(
+            "score_batch", attrs={"first_voxel": b0}
+        ) as span:
+            kernels = batch_kernel_fn(correlations[b0:b1])
+            try:
+                result = grouped_cross_validation_batch(
+                    backend, kernels, labels, fold_ids
+                )
+            except NotImplementedError:
+                # Backends advertising fit_kernel_batch only through a
+                # wrapper (e.g. the one-vs-one shim over LibSVM) surface
+                # here; score the whole task on the reference path instead.
+                return score_voxels_reference(
+                    correlations, voxel_ids, labels, fold_ids, backend,
+                    kernel_fn=kernel_fn,
+                )
+            if span is not None:
+                span.add_metric("voxels", float(b1 - b0))
+                span.add_metric("bytes_moved", float(kernels.nbytes))
         accuracies[b0:b1] = result.accuracies
     return VoxelScores(voxels=voxel_ids, accuracies=accuracies)

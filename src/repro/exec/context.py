@@ -6,25 +6,42 @@ per-stage wall time and simulated counter events are recorded the same
 way no matter which path executed the work.  Perf models, reports, and
 the ``--json`` CLI output all consume this object instead of scattering
 ``time.perf_counter()`` calls through the drivers.
+
+Since the observability layer (:mod:`repro.obs`) landed, the context's
+recording substrate is a span :class:`~repro.obs.tracer.Tracer`: timer
+blocks open ``stage`` spans, tasks open ``task`` spans, and the legacy
+views — :attr:`RunContext.stages`, :meth:`RunContext.stage_seconds`,
+:attr:`RunContext.task_seconds` — are *derived* by aggregating the
+span list.  ``add_time`` / ``record_task`` / ``add_counters`` remain as
+recording APIs; they append synthetic (zero-width) spans.  Run counters
+(:meth:`increment`) attach ``ctr.*`` metrics to the innermost open span
+for per-task granularity and are mirrored in ``metadata["counters"]``
+as the run-level aggregate.
 """
 
 from __future__ import annotations
 
 import threading
-import time
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field, fields
-from typing import TYPE_CHECKING, Any, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, ContextManager, Iterator, Mapping
 
 import numpy as np
 
 from ..hw.counters import PerfCounters
+from ..obs.span import Span
+from ..obs.tracer import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..core.pipeline import FCMAConfig
     from ..hw.spec import HardwareSpec
 
 __all__ = ["RunContext", "StageStats", "StageTimer"]
+
+#: Metric prefix carrying PerfCounters fields on spans.
+_PC_PREFIX = "pc."
+#: Metric prefix carrying run counters on spans.
+_CTR_PREFIX = "ctr."
 
 
 @dataclass
@@ -73,9 +90,15 @@ class RunContext:
     hardware:
         Optional hardware model for stages that emit simulated counter
         events alongside wall time.
+    tracer:
+        The span tracer recording this run (default: a fresh enabled
+        :class:`~repro.obs.tracer.Tracer`).  Inject one with a fake
+        clock for deterministic trace tests, or a disabled tracer to
+        measure tracing overhead.
 
-    All mutation is lock-protected: the master-worker executor's thread
-    ranks may share one context.
+    Mutation is lock-protected where state is shared (metadata
+    counters); the tracer has its own internal locking, so the
+    master-worker executor's thread ranks may share one context.
     """
 
     def __init__(
@@ -84,6 +107,7 @@ class RunContext:
         *,
         seed: int | None = None,
         hardware: "HardwareSpec | None" = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if config is None:
             from ..core.pipeline import FCMAConfig
@@ -92,11 +116,10 @@ class RunContext:
         self.config = config
         self.seed = seed
         self.hardware = hardware
+        self.tracer = tracer if tracer is not None else Tracer()
         #: Free-form run annotations (executor name, worker count,
         #: predicted-vs-measured blocks, ...).
         self.metadata: dict[str, Any] = {}
-        self._stages: dict[str, StageStats] = {}
-        self._task_seconds: list[float] = []
         self._lock = threading.Lock()
 
     # -- determinism -----------------------------------------------------
@@ -111,40 +134,81 @@ class RunContext:
     def timer(self, stage: str) -> Iterator[StageTimer]:
         """Time a block and charge it to ``stage``.
 
-        The yielded :class:`StageTimer` carries this call's elapsed
-        seconds after the block exits (for per-event latencies such as
-        rtfmri feedback), while the context accumulates the total.
+        Opens a ``stage`` span on the run's tracer; the yielded
+        :class:`StageTimer` carries this call's elapsed seconds after
+        the block exits (for per-event latencies such as rtfmri
+        feedback), while the trace accumulates the total.
         """
         handle = StageTimer()
-        t0 = time.perf_counter()
+        span_cm = self.tracer.span(stage, kind="stage")
+        span = span_cm.__enter__()
         try:
             yield handle
         finally:
-            handle.seconds = time.perf_counter() - t0
-            self.add_time(stage, handle.seconds)
+            span_cm.__exit__(None, None, None)
+            handle.seconds = span.duration
+
+    def run_span(self, executor: str) -> ContextManager[Span | None]:
+        """The root ``run`` span an executor wraps its whole run in.
+
+        No-op (yields ``None``) if a run span is already open on the
+        calling thread, so executors that delegate to one another —
+        e.g. the pool's single-worker fallback to the serial path —
+        do not nest a second root.
+        """
+        if "run" in self.tracer.open_kinds():
+            return nullcontext(None)
+        return self.tracer.span("run", kind="run", attrs={"executor": executor})
+
+    def task_span(self, n_voxels: int, first_voxel: int) -> ContextManager[Span]:
+        """The per-task span :func:`~repro.exec.stage_graph.execute_task`
+        wraps one task's stage-graph run in."""
+        return self.tracer.span(
+            "task",
+            kind="task",
+            attrs={"n_voxels": int(n_voxels), "first_voxel": int(first_voxel)},
+        )
 
     def add_time(self, stage: str, seconds: float, calls: int = 1) -> None:
-        """Charge ``seconds`` of wall time to ``stage``."""
+        """Charge ``seconds`` of externally measured wall time to
+        ``stage`` (recorded as a synthetic stage span)."""
         if seconds < 0:
             raise ValueError("seconds must be >= 0")
-        with self._lock:
-            stats = self._stages.setdefault(stage, StageStats())
-            stats.seconds += seconds
-            stats.calls += calls
+        self.tracer.record(
+            stage,
+            kind="stage",
+            seconds=seconds,
+            metrics={"calls": float(calls)},
+        )
 
     def add_counters(self, stage: str, counters: PerfCounters) -> None:
-        """Attribute simulated hardware events to ``stage``."""
-        with self._lock:
-            stats = self._stages.setdefault(stage, StageStats())
-            stats.merge(StageStats(counters=counters))
+        """Attribute simulated hardware events to ``stage``.
+
+        Recorded as a zero-width stage span carrying the counters as
+        ``pc.*`` metrics (``calls=0`` so call counts stay timer-driven).
+        """
+        metrics: dict[str, float] = {"calls": 0.0}
+        for f in fields(PerfCounters):
+            value = float(getattr(counters, f.name))
+            if value:
+                metrics[_PC_PREFIX + f.name] = value
+        self.tracer.record(stage, kind="stage", metrics=metrics)
 
     def increment(self, name: str, value: int = 1) -> None:
         """Add ``value`` to the named run counter.
 
-        Counters live in ``metadata["counters"]`` (autotuner cache
-        hits/misses, tiles processed, ...), travel with :meth:`export`,
-        and sum under :meth:`merge` / :meth:`merge_export`.
+        The counter lands twice, by design: as a ``ctr.<name>`` metric
+        on the innermost open span (per-task/per-stage granularity in
+        the trace) and aggregated in ``metadata["counters"]`` (the
+        run-level view that travels with :meth:`export`, sums under
+        :meth:`merge` / :meth:`merge_export`, and feeds ``--json``).
         """
+        if not self.tracer.add_metric(_CTR_PREFIX + name, float(value)):
+            # No span open (library use outside a run): keep the counter
+            # in the trace anyway as a standalone counter span.
+            self.tracer.record(
+                name, kind="counter", metrics={_CTR_PREFIX + name: float(value)}
+            )
         with self._lock:
             counters = self.metadata.setdefault("counters", {})
             counters[name] = counters.get(name, 0) + value
@@ -159,24 +223,26 @@ class RunContext:
         """Record one completed task's total pipeline seconds.
 
         The per-task stream is what the cluster simulator replays for
-        predicted-vs-measured schedule comparisons.
+        predicted-vs-measured schedule comparisons.  Tasks executed
+        through :func:`~repro.exec.stage_graph.execute_task` record
+        their span directly; this API remains for externally measured
+        tasks and appends a synthetic task span.
         """
         if seconds < 0:
             raise ValueError("seconds must be >= 0")
-        with self._lock:
-            self._task_seconds.append(seconds)
+        self.tracer.record("task", kind="task", seconds=seconds)
 
     def merge(self, other: "RunContext") -> None:
         """Fold another context's telemetry into this one.
 
         Used by executors whose workers each accumulate privately (the
         process pool cannot share memory; master-worker ranks could but
-        merging keeps the hot path lock-free).
+        merging keeps the hot path lock-free).  The other context's
+        spans are re-rooted under the calling thread's open span (the
+        run span, when merged by an executor).
         """
+        self.tracer.merge(other.tracer)
         with self._lock:
-            for stage, stats in other._stages.items():
-                self._stages.setdefault(stage, StageStats()).merge(stats)
-            self._task_seconds.extend(other._task_seconds)
             counters = self.metadata.setdefault("counters", {})
             for name, value in other.metadata.get("counters", {}).items():
                 counters[name] = counters.get(name, 0) + value
@@ -185,60 +251,94 @@ class RunContext:
         """Picklable telemetry snapshot (no locks, no config).
 
         This is the form process-pool workers ship home; fold it back
-        with :meth:`merge_export`.
+        with :meth:`merge_export`.  ``spans`` is the source of truth;
+        the stage/task/counter summaries ride along for consumers that
+        want the aggregate without reassembling the trace.
         """
-        with self._lock:
-            return {
-                "stages": {
-                    name: {"seconds": stats.seconds, "calls": stats.calls}
-                    for name, stats in self._stages.items()
-                },
-                "task_seconds": list(self._task_seconds),
-                "counters": dict(self.metadata.get("counters", {})),
-            }
+        return {
+            "stages": {
+                name: {"seconds": stats.seconds, "calls": stats.calls}
+                for name, stats in self.stages.items()
+            },
+            "task_seconds": list(self.task_seconds),
+            "counters": dict(self.metadata.get("counters", {})),
+            "spans": self.tracer.export(),
+        }
 
     def merge_export(self, payload: Mapping[str, Any]) -> None:
-        """Fold an :meth:`export` snapshot from another process in."""
-        for stage, stats in payload.get("stages", {}).items():
-            self.add_time(stage, stats["seconds"], calls=stats["calls"])
+        """Fold an :meth:`export` snapshot from another process in.
+
+        Prefers the payload's span records (re-rooted under the calling
+        thread's open span); falls back to the legacy stage/task
+        summaries for payloads produced before the tracing layer.
+        """
+        spans = payload.get("spans")
+        if spans:
+            self.tracer.merge(spans)
+        else:
+            for stage, stats in payload.get("stages", {}).items():
+                self.add_time(stage, stats["seconds"], calls=stats["calls"])
+            for seconds in payload.get("task_seconds", ()):
+                self.record_task(seconds)
         with self._lock:
-            self._task_seconds.extend(payload.get("task_seconds", ()))
             counters = self.metadata.setdefault("counters", {})
             for name, value in payload.get("counters", {}).items():
                 counters[name] = counters.get(name, 0) + value
 
-    # -- reading ---------------------------------------------------------
+    # -- reading (derived views over the trace) --------------------------
 
     @property
     def stages(self) -> dict[str, StageStats]:
-        """Snapshot of the per-stage telemetry (copy; safe to iterate)."""
-        with self._lock:
-            return {name: stats for name, stats in self._stages.items()}
+        """Per-stage telemetry, aggregated from the trace's stage spans.
+
+        Keys appear in first-recorded order; seconds and calls sum over
+        every closed span of the stage, and ``pc.*`` metrics fold back
+        into :class:`~repro.hw.counters.PerfCounters`.
+        """
+        out: dict[str, StageStats] = {}
+        for span in self.tracer.spans():
+            if span.kind != "stage" or not span.closed:
+                continue
+            stats = out.setdefault(span.name, StageStats())
+            stats.seconds += span.metrics.get("wall_seconds", span.duration)
+            stats.calls += int(span.metrics.get("calls", 1.0))
+            for mname, value in span.metrics.items():
+                if mname.startswith(_PC_PREFIX):
+                    pc_field = mname[len(_PC_PREFIX):]
+                    setattr(
+                        stats.counters,
+                        pc_field,
+                        getattr(stats.counters, pc_field) + value,
+                    )
+        return out
 
     def stage_seconds(self) -> dict[str, float]:
         """Per-stage wall seconds, in first-recorded order."""
-        with self._lock:
-            return {name: stats.seconds for name, stats in self._stages.items()}
+        return {name: stats.seconds for name, stats in self.stages.items()}
 
     @property
     def task_seconds(self) -> list[float]:
-        """Per-task pipeline seconds, in completion order."""
-        with self._lock:
-            return list(self._task_seconds)
+        """Per-task pipeline seconds, in completion order (derived from
+        the trace's task spans)."""
+        return [
+            span.metrics.get("wall_seconds", span.duration)
+            for span in self.tracer.spans()
+            if span.kind == "task" and span.closed
+        ]
 
     def timing_report(self) -> dict[str, Any]:
         """JSON-serializable run telemetry (the ``--json`` CLI payload)."""
-        with self._lock:
-            stages = {
-                name: {"seconds": stats.seconds, "calls": stats.calls}
-                for name, stats in self._stages.items()
-            }
-            tasks = list(self._task_seconds)
+        stages = {
+            name: {"seconds": stats.seconds, "calls": stats.calls}
+            for name, stats in self.stages.items()
+        }
+        tasks = list(self.task_seconds)
         report: dict[str, Any] = {
             "stages": stages,
             "total_stage_seconds": sum(s["seconds"] for s in stages.values()),
             "n_tasks": len(tasks),
             "task_seconds": tasks,
+            "n_spans": len(self.tracer),
         }
         report.update(self.metadata)
         return report

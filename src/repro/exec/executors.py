@@ -94,11 +94,12 @@ class SerialExecutor:
         ctx: RunContext,
         voxels: NDArray[Any] | None = None,
     ) -> VoxelScores:
-        t0 = time.perf_counter()
-        tasks = _task_stream(dataset, ctx, voxels)
-        parts = [execute_task(dataset, task, ctx) for task in tasks]
-        scores = VoxelScores.concatenate(parts).sorted_by_accuracy()
-        _finish(ctx, self, len(tasks), time.perf_counter() - t0)
+        with ctx.run_span(self.name):
+            t0 = time.perf_counter()
+            tasks = _task_stream(dataset, ctx, voxels)
+            parts = [execute_task(dataset, task, ctx) for task in tasks]
+            scores = VoxelScores.concatenate(parts).sorted_by_accuracy()
+            _finish(ctx, self, len(tasks), time.perf_counter() - t0)
         return scores
 
 
@@ -159,41 +160,44 @@ class ProcessPoolExecutor:
         ctx: RunContext,
         voxels: NDArray[Any] | None = None,
     ) -> VoxelScores:
-        t0 = time.perf_counter()
-        n_workers = self.n_workers or os.cpu_count() or 1
-        tasks = _task_stream(dataset, ctx, voxels)
-        if n_workers == 1 or len(tasks) == 1:
-            scores = SerialExecutor().run(dataset, ctx, voxels)
-            ctx.metadata["executor"] = self.name
-            ctx.metadata["n_workers"] = 1
-            return scores
-        workers = min(n_workers, len(tasks))
-        config = ctx.config
-        chunksize = (
-            config.chunksize
-            if config.chunksize is not None
-            else auto_chunksize(len(tasks), workers)
-        )
-        shm, handle = share_dataset(dataset)
-        try:
-            with _StdProcessPool(
-                max_workers=workers,
-                initializer=_init_worker,
-                initargs=(handle, config),
-            ) as pool:
-                results = list(
-                    pool.map(_run_assigned_timed, tasks, chunksize=chunksize)
-                )
-        finally:
-            shm.close()
-            shm.unlink()
-        for _, payload in results:
-            ctx.merge_export(payload)
-        scores = VoxelScores.concatenate(
-            [scores for scores, _ in results]
-        ).sorted_by_accuracy()
-        _finish(ctx, self, len(tasks), time.perf_counter() - t0)
-        ctx.metadata["n_workers"] = workers
+        with ctx.run_span(self.name):
+            t0 = time.perf_counter()
+            n_workers = self.n_workers or os.cpu_count() or 1
+            tasks = _task_stream(dataset, ctx, voxels)
+            if n_workers == 1 or len(tasks) == 1:
+                scores = SerialExecutor().run(dataset, ctx, voxels)
+                ctx.metadata["executor"] = self.name
+                ctx.metadata["n_workers"] = 1
+                return scores
+            workers = min(n_workers, len(tasks))
+            config = ctx.config
+            chunksize = (
+                config.chunksize
+                if config.chunksize is not None
+                else auto_chunksize(len(tasks), workers)
+            )
+            shm, handle = share_dataset(dataset)
+            try:
+                with _StdProcessPool(
+                    max_workers=workers,
+                    initializer=_init_worker,
+                    initargs=(handle, config),
+                ) as pool:
+                    results = list(
+                        pool.map(_run_assigned_timed, tasks, chunksize=chunksize)
+                    )
+            finally:
+                shm.close()
+                shm.unlink()
+            # Merging inside the run span re-roots every worker's task
+            # spans under it, so the final trace is one tree.
+            for _, payload in results:
+                ctx.merge_export(payload)
+            scores = VoxelScores.concatenate(
+                [scores for scores, _ in results]
+            ).sorted_by_accuracy()
+            _finish(ctx, self, len(tasks), time.perf_counter() - t0)
+            ctx.metadata["n_workers"] = workers
         return scores
 
 
@@ -229,40 +233,43 @@ class MasterWorkerExecutor:
     ) -> VoxelScores:
         from ..parallel.master_worker import _master_loop, _worker_loop
 
-        t0 = time.perf_counter()
-        tasks = _task_stream(dataset, ctx, voxels)
-        # Per-rank contexts keep the hot path lock-free; merged below.
-        worker_ctxs = [RunContext(ctx.config) for _ in range(self.n_workers)]
+        with ctx.run_span(self.name):
+            t0 = time.perf_counter()
+            tasks = _task_stream(dataset, ctx, voxels)
+            # Per-rank contexts keep the hot path lock-free; merged below.
+            worker_ctxs = [RunContext(ctx.config) for _ in range(self.n_workers)]
 
-        def spmd(comm: Comm) -> Any:
-            # The paper's master "first distributes brain data to the
-            # worker nodes": the broadcast shares the dataset reference.
-            ds = comm.bcast(dataset if comm.rank == 0 else None)
-            if comm.rank == 0:
-                return _master_loop(comm, tasks, max_retries=self.max_retries)
-            wctx = worker_ctxs[comm.rank - 1]
+            def spmd(comm: Comm) -> Any:
+                # The paper's master "first distributes brain data to the
+                # worker nodes": the broadcast shares the dataset reference.
+                ds = comm.bcast(dataset if comm.rank == 0 else None)
+                if comm.rank == 0:
+                    return _master_loop(comm, tasks, max_retries=self.max_retries)
+                wctx = worker_ctxs[comm.rank - 1]
 
-            def run_one(
-                d: FMRIDataset, assigned: NDArray[np.int64], _cfg: FCMAConfig
-            ) -> VoxelScores:
-                return execute_task(d, assigned, wctx)
+                def run_one(
+                    d: FMRIDataset, assigned: NDArray[np.int64], _cfg: FCMAConfig
+                ) -> VoxelScores:
+                    return execute_task(d, assigned, wctx)
 
-            return _worker_loop(comm, ds, ctx.config, run=run_one)
+                return _worker_loop(comm, ds, ctx.config, run=run_one)
 
-        results = run_ranks(self.n_workers + 1, spmd)
-        for wctx in worker_ctxs:
-            ctx.merge(wctx)
-        scores = results[0]
-        assert isinstance(scores, VoxelScores)
-        elapsed = time.perf_counter() - t0
-        _finish(ctx, self, len(tasks), elapsed)
-        ctx.metadata["n_workers"] = self.n_workers
-        predicted = predicted_schedule(ctx, dataset, self.n_workers)
-        ctx.metadata["predicted"] = {
-            "elapsed_s": predicted.elapsed_seconds,
-            "utilization": predicted.utilization,
-            "n_workers": predicted.n_workers,
-        }
+            results = run_ranks(self.n_workers + 1, spmd)
+            for wctx in worker_ctxs:
+                ctx.merge(wctx)
+            scores = results[0]
+            assert isinstance(scores, VoxelScores)
+            elapsed = time.perf_counter() - t0
+            _finish(ctx, self, len(tasks), elapsed)
+            ctx.metadata["n_workers"] = self.n_workers
+            # The predicted-vs-measured replay runs inside the run span,
+            # so the simulator's own kernel span lands in the trace.
+            predicted = predicted_schedule(ctx, dataset, self.n_workers)
+            ctx.metadata["predicted"] = {
+                "elapsed_s": predicted.elapsed_seconds,
+                "utilization": predicted.utilization,
+                "n_workers": predicted.n_workers,
+            }
         return scores
 
 

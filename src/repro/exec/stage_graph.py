@@ -26,7 +26,6 @@ equivalence is pinned by ``tests/exec/test_stage_graph.py``.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Mapping
 
@@ -169,7 +168,10 @@ def _preprocess(ctx: RunContext, state: Mapping[str, Any]) -> Mapping[str, Any]:
 def _correlate_baseline(
     ctx: RunContext, state: Mapping[str, Any]
 ) -> Mapping[str, Any]:
-    corr = correlate_baseline(state["windows"], state["assigned"])
+    with ctx.tracer.span("correlate_baseline", kind="kernel") as span:
+        corr = correlate_baseline(state["windows"], state["assigned"])
+        span.add_metric("voxels", float(state["assigned"].size))
+        span.add_metric("bytes_moved", float(state["windows"].nbytes + corr.nbytes))
     return {"correlations": corr}
 
 
@@ -177,7 +179,9 @@ def _normalize_separated(
     ctx: RunContext, state: Mapping[str, Any]
 ) -> Mapping[str, Any]:
     corr = state["correlations"]
-    normalize_separated(corr, state["grouped"].epochs.epochs_per_subject())
+    with ctx.tracer.span("normalize_separated", kind="kernel") as span:
+        normalize_separated(corr, state["grouped"].epochs.epochs_per_subject())
+        span.add_metric("bytes_moved", float(2 * corr.nbytes))
     return {"correlations": corr}
 
 
@@ -187,14 +191,19 @@ def _correlate_merged(
     config = ctx.config
     e_per_subject = state["grouped"].epochs.epochs_per_subject()
     merger = MergedNormalizer(e_per_subject)
-    corr = correlate_blocked(
-        state["windows"],
-        state["assigned"],
-        voxel_block=config.voxel_block,
-        target_block=config.target_block,
-        epoch_block=e_per_subject,
-        tile_callback=merger,
-    )
+    with ctx.tracer.span("correlate_blocked+merge", kind="kernel") as span:
+        corr = correlate_blocked(
+            state["windows"],
+            state["assigned"],
+            voxel_block=config.voxel_block,
+            target_block=config.target_block,
+            epoch_block=e_per_subject,
+            tile_callback=merger,
+        )
+        span.add_metric("voxels", float(state["assigned"].size))
+        span.add_metric(
+            "bytes_moved", float(state["windows"].nbytes + corr.nbytes)
+        )
     return {"correlations": corr}
 
 
@@ -220,15 +229,18 @@ def _correlate_batched_fused(
         else blocking.default_plan_cache()
     )
     hits0, misses0 = cache.hits, cache.misses
-    plan = blocking.plan_blocks(
-        hw,
-        epochs_per_subject=e_per_subject,
-        epoch_length=z.shape[2],
-        n_assigned=assigned.size,
-        n_voxels=z.shape[1],
-        autotune=getattr(config, "autotune_blocks", False),
-        cache=cache,
-    )
+    with ctx.tracer.span("plan_blocks", kind="kernel") as span:
+        plan = blocking.plan_blocks(
+            hw,
+            epochs_per_subject=e_per_subject,
+            epoch_length=z.shape[2],
+            n_assigned=assigned.size,
+            n_voxels=z.shape[1],
+            autotune=getattr(config, "autotune_blocks", False),
+            cache=cache,
+        )
+        span.add_metric("cache_hits", float(cache.hits - hits0))
+        span.add_metric("cache_misses", float(cache.misses - misses0))
     ctx.increment("plan_cache_hits", cache.hits - hits0)
     ctx.increment("plan_cache_misses", cache.misses - misses0)
     ctx.metadata["blocking_plan"] = {
@@ -237,9 +249,13 @@ def _correlate_batched_fused(
         "epoch_block": plan.epoch_block,
     }
 
-    corr, n_tiles = correlate_normalize_batched(
-        z, assigned, e_per_subject, voxel_sweep=plan.voxel_block
-    )
+    with ctx.tracer.span("correlate_normalize_batched", kind="kernel") as span:
+        corr, n_tiles = correlate_normalize_batched(
+            z, assigned, e_per_subject, voxel_sweep=plan.voxel_block
+        )
+        span.add_metric("tiles", float(n_tiles))
+        span.add_metric("voxels", float(assigned.size))
+        span.add_metric("bytes_moved", float(z.nbytes + corr.nbytes))
     ctx.increment("stage12_tiles", n_tiles)
     return {"correlations": corr}
 
@@ -248,15 +264,17 @@ def _make_score_stage(kernel_fn: Callable[..., Any]) -> StageFn:
     def _score(ctx: RunContext, state: Mapping[str, Any]) -> Mapping[str, Any]:
         grouped = state["grouped"]
         backend = create_backend(ctx.config)
-        scores = score_voxels(
-            state["correlations"],
-            state["assigned"],
-            grouped.epochs.labels(),
-            _fold_ids(ctx, grouped),
-            backend,
-            kernel_fn=kernel_fn,
-            batch_voxels=ctx.config.batch_voxels,
-        )
+        with ctx.tracer.span("score_voxels", kind="kernel") as span:
+            scores = score_voxels(
+                state["correlations"],
+                state["assigned"],
+                grouped.epochs.labels(),
+                _fold_ids(ctx, grouped),
+                backend,
+                kernel_fn=kernel_fn,
+                batch_voxels=ctx.config.batch_voxels,
+            )
+            span.add_metric("voxels", float(state["assigned"].size))
         return {"scores": scores}
 
     return _score
@@ -358,16 +376,17 @@ def execute_task(
     """Run one task's assigned voxels through the configured graph.
 
     This is the single implementation behind the legacy ``run_task``
-    shim and every executor; per-stage wall time lands in ``ctx`` and
-    the task's total is appended to ``ctx.task_seconds``.
+    shim and every executor; the task runs inside a ``task`` span (so
+    per-stage wall time lands in ``ctx`` and the task's total appears
+    in ``ctx.task_seconds``, both derived from the trace).
     """
     assigned = np.asarray(assigned, dtype=np.int64)
     if assigned.ndim != 1 or assigned.size == 0:
         raise ValueError("assigned must be a non-empty 1D index array")
     graph = build_graph(ctx.config)
-    t0 = time.perf_counter()
-    state = graph.run(ctx, dataset=dataset, assigned=assigned)
-    ctx.record_task(time.perf_counter() - t0)
+    with ctx.task_span(assigned.size, int(assigned[0])) as span:
+        state = graph.run(ctx, dataset=dataset, assigned=assigned)
+        span.add_metric("voxels", float(assigned.size))
     scores = state["scores"]
     assert isinstance(scores, VoxelScores)
     return scores

@@ -1,0 +1,117 @@
+"""Structural trace comparison: equality modulo timing.
+
+Two runs of the same pipeline on different executors must produce the
+*same dataflow* — the same span tree shape, names, kinds, and
+non-timing metrics — while wall-clock values, timestamps, thread ids,
+and span-id numbering all legitimately differ.  :func:`span_structure`
+canonicalizes a trace down to exactly the invariant part (children
+sorted by a content digest, so sibling completion order does not
+matter), and :func:`assert_same_structure` diffs two of them with a
+readable failure message.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Collection, Iterable
+
+from .metrics import METRICS
+from .span import Span, SpanNode, build_tree
+
+__all__ = ["span_structure", "assert_same_structure", "TIMING_METRICS"]
+
+#: Metric names excluded from structural comparison by default.
+TIMING_METRICS = frozenset(
+    name for name, spec in METRICS.items() if spec.timing
+)
+
+#: Attr keys that identify the execution environment, not the dataflow.
+_ENV_ATTRS = frozenset({"executor", "n_workers", "worker", "pid"})
+
+Structure = tuple[Any, ...]
+
+
+def _canonical(
+    node: SpanNode,
+    ignore_metrics: Collection[str],
+    ignore_attrs: Collection[str],
+) -> Structure:
+    span = node.span
+    metrics = tuple(
+        sorted(
+            (k, round(v, 12))
+            for k, v in span.metrics.items()
+            if k not in ignore_metrics
+        )
+    )
+    attrs = tuple(
+        sorted(
+            (k, repr(v))
+            for k, v in span.attrs.items()
+            if k not in ignore_attrs
+        )
+    )
+    children = tuple(
+        sorted(
+            _canonical(child, ignore_metrics, ignore_attrs)
+            for child in node.children
+        )
+    )
+    return (span.kind, span.name, metrics, attrs, children)
+
+
+def span_structure(
+    spans: Iterable[Span],
+    ignore_metrics: Collection[str] | None = None,
+    ignore_attrs: Collection[str] | None = None,
+) -> Structure:
+    """The timing-invariant canonical form of a trace.
+
+    ``ignore_metrics`` defaults to :data:`TIMING_METRICS`; pass a larger
+    set to also ignore environment-dependent counters (e.g. per-process
+    plan-cache hits).  Environment attrs (executor name, worker ids)
+    are always excluded unless ``ignore_attrs`` overrides the default.
+    """
+    if ignore_metrics is None:
+        ignore_metrics = TIMING_METRICS
+    if ignore_attrs is None:
+        ignore_attrs = _ENV_ATTRS
+    roots = build_tree(spans)
+    return tuple(
+        sorted(_canonical(root, ignore_metrics, ignore_attrs) for root in roots)
+    )
+
+
+def _describe(structure: Structure, depth: int = 0, limit: int = 40) -> list[str]:
+    lines: list[str] = []
+
+    def _walk(node: Structure, d: int) -> None:
+        if len(lines) >= limit:
+            return
+        kind, name, metrics, attrs, children = node
+        parts = [f"{'  ' * d}{kind}:{name}"]
+        if metrics:
+            parts.append(" " + ",".join(f"{k}={v}" for k, v in metrics))
+        lines.append("".join(parts))
+        for child in children:
+            _walk(child, d + 1)
+
+    for root in structure:
+        _walk(root, depth)
+    return lines
+
+
+def assert_same_structure(
+    a: Iterable[Span],
+    b: Iterable[Span],
+    ignore_metrics: Collection[str] | None = None,
+) -> None:
+    """Raise ``AssertionError`` with a tree diff if structures differ."""
+    sa = span_structure(a, ignore_metrics=ignore_metrics)
+    sb = span_structure(b, ignore_metrics=ignore_metrics)
+    if sa != sb:
+        raise AssertionError(
+            "trace structures differ:\n--- a ---\n"
+            + "\n".join(_describe(sa))
+            + "\n--- b ---\n"
+            + "\n".join(_describe(sb))
+        )

@@ -1,0 +1,326 @@
+"""Trace exporters and loaders.
+
+Three interchange forms, all lossless for span structure and metrics:
+
+* **JSON-lines** (:func:`write_jsonl` / :func:`read_jsonl`) — the native
+  on-disk form: a meta header line then one span record per line, so
+  traces stream and concatenate.
+* **Chrome ``trace_event``** (:func:`to_chrome_trace` /
+  :func:`from_chrome_trace`) — loads in ``chrome://tracing`` / Perfetto;
+  span identity and exact float timestamps ride in each event's
+  ``args`` so a round trip reproduces the tree exactly.
+* **Flat metrics table** (:func:`metrics_table` /
+  :func:`format_metrics_table`) — per-(kind, name) metric sums, the
+  paper-figure-style per-stage breakdown.
+
+:func:`spans_from_cluster_trace` bridges the discrete-event cluster
+simulator: a simulated schedule becomes a span tree (one worker per
+``tid``) exportable to the same formats as a measured run.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, TextIO
+
+from .span import Span, SpanNode, build_tree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cluster.trace import ClusterTrace
+
+__all__ = [
+    "SCHEMA",
+    "write_jsonl",
+    "read_jsonl",
+    "to_chrome_trace",
+    "from_chrome_trace",
+    "metrics_table",
+    "format_metrics_table",
+    "render_tree",
+    "spans_from_cluster_trace",
+]
+
+#: Schema tag written into every export; bump on breaking changes.
+SCHEMA = "repro.obs/v1"
+
+
+# -- JSON lines -----------------------------------------------------------
+
+
+def write_jsonl(
+    spans: Iterable[Span], target: str | Path | TextIO
+) -> int:
+    """Write spans as JSON-lines (meta header + one record per line).
+
+    ``target`` may be a path or an open text stream.  Returns the
+    number of span records written.
+    """
+    records = [span.to_dict() for span in spans]
+    header = {"type": "meta", "schema": SCHEMA, "n_spans": len(records)}
+
+    def _emit(fh: TextIO) -> None:
+        fh.write(json.dumps(header, sort_keys=True) + "\n")
+        for record in records:
+            fh.write(
+                json.dumps({"type": "span", **record}, sort_keys=True) + "\n"
+            )
+
+    if isinstance(target, (str, Path)):
+        with open(target, "w") as fh:
+            _emit(fh)
+    else:
+        _emit(target)
+    return len(records)
+
+
+def read_jsonl(source: str | Path | TextIO) -> list[Span]:
+    """Load spans from a JSON-lines export.
+
+    Unknown record types are skipped (forward compatibility); a schema
+    mismatch in the meta header raises ``ValueError``.
+    """
+    if isinstance(source, (str, Path)):
+        text = Path(source).read_text()
+    else:
+        text = source.read()
+    spans: list[Span] = []
+    for lineno, line in enumerate(io.StringIO(text), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        rtype = record.get("type")
+        if rtype == "meta":
+            if record.get("schema") != SCHEMA:
+                raise ValueError(
+                    f"line {lineno}: unsupported trace schema "
+                    f"{record.get('schema')!r} (expected {SCHEMA!r})"
+                )
+        elif rtype == "span":
+            spans.append(Span.from_dict(record))
+    return spans
+
+
+# -- Chrome trace_event ---------------------------------------------------
+
+
+def to_chrome_trace(spans: Iterable[Span]) -> dict[str, Any]:
+    """Spans as a Chrome ``trace_event`` JSON object.
+
+    Each span becomes one complete (``ph: "X"``) event with
+    microsecond timestamps; span ids, parent links, exact float
+    start/end seconds, metrics, and attrs travel in ``args`` so
+    :func:`from_chrome_trace` rebuilds the identical tree.
+    """
+    events: list[dict[str, Any]] = []
+    for span in spans:
+        t1 = span.t1 if span.t1 is not None else span.t0
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.kind,
+                "ph": "X",
+                "ts": span.t0 * 1e6,
+                "dur": (t1 - span.t0) * 1e6,
+                "pid": 0,
+                "tid": span.thread,
+                "args": {
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "t0_s": span.t0,
+                    "t1_s": span.t1,
+                    "metrics": dict(span.metrics),
+                    "attrs": dict(span.attrs),
+                },
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": SCHEMA},
+    }
+
+
+def from_chrome_trace(payload: Mapping[str, Any]) -> list[Span]:
+    """Rebuild spans from :func:`to_chrome_trace` output.
+
+    Events without ``args.span_id`` (foreign events mixed into the
+    file) are ignored.
+    """
+    spans: list[Span] = []
+    for event in payload.get("traceEvents", ()):
+        args = event.get("args") or {}
+        if event.get("ph") != "X" or "span_id" not in args:
+            continue
+        t1 = args.get("t1_s")
+        spans.append(
+            Span(
+                span_id=int(args["span_id"]),
+                parent_id=(
+                    None if args.get("parent_id") is None
+                    else int(args["parent_id"])
+                ),
+                name=str(event["name"]),
+                kind=str(event.get("cat", "kernel")),
+                t0=float(args.get("t0_s", event["ts"] / 1e6)),
+                t1=None if t1 is None else float(t1),
+                thread=int(event.get("tid", 0)),
+                metrics={
+                    str(k): float(v)
+                    for k, v in dict(args.get("metrics", {})).items()
+                },
+                attrs=dict(args.get("attrs", {})),
+            )
+        )
+    spans.sort(key=lambda s: s.span_id)
+    return spans
+
+
+# -- flat metrics table ---------------------------------------------------
+
+
+def metrics_table(spans: Iterable[Span]) -> list[dict[str, Any]]:
+    """Per-(kind, name) metric sums as flat rows.
+
+    Rows are ordered by first appearance; every metric seen anywhere in
+    the group is summed (missing = 0).  This is the paper's per-stage
+    breakdown view of a trace.
+    """
+    rows: dict[tuple[str, str], dict[str, Any]] = {}
+    for span in spans:
+        key = (span.kind, span.name)
+        row = rows.setdefault(
+            key, {"kind": span.kind, "name": span.name, "spans": 0}
+        )
+        row["spans"] += 1
+        metrics = span.metrics if span.metrics else {"calls": 1.0}
+        for mname, value in metrics.items():
+            row[mname] = row.get(mname, 0.0) + value
+    return list(rows.values())
+
+
+def format_metrics_table(rows: list[dict[str, Any]]) -> str:
+    """Render :func:`metrics_table` rows as an aligned text table."""
+    if not rows:
+        return "(empty trace)"
+    metric_names = sorted(
+        {k for row in rows for k in row if k not in ("kind", "name", "spans")}
+    )
+    headers = ["kind", "name", "spans", *metric_names]
+    table = [headers]
+    for row in rows:
+        table.append(
+            [
+                str(row["kind"]),
+                str(row["name"]),
+                str(row["spans"]),
+                *(f"{row.get(m, 0.0):.6g}" for m in metric_names),
+            ]
+        )
+    widths = [max(len(line[i]) for line in table) for i in range(len(headers))]
+    lines = [
+        "  ".join(cell.ljust(w) for cell, w in zip(line, widths)).rstrip()
+        for line in table
+    ]
+    lines.insert(1, "  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_tree(spans: Iterable[Span], max_depth: int | None = None) -> str:
+    """Human-readable indented tree of a trace (the CLI summary view)."""
+    roots = build_tree(spans)
+    if not roots:
+        return "(empty trace)"
+    lines: list[str] = []
+
+    def _walk(node: SpanNode, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        span = node.span
+        wall = span.metrics.get("wall_seconds", span.duration)
+        extra = ", ".join(
+            f"{k}={v:.6g}"
+            for k, v in sorted(span.metrics.items())
+            if k not in ("wall_seconds", "calls")
+        )
+        suffix = f"  [{extra}]" if extra else ""
+        lines.append(
+            f"{'  ' * depth}{span.kind}:{span.name}  "
+            f"{wall * 1e3:.3f} ms{suffix}"
+        )
+        for child in node.children:
+            _walk(child, depth + 1)
+
+    for root in roots:
+        _walk(root, 0)
+    return "\n".join(lines)
+
+
+# -- cluster-simulator bridge ---------------------------------------------
+
+
+def spans_from_cluster_trace(trace: "ClusterTrace") -> list[Span]:
+    """A simulated schedule as a span tree.
+
+    The run span covers the whole simulated makespan; the one-time data
+    distribution becomes a kernel span; each task record becomes a task
+    span on its worker's ``tid`` with its queue/compute split carried as
+    attributes.  Timestamps are *simulated* seconds on the simulator's
+    clock — the Chrome export shows the schedule exactly as
+    :func:`repro.cluster.trace.render_gantt` does, but zoomable.
+    """
+    spans: list[Span] = [
+        Span(
+            span_id=0,
+            name="simulated-run",
+            kind="run",
+            t0=0.0,
+            t1=trace.elapsed_seconds,
+            metrics={
+                "wall_seconds": trace.elapsed_seconds,
+                "tasks": float(len(trace.records)),
+                "calls": 1.0,
+            },
+            attrs={"n_workers": trace.n_workers, "simulated": True},
+        ),
+        Span(
+            span_id=1,
+            name="distribute-data",
+            kind="kernel",
+            t0=0.0,
+            t1=trace.distribution_seconds,
+            parent_id=0,
+            metrics={
+                "wall_seconds": trace.distribution_seconds,
+                "calls": 1.0,
+            },
+        ),
+    ]
+    next_id = 2
+    for record in trace.records:
+        spans.append(
+            Span(
+                span_id=next_id,
+                name=f"fold{record.fold}-task{record.task_index}",
+                kind="task",
+                t0=record.handout_start_s,
+                t1=record.finish_s,
+                parent_id=0,
+                thread=record.worker,
+                metrics={
+                    "wall_seconds": record.finish_s - record.handout_start_s,
+                    "sim_cycles": 0.0,
+                    "calls": 1.0,
+                },
+                attrs={
+                    "worker": record.worker,
+                    "fold": record.fold,
+                    "queue_seconds": record.queue_seconds,
+                    "compute_seconds": record.compute_seconds,
+                },
+            )
+        )
+        next_id += 1
+    return spans

@@ -1,0 +1,125 @@
+"""The typed metric vocabulary spans may carry.
+
+Every metric attached to a :class:`~repro.obs.span.Span` is a float
+keyed by a name from this registry.  The fixed vocabulary covers the
+paper's evaluation quantities (wall time, memory references / bytes
+moved, cache hits and misses, simulated cycles) plus pipeline progress
+counts (tasks, voxels, tiles, solver iterations); two open namespaces
+extend it without registration:
+
+* ``pc.<field>`` — a :class:`~repro.hw.counters.PerfCounters` field
+  (the paper's Table-1 vocabulary) attributed to the span;
+* ``ctr.<name>`` — a free-form run counter (plan-cache hits, ...)
+  mirrored from :meth:`repro.exec.context.RunContext.increment`.
+
+Exporters and the regression harness rely on :func:`is_timing_metric`
+to know which metrics are wall-clock-dependent (and therefore excluded
+from cross-executor trace equivalence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "MetricSpec",
+    "METRICS",
+    "WALL_SECONDS",
+    "SIM_CYCLES",
+    "CACHE_HITS",
+    "CACHE_MISSES",
+    "BYTES_MOVED",
+    "TASKS",
+    "VOXELS",
+    "TILES",
+    "ITERATIONS",
+    "CALLS",
+    "is_known_metric",
+    "is_timing_metric",
+    "validate_metric",
+]
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One registered metric: its key, unit, and meaning."""
+
+    name: str
+    unit: str
+    description: str
+    #: Wall-clock-dependent metrics differ between two otherwise
+    #: identical runs; structural trace comparison ignores them.
+    timing: bool = False
+
+
+#: Wall-clock seconds spent inside the span (set automatically on close).
+WALL_SECONDS = MetricSpec(
+    "wall_seconds", "s", "wall-clock seconds inside the span", timing=True
+)
+#: Simulated processor cycles (cache-model or cluster-simulator output).
+SIM_CYCLES = MetricSpec("sim_cycles", "cycles", "simulated processor cycles")
+#: Simulated cache hits attributed to the span.
+CACHE_HITS = MetricSpec("cache_hits", "count", "simulated cache hits")
+#: Simulated cache misses attributed to the span.
+CACHE_MISSES = MetricSpec("cache_misses", "count", "simulated cache misses")
+#: Bytes read plus written by the span's kernel(s).
+BYTES_MOVED = MetricSpec("bytes_moved", "bytes", "bytes read + written")
+#: Pipeline tasks completed inside the span.
+TASKS = MetricSpec("tasks", "count", "pipeline tasks processed")
+#: Assigned voxels processed inside the span.
+VOXELS = MetricSpec("voxels", "count", "assigned voxels processed")
+#: Stage-1/2 tiles (normalization sweeps) processed.
+TILES = MetricSpec("tiles", "count", "stage-1/2 tiles processed")
+#: Solver (SMO) working-set iterations performed.
+ITERATIONS = MetricSpec("iterations", "count", "solver iterations")
+#: Times the spanned operation ran (aggregation weight for merged spans).
+CALLS = MetricSpec("calls", "count", "number of calls aggregated")
+
+#: The closed part of the vocabulary, keyed by metric name.
+METRICS: dict[str, MetricSpec] = {
+    spec.name: spec
+    for spec in (
+        WALL_SECONDS,
+        SIM_CYCLES,
+        CACHE_HITS,
+        CACHE_MISSES,
+        BYTES_MOVED,
+        TASKS,
+        VOXELS,
+        TILES,
+        ITERATIONS,
+        CALLS,
+    )
+}
+
+#: Open namespaces: ``pc.`` (PerfCounters fields), ``ctr.`` (run counters).
+_OPEN_PREFIXES = ("pc.", "ctr.")
+
+
+def is_known_metric(name: str) -> bool:
+    """Whether ``name`` is registered or in an open namespace."""
+    return name in METRICS or name.startswith(_OPEN_PREFIXES)
+
+
+def is_timing_metric(name: str) -> bool:
+    """Whether the metric is wall-clock-dependent (see :class:`MetricSpec`)."""
+    spec = METRICS.get(name)
+    return spec.timing if spec is not None else False
+
+
+def validate_metric(name: str, value: float) -> float:
+    """Check a metric assignment; returns the value as ``float``.
+
+    Raises ``ValueError`` for unknown names (outside both the registry
+    and the open namespaces) and non-finite values — catching typos at
+    the recording site instead of at export time.
+    """
+    if not is_known_metric(name):
+        raise ValueError(
+            f"unknown metric {name!r}; register it in repro.obs.metrics or "
+            f"use the pc./ctr. namespaces"
+        )
+    value = float(value)
+    if value != value or value in (float("inf"), float("-inf")):
+        raise ValueError(f"metric {name!r} must be finite, got {value!r}")
+    return value

@@ -1,0 +1,73 @@
+"""The ambient tracer: how deep kernels find the active trace.
+
+The SMO solvers, the batched correlation engine, and the cluster
+simulator sit several call layers below anything that holds a
+:class:`~repro.exec.context.RunContext`.  Rather than threading a
+tracer through every signature, the innermost open span's tracer is
+installed in a :class:`contextvars.ContextVar` (set/reset by
+:class:`~repro.obs.tracer.SpanHandle`); kernels open child spans via
+:func:`kernel_span`, which no-ops — one context-variable read — when
+nothing is tracing.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar, Token
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .span import Span
+    from .tracer import Tracer
+
+__all__ = ["current_tracer", "use_tracer", "kernel_span"]
+
+_AMBIENT: "ContextVar[Tracer | None]" = ContextVar(
+    "repro_obs_tracer", default=None
+)
+
+
+def _install(tracer: "Tracer") -> "Token[Tracer | None]":
+    return _AMBIENT.set(tracer)
+
+
+def _uninstall(token: "Token[Tracer | None] | None") -> None:
+    if token is not None:
+        _AMBIENT.reset(token)
+
+
+def current_tracer() -> "Tracer | None":
+    """The tracer of the innermost open span, if any."""
+    return _AMBIENT.get()
+
+
+@contextmanager
+def use_tracer(tracer: "Tracer") -> "Iterator[Tracer]":
+    """Explicitly install ``tracer`` as ambient for a block.
+
+    Tests (and library embedders without a RunContext) use this to
+    capture kernel spans from code they call directly.
+    """
+    token = _install(tracer)
+    try:
+        yield tracer
+    finally:
+        _uninstall(token)
+
+
+@contextmanager
+def kernel_span(
+    name: str, attrs: Mapping[str, Any] | None = None
+) -> "Iterator[Span | None]":
+    """Open a kernel span on the ambient tracer (no-op when none).
+
+    Yields the live :class:`~repro.obs.span.Span` so the kernel can
+    attach metrics, or ``None`` when no tracer is ambient — callers
+    guard metric writes with ``if span is not None``.
+    """
+    tracer = _AMBIENT.get()
+    if tracer is None or not tracer.enabled:
+        yield None
+        return
+    with tracer.span(name, kind="kernel", attrs=attrs) as span:
+        yield span

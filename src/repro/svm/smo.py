@@ -20,11 +20,13 @@ through an LRU cache, as LibSVM itself does).
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import Protocol, runtime_checkable
+from typing import Any, Callable, Protocol, TypeVar, runtime_checkable
 
 import numpy as np
 
+from ..obs.runtime import kernel_span
 from .heuristics import SelectionState, WorkingSetSelector, SecondOrderSelector
 
 __all__ = [
@@ -39,6 +41,33 @@ __all__ = [
 #: Lower bound used in place of a non-positive second derivative
 #: (LibSVM's TAU).
 _TAU = 1e-12
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+
+def _traced(
+    name: str, metrics: Callable[[Any], dict[str, float]]
+) -> Callable[[_F], _F]:
+    """Record a solve as a kernel span on the ambient tracer, if any.
+
+    The span only exists when a :class:`~repro.obs.tracer.Tracer` is
+    ambient (i.e. the solve runs under an open run/task span), so
+    library callers pay nothing.
+    """
+
+    def deco(fn: _F) -> _F:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            with kernel_span(name) as span:
+                result = fn(*args, **kwargs)
+                if span is not None:
+                    for mname, value in metrics(result).items():
+                        span.add_metric(mname, value)
+                return result
+
+        return wrapper  # type: ignore[return-value]
+
+    return deco
 
 
 @runtime_checkable
@@ -129,6 +158,7 @@ def _calculate_rho(
     return (ub + lb) / 2.0
 
 
+@_traced("smo.solve", lambda r: {"iterations": float(r.iterations)})
 def solve_smo(
     kernel: np.ndarray | KernelOracle,
     y: np.ndarray,
@@ -430,6 +460,13 @@ class _BatchAdaptivePhases:
         self._gap_start = gap.copy()
 
 
+@_traced(
+    "smo.solve_batch",
+    lambda r: {
+        "iterations": float(r.iterations.sum()),
+        "voxels": float(r.alpha.shape[0]),
+    },
+)
 def solve_smo_batch(
     kernels: np.ndarray,
     y: np.ndarray,

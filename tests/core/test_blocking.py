@@ -155,6 +155,73 @@ class TestPlanCache:
         path.write_text('{"version": 1, "plans": {"k": {"voxel_block": 0}}}')
         assert len(PlanCache(path)) == 0  # invalid entry skipped
 
+    def test_flush_merges_other_writers_entries(self, tmp_path):
+        """Two caches on one file must not drop each other's winners.
+
+        The regression: the old flush rewrote the file from the local
+        dict only, so whichever process flushed last erased everything
+        the other had persisted.
+        """
+        from repro.core.blocking import PlanCache
+
+        path = tmp_path / "plans.json"
+        a = PlanCache(path)
+        b = PlanCache(path)
+        a.put("a-key", BlockingPlan(2, 64, 8))
+        b.put("b-key", BlockingPlan(4, 128, 12))
+        reloaded = PlanCache(path)
+        assert reloaded.get("a-key") == BlockingPlan(2, 64, 8)
+        assert reloaded.get("b-key") == BlockingPlan(4, 128, 12)
+
+    def test_concurrent_writers_never_corrupt_the_file(self, tmp_path):
+        """Hammer one cache file from many threads: the file must parse
+        as valid JSON at every instant (unique temp file + atomic
+        rename) and every writer keeps its own keys in memory.
+
+        The old fixed ``.tmp`` temp path let two writers interleave
+        write and rename and publish a torn or stale file, which a
+        third run would then silently treat as an empty cache.
+        """
+        import json
+        import threading
+
+        from repro.core.blocking import PlanCache
+
+        path = tmp_path / "plans.json"
+        n_threads, n_keys = 8, 10
+        barrier = threading.Barrier(n_threads)
+        errors: list[Exception] = []
+        caches: dict[int, PlanCache] = {}
+
+        def writer(rank: int) -> None:
+            cache = caches[rank] = PlanCache(path)
+            barrier.wait()
+            try:
+                for i in range(n_keys):
+                    cache.put(f"t{rank}-k{i}", BlockingPlan(1 + rank, 64, 8))
+                    # The file must parse at every instant in between.
+                    json.loads(path.read_text())
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(r,))
+            for r in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # Own keys never vanish from a writer's view, whatever the
+        # interleaving; the final file is valid and non-empty.
+        for rank, cache in caches.items():
+            for i in range(n_keys):
+                assert cache.get(f"t{rank}-k{i}") is not None
+        final = PlanCache(path)
+        assert len(final) > 0
+        assert not list(tmp_path.glob("*.tmp")), "temp files left behind"
+
 
 class TestAutotune:
     def _measure_counter(self, winner_block):

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.correlation import (
     correlate_baseline,
@@ -21,6 +23,7 @@ from repro.core.correlation import (
     normalize_epoch_data,
 )
 from repro.core.normalization import normalize_separated
+from repro.obs import Tracer, use_tracer
 
 # (n_epochs, n_voxels, epoch_len, n_assigned, voxel_block, target_block,
 #  epochs_per_subject) — deliberately awkward shapes: n_voxels not
@@ -93,3 +96,70 @@ class TestFusedStage12Equivalence:
             correlate_normalize_batched(z, assigned, 4)
         with pytest.raises(ValueError, match=">= 1"):
             correlate_normalize_batched(z, assigned, 0)
+
+
+# -- property-based sweep over random ragged shapes -----------------------
+
+@st.composite
+def _random_problem(draw):
+    """A random, usually awkward, stage-1/2 problem shape.
+
+    Shapes hypothesis explores here include every edge the hand-picked
+    ``SHAPES`` list pins — single voxels, single subjects, prime
+    dimensions, sweep widths that do not divide the voxel count — plus
+    whatever else shrinks out of the search.
+    """
+    eps = draw(st.integers(1, 5))
+    n_subjects = draw(st.integers(1, 4))
+    epoch_len = draw(st.integers(2, 12))
+    n_voxels = draw(st.integers(1, 40))
+    n_assigned = draw(st.integers(1, n_voxels))
+    sweep = draw(st.one_of(st.none(), st.integers(1, 2 * n_assigned)))
+    seed = draw(st.integers(0, 2**16 - 1))
+    return eps * n_subjects, n_voxels, epoch_len, n_assigned, eps, sweep, seed
+
+
+class TestPropertyBasedEquivalence:
+    """Random-shape equivalence, executed under an ambient tracer.
+
+    Running inside ``use_tracer`` pins a second property at zero extra
+    cost: tracing must never perturb numerics — every path produces the
+    same bits with and without a tracer installed.
+    """
+
+    @settings(max_examples=40, deadline=None)
+    @given(_random_problem())
+    def test_fused_bitwise_equals_separated(self, params):
+        n_epochs, n_voxels, epoch_len, n_assigned, eps, sweep, seed = params
+        z, assigned = _problem(n_epochs, n_voxels, epoch_len, n_assigned, seed)
+        untraced, untraced_tiles = correlate_normalize_batched(
+            z, assigned, eps, voxel_sweep=sweep
+        )
+        with use_tracer(Tracer()):
+            reference = normalize_separated(
+                correlate_batched(z, assigned), eps
+            )
+            fused, n_tiles = correlate_normalize_batched(
+                z, assigned, eps, voxel_sweep=sweep
+            )
+        assert fused.tobytes() == reference.tobytes()
+        assert fused.tobytes() == untraced.tobytes()
+        effective = min(sweep or n_assigned, n_assigned)
+        assert n_tiles == untraced_tiles == -(-n_assigned // effective)
+
+    @settings(max_examples=40, deadline=None)
+    @given(_random_problem())
+    def test_batched_matches_baseline_correlation(self, params):
+        n_epochs, n_voxels, epoch_len, n_assigned, eps, _sweep, seed = params
+        z, assigned = _problem(n_epochs, n_voxels, epoch_len, n_assigned, seed)
+        base = correlate_baseline(z, assigned)
+        with use_tracer(Tracer()):
+            batched = correlate_batched(z, assigned)
+            reference = correlate_blocked_reference(
+                z, assigned,
+                voxel_block=max(1, n_assigned // 2),
+                target_block=max(1, n_voxels // 3),
+                epoch_block=eps,
+            )
+        np.testing.assert_allclose(batched, base, atol=3e-7, rtol=0)
+        np.testing.assert_allclose(reference, base, atol=3e-7, rtol=0)

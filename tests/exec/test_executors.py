@@ -12,6 +12,7 @@ import pytest
 
 from repro.core import FCMAConfig
 from repro.exec.context import RunContext
+from repro.obs import TIMING_METRICS, assert_same_structure, span_structure
 from repro.exec.executors import (
     EXECUTOR_NAMES,
     Executor,
@@ -29,7 +30,9 @@ def _make(name: str) -> Executor:
 
 class TestCrossExecutorEquivalence:
     @pytest.mark.parametrize("name", ["pool", "master-worker"])
-    @pytest.mark.parametrize("variant", ["baseline", "optimized"])
+    @pytest.mark.parametrize(
+        "variant", ["baseline", "optimized", "optimized-batched"]
+    )
     def test_bitwise_identical_to_serial(
         self, tiny_dataset, name, variant
     ):
@@ -54,6 +57,90 @@ class TestCrossExecutorEquivalence:
         np.testing.assert_array_equal(reference.voxels, scores.voxels)
         np.testing.assert_array_equal(reference.accuracies, scores.accuracies)
         assert set(scores.voxels) == set(voxels.tolist())
+
+
+class TestTraceEquivalence:
+    """Executors must record the *same dataflow*, not just the same
+    scores: identical span trees modulo timing, thread ids, and
+    per-process environment state."""
+
+    # Plan-cache state is per process: the serial run warms one cache
+    # for every task while each pool worker starts cold, so hit/miss
+    # counts (and the per-call cache_hits/cache_misses deltas on the
+    # plan_blocks kernel) legitimately differ between executors.
+    IGNORED_METRICS = frozenset(TIMING_METRICS) | {
+        "cache_hits",
+        "cache_misses",
+        "ctr.plan_cache_hits",
+        "ctr.plan_cache_misses",
+    }
+
+    @staticmethod
+    def _run(name: str, dataset, config):
+        ctx = RunContext(config, seed=0)
+        executor = (
+            SerialExecutor() if name == "serial" else _make(name)
+        )
+        executor.run(dataset, ctx)
+        return ctx
+
+    @staticmethod
+    def _task_forest(ctx):
+        """The per-task spans only: drops the run root (executor-specific
+        attrs) and the master-worker's predicted-schedule replay, which
+        serial runs legitimately lack."""
+        return [
+            s for s in ctx.tracer.spans()
+            if s.kind != "run" and s.name != "cluster.simulate"
+        ]
+
+    @pytest.mark.parametrize("name", ["pool", "master-worker"])
+    @pytest.mark.parametrize("variant", ["optimized", "optimized-batched"])
+    def test_task_spans_match_serial(self, tiny_dataset, name, variant):
+        config = FCMAConfig(
+            variant=variant, task_voxels=16, voxel_block=8, target_block=32
+        )
+        reference = self._run("serial", tiny_dataset, config)
+        ctx = self._run(name, tiny_dataset, config)
+        assert_same_structure(
+            self._task_forest(reference),
+            self._task_forest(ctx),
+            ignore_metrics=self.IGNORED_METRICS,
+        )
+
+    def test_pool_full_trace_matches_serial(self, tiny_dataset):
+        """The pool's whole tree — run span included — matches serial:
+        worker task spans re-root under the master's run span."""
+        config = FCMAConfig(
+            variant="optimized-batched",
+            task_voxels=16, voxel_block=8, target_block=32,
+        )
+        reference = self._run("serial", tiny_dataset, config)
+        ctx = self._run("pool", tiny_dataset, config)
+        assert span_structure(
+            reference.tracer.spans(), ignore_metrics=self.IGNORED_METRICS
+        ) == span_structure(
+            ctx.tracer.spans(), ignore_metrics=self.IGNORED_METRICS
+        )
+
+    def test_different_dataflow_is_detected(self, tiny_dataset):
+        """The comparison is not vacuous: two variants differ."""
+        ref = self._run(
+            "serial", tiny_dataset,
+            FCMAConfig(variant="optimized", task_voxels=16,
+                       voxel_block=8, target_block=32),
+        )
+        other = self._run(
+            "serial", tiny_dataset,
+            FCMAConfig(variant="optimized-batched", task_voxels=16,
+                       voxel_block=8, target_block=32),
+        )
+        with pytest.raises(AssertionError):
+            assert_same_structure(
+                self._task_forest(ref),
+                self._task_forest(other),
+                ignore_metrics=self.IGNORED_METRICS,
+            )
 
 
 class TestTelemetry:

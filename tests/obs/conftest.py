@@ -1,0 +1,34 @@
+"""Shared obs fixtures: the deterministic fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Tracer
+
+
+class FakeClock:
+    """Monotonic fake clock: every read advances by ``step`` seconds.
+
+    Deterministic spans — every open/close pair is exactly one step
+    wide — so trace tests assert exact durations and timestamps.
+    """
+
+    def __init__(self, step: float = 1.0, start: float = 0.0) -> None:
+        self.step = step
+        self.now = start
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+@pytest.fixture()
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture()
+def tracer(clock: FakeClock) -> Tracer:
+    return Tracer(clock=clock)
