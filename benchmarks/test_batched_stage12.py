@@ -7,11 +7,11 @@ fused engine replaces all of that with one epoch-batched 3D gemm and an
 L2-sized voxel sweep of the vectorized normalizer, with the sweep width
 chosen by the autotuned blocking planner.  This bench times both on the
 face-scene-scaled task geometry, asserts the committed >= 3x speedup
-floor, verifies the outputs agree, and records the measurement in
-``BENCH_stage12.json`` at the repo root so regressions are diffable.
+floor, verifies the outputs agree, and records the measurement through
+the benchmark history registry (plus the legacy ``BENCH_stage12.json``
+mirror at the repo root) so regressions are diffable and checkable.
 """
 
-import json
 import time
 from pathlib import Path
 
@@ -67,7 +67,8 @@ def tuned_sweep(stage12_task):
 
 class TestBatchedStage12:
     def test_fused_beats_blocked_callback_3x(
-        self, benchmark, stage12_task, tuned_sweep, save_table
+        self, benchmark, stage12_task, tuned_sweep, save_table,
+        record_benchmark,
     ):
         z, assigned = stage12_task
 
@@ -154,7 +155,7 @@ class TestBatchedStage12:
             "speedup": round(speedup, 2),
             "floor": SPEEDUP_FLOOR,
         }
-        BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+        record_benchmark("bench_stage12", record, BENCH_JSON)
         save_table(
             "batched_stage12",
             f"fused batched stage 1/2: {speedup:.1f}x over blocked+callback "

@@ -5,11 +5,11 @@ and cross-validates the whole block through the multi-problem SMO
 solver, paying the Python-interpreter cost of an SMO iteration once per
 *sweep* instead of once per voxel.  This bench times both drivers on the
 face-scene-scaled task geometry, asserts the committed >= 3x speedup
-floor, verifies score equality, and records the measurement in
-``BENCH_stage3.json`` at the repo root so regressions are diffable.
+floor, verifies score equality, and records the measurement through the
+benchmark history registry (plus the legacy ``BENCH_stage3.json`` mirror
+at the repo root) so regressions are diffable and checkable.
 """
 
-import json
 import time
 from pathlib import Path
 
@@ -39,7 +39,9 @@ def stage3_task():
 
 
 class TestBatchedStage3:
-    def test_batched_beats_reference_3x(self, benchmark, stage3_task, save_table):
+    def test_batched_beats_reference_3x(
+        self, benchmark, stage3_task, save_table, record_benchmark
+    ):
         corr, ids, labels, folds = stage3_task
         svm = PhiSVM()
 
@@ -79,7 +81,7 @@ class TestBatchedStage3:
             "speedup": round(speedup, 2),
             "floor": SPEEDUP_FLOOR,
         }
-        BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+        record_benchmark("bench_stage3", record, BENCH_JSON)
         save_table(
             "batched_stage3",
             f"batched stage 3: {speedup:.1f}x over per-voxel "

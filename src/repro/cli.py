@@ -10,6 +10,10 @@ Commands
 ``report``    the paper's Table-1 style instrumentation report
 ``simulate``  cluster scaling simulation (Tables 3-4 / Fig. 8 style)
 ``trace``     inspect or convert a span trace written by ``run --trace``
+``perf``      the performance observatory: record runs into the
+              benchmark history, check for drift, render
+              predicted-vs-measured and roofline reports, and gate
+              model calibration against the paper's numbers
 """
 
 from __future__ import annotations
@@ -75,6 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
                      default="jsonl",
                      help="trace file format: JSON-lines span records or "
                           "a Chrome trace_event file for chrome://tracing")
+    run.add_argument("--history", default=None, metavar="PATH",
+                     help="append this run's metrics to the benchmark "
+                          "history registry at PATH (JSON-lines)")
+    run.add_argument("--history-name", default="fcma-run", metavar="NAME",
+                     help="series name the history record is filed under")
 
     sel = sub.add_parser("select", help="run voxel selection on a dataset")
     sel.add_argument("dataset", help="input .npz dataset")
@@ -138,6 +147,100 @@ def build_parser() -> argparse.ArgumentParser:
                      help="tree view: clip spans deeper than this")
     trc.add_argument("--output", default=None, metavar="PATH",
                      help="write the view here instead of stdout")
+
+    perf = sub.add_parser(
+        "perf", help="performance observatory (history, drift, reports)"
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+
+    def _add_history_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--history", default=None, metavar="PATH",
+                       help="history registry path (default: "
+                            "benchmarks/results/history.jsonl, or "
+                            "$FCMA_HISTORY_PATH)")
+        p.add_argument("--name", default="fcma-run", metavar="NAME",
+                       help="series name in the registry")
+
+    def _add_run_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--variant",
+                       choices=["optimized", "baseline", "optimized-batched"],
+                       default="optimized-batched")
+        p.add_argument("--task-voxels", type=int, default=120)
+        p.add_argument("--machine", choices=["phi", "xeon", "knl"],
+                       default="xeon",
+                       help="machine model used for counter enrichment")
+
+    rec = perf_sub.add_parser(
+        "record",
+        help="run a dataset (serial), enrich the trace with model "
+             "predictions, and append a record to the history registry",
+    )
+    rec.add_argument("dataset", nargs="?", default=None,
+                     help="input .npz dataset (omit with --ingest)")
+    _add_history_opts(rec)
+    _add_run_opts(rec)
+    rec.add_argument("--trace", default=None, metavar="PATH",
+                     help="also write the enriched span trace to PATH")
+    rec.add_argument("--ingest", default=None, metavar="BENCH_JSON",
+                     help="instead of running: ingest a legacy "
+                          "BENCH_*.json blob into the registry")
+    rec.add_argument("--json", action="store_true",
+                     help="emit the appended record as JSON")
+
+    chk = perf_sub.add_parser(
+        "check",
+        help="judge a run against the recorded history; exits 1 on "
+             "drift, 2 when nothing was checkable",
+    )
+    chk.add_argument("dataset", nargs="?", default=None,
+                     help="dataset to run and check (omit with --latest)")
+    _add_history_opts(chk)
+    _add_run_opts(chk)
+    chk.add_argument("--latest", action="store_true",
+                     help="check the registry's newest record of the "
+                          "series against the rest instead of running")
+    chk.add_argument("--timing-tolerance", type=float, default=None,
+                     help="relative band for wall-clock metrics "
+                          "(default 0.5)")
+    chk.add_argument("--exact-tolerance", type=float, default=None,
+                     help="relative band for deterministic metrics "
+                          "(default 1e-6)")
+    chk.add_argument("--timing-slack", type=float, default=None,
+                     metavar="SECONDS",
+                     help="absolute delta under which seconds-valued "
+                          "timing metrics always pass (default 0.01)")
+    chk.add_argument("--min-history", type=int, default=1,
+                     help="comparable observations required per metric")
+
+    prep = perf_sub.add_parser(
+        "report",
+        help="predicted-vs-measured + roofline report from a trace file",
+    )
+    prep.add_argument("trace_file",
+                      help="JSON-lines trace (run --trace / perf record "
+                           "--trace); enriched on the fly if needed")
+    prep.add_argument("--machine", choices=["phi", "xeon", "knl"],
+                      default="xeon")
+
+    hist = perf_sub.add_parser(
+        "history", help="list records in the history registry"
+    )
+    hist.add_argument("--history", default=None, metavar="PATH")
+    hist.add_argument("--name", default=None, metavar="NAME",
+                      help="restrict to one series")
+    hist.add_argument("--limit", type=int, default=None,
+                      help="show only the newest N records")
+    hist.add_argument("--json", action="store_true",
+                      help="emit the records as JSON lines")
+
+    cal = perf_sub.add_parser(
+        "calibrate",
+        help="check model calibration against the paper's published "
+             "tables; exits 1 on drift",
+    )
+    cal.add_argument("--tolerance", type=float, default=1.0,
+                     help="uniform scale on every tolerance band "
+                          "(1.0 = defaults)")
     return parser
 
 
@@ -213,14 +316,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
     top = scores.top(args.top)
 
     trace_info = None
+    history_path = None
+    spans = ctx.tracer.spans()
+    if args.trace or args.history:
+        # Attach model predictions (pc.* counters, predicted_seconds,
+        # predicted_gflops) to the kernel spans before they leave the
+        # process; the trace file then carries measured-vs-predicted.
+        from .obs.perf import enrich_spans
+
+        enrich_spans(spans)
     if args.trace:
-        n_spans = _write_trace(ctx.tracer.spans(), args.trace,
-                               args.trace_format)
+        n_spans = _write_trace(spans, args.trace, args.trace_format)
         trace_info = {
             "path": args.trace,
             "format": args.trace_format,
             "n_spans": n_spans,
         }
+    if args.history:
+        from .obs.perf import (
+            HistoryRegistry,
+            config_fingerprint,
+            record_from_trace,
+        )
+
+        record = record_from_trace(
+            spans,
+            args.history_name,
+            config_hash=config_fingerprint(config),
+            attrs={"executor": args.executor},
+        )
+        history_path = str(HistoryRegistry(args.history).append(record))
 
     if args.json:
         report = ctx.timing_report()
@@ -232,6 +357,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ]
         if trace_info is not None:
             report["trace"] = trace_info
+        if history_path is not None:
+            report["history"] = {
+                "path": history_path,
+                "name": args.history_name,
+            }
         print(json.dumps(report, indent=2))
         return 0
 
@@ -253,6 +383,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if trace_info is not None:
         print(f"trace: {trace_info['n_spans']} spans "
               f"({trace_info['format']}) -> {trace_info['path']}")
+    if history_path is not None:
+        print(f"history: appended '{args.history_name}' -> {history_path}")
     return 0
 
 
@@ -413,6 +545,172 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _perf_run_record(args: argparse.Namespace):
+    """Run a dataset serially, enrich the trace, build a history record."""
+    from .core import FCMAConfig
+    from .data import load_dataset
+    from .exec import RunContext, make_executor
+    from .obs.perf import config_fingerprint, enrich_spans, record_from_trace
+
+    dataset = load_dataset(args.dataset)
+    config = FCMAConfig(variant=args.variant, task_voxels=args.task_voxels)
+    ctx = RunContext(config)
+    make_executor("serial").run(dataset, ctx)
+    spans = ctx.tracer.spans()
+    enrich_spans(spans, hw=_machine_for(args.machine))
+    record = record_from_trace(
+        spans,
+        args.name,
+        config_hash=config_fingerprint(config, {"machine": args.machine}),
+        attrs={"machine_model": args.machine},
+    )
+    return record, spans
+
+
+def _cmd_perf_record(args: argparse.Namespace) -> int:
+    from .obs.perf import HistoryRegistry, ingest_legacy_bench
+
+    registry = HistoryRegistry(args.history)
+    if args.ingest:
+        record = ingest_legacy_bench(args.ingest)
+    elif args.dataset:
+        record, spans = _perf_run_record(args)
+        if args.trace:
+            n_spans = _write_trace(spans, args.trace, "jsonl")
+            print(f"trace: {n_spans} spans -> {args.trace}", file=sys.stderr)
+    else:
+        print("perf record: need a dataset or --ingest", file=sys.stderr)
+        return 2
+    path = registry.append(record)
+    if args.json:
+        print(json.dumps(record.to_dict(), indent=2))
+    else:
+        print(f"recorded '{record.name}' ({len(record.metrics)} metrics, "
+              f"sha {record.git_sha[:12]}, machine {record.machine_id}) "
+              f"-> {path}")
+    return 0
+
+
+def _cmd_perf_check(args: argparse.Namespace) -> int:
+    from .obs.perf import (
+        DEFAULT_EXACT_TOLERANCE,
+        DEFAULT_TIMING_SLACK_SECONDS,
+        DEFAULT_TIMING_TOLERANCE,
+        HistoryRegistry,
+        check_record,
+    )
+
+    registry = HistoryRegistry(args.history)
+    if args.latest:
+        records = registry.records(args.name)
+        if not records:
+            print(f"perf check: no '{args.name}' records in "
+                  f"{registry.path}", file=sys.stderr)
+            return 2
+        current, history = records[-1], records[:-1]
+    elif args.dataset:
+        current, _ = _perf_run_record(args)
+        history = registry.records(args.name)
+    else:
+        print("perf check: need a dataset or --latest", file=sys.stderr)
+        return 2
+
+    report = check_record(
+        current,
+        history,
+        timing_tolerance=(
+            DEFAULT_TIMING_TOLERANCE
+            if args.timing_tolerance is None
+            else args.timing_tolerance
+        ),
+        exact_tolerance=(
+            DEFAULT_EXACT_TOLERANCE
+            if args.exact_tolerance is None
+            else args.exact_tolerance
+        ),
+        timing_slack_seconds=(
+            DEFAULT_TIMING_SLACK_SECONDS
+            if args.timing_slack is None
+            else args.timing_slack
+        ),
+        min_history=args.min_history,
+    )
+    print(report.summary())
+    for finding in report.findings:
+        if not finding.ok:
+            kind = "timing" if finding.timing else "deterministic"
+            print(f"  DRIFT {finding.metric}: {finding.current:.6g} vs "
+                  f"median {finding.baseline:.6g} over {finding.n_history} "
+                  f"records ({kind}, deviation {finding.deviation:.1%} > "
+                  f"±{finding.tolerance:.1%})")
+    known_hashes = {r.config_hash for r in history if r.config_hash}
+    if current.config_hash and known_hashes and (
+        current.config_hash not in known_hashes
+    ):
+        print(f"  note: config hash {current.config_hash} not seen in "
+              f"history ({len(known_hashes)} known) — deltas may reflect "
+              f"a config change, not a regression")
+    if report.checked == 0:
+        print("  nothing checkable against history "
+              "(fresh series or all-foreign machines)", file=sys.stderr)
+        return 2
+    return 0 if report.ok else 1
+
+
+def _cmd_perf_report(args: argparse.Namespace) -> int:
+    from .obs import read_jsonl
+    from .obs.perf import enrich_spans, format_perf_report
+
+    try:
+        spans = read_jsonl(args.trace_file)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    hw = _machine_for(args.machine)
+    enrich_spans(spans, hw=hw)  # no-op on already-enriched traces
+    print(format_perf_report(spans, hw))
+    return 0
+
+
+def _cmd_perf_history(args: argparse.Namespace) -> int:
+    from .obs.perf import HistoryRegistry
+
+    registry = HistoryRegistry(args.history)
+    records = registry.records(args.name)
+    if args.limit is not None:
+        records = records[-args.limit:]
+    if args.json:
+        for record in records:
+            print(json.dumps(record.to_dict(), sort_keys=True))
+        return 0
+    if not records:
+        print(f"no records in {registry.path}"
+              + (f" for series '{args.name}'" if args.name else ""))
+        return 0
+    print(f"{len(records)} record(s) in {registry.path}:")
+    for record in records:
+        print(f"  {record.timestamp}  {record.git_sha[:12]:<12} "
+              f"{record.machine_id}  {record.name:<24} "
+              f"{len(record.metrics)} metrics")
+    return 0
+
+
+def _cmd_perf_calibrate(args: argparse.Namespace) -> int:
+    from .obs.perf import run_calibration
+
+    return run_calibration(args.tolerance)
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    return {
+        "record": _cmd_perf_record,
+        "check": _cmd_perf_check,
+        "report": _cmd_perf_report,
+        "history": _cmd_perf_history,
+        "calibrate": _cmd_perf_calibrate,
+    }[args.perf_command](args)
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "run": _cmd_run,
@@ -423,6 +721,7 @@ _COMMANDS = {
     "reproduce": _cmd_reproduce,
     "simulate": _cmd_simulate,
     "trace": _cmd_trace,
+    "perf": _cmd_perf,
 }
 
 

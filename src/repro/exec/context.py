@@ -148,17 +148,34 @@ class RunContext:
             span_cm.__exit__(None, None, None)
             handle.seconds = span.duration
 
-    def run_span(self, executor: str) -> ContextManager[Span | None]:
+    def run_span(
+        self, executor: str, dataset: Any = None
+    ) -> ContextManager[Span | None]:
         """The root ``run`` span an executor wraps its whole run in.
 
         No-op (yields ``None``) if a run span is already open on the
         calling thread, so executors that delegate to one another —
         e.g. the pool's single-worker fallback to the serial path —
         do not nest a second root.
+
+        When the executor passes the dataset it is running, the span
+        carries the dataset *geometry* (voxels, subjects, epochs, epoch
+        length) and the pipeline variant as attributes, so a trace file
+        alone is enough for the performance observatory
+        (:mod:`repro.obs.perf`) to recompute model predictions.
         """
         if "run" in self.tracer.open_kinds():
             return nullcontext(None)
-        return self.tracer.span("run", kind="run", attrs={"executor": executor})
+        attrs: dict[str, Any] = {"executor": executor}
+        attrs["variant"] = getattr(self.config, "variant", None)
+        attrs["task_voxels"] = getattr(self.config, "task_voxels", None)
+        if dataset is not None:
+            attrs["dataset"] = getattr(dataset, "name", None)
+            for key in ("n_voxels", "n_subjects", "n_epochs", "epoch_length"):
+                value = getattr(dataset, key, None)
+                if value is not None:
+                    attrs[key] = int(value)
+        return self.tracer.span("run", kind="run", attrs=attrs)
 
     def task_span(self, n_voxels: int, first_voxel: int) -> ContextManager[Span]:
         """The per-task span :func:`~repro.exec.stage_graph.execute_task`

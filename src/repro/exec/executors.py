@@ -94,7 +94,7 @@ class SerialExecutor:
         ctx: RunContext,
         voxels: NDArray[Any] | None = None,
     ) -> VoxelScores:
-        with ctx.run_span(self.name):
+        with ctx.run_span(self.name, dataset):
             t0 = time.perf_counter()
             tasks = _task_stream(dataset, ctx, voxels)
             parts = [execute_task(dataset, task, ctx) for task in tasks]
@@ -160,7 +160,7 @@ class ProcessPoolExecutor:
         ctx: RunContext,
         voxels: NDArray[Any] | None = None,
     ) -> VoxelScores:
-        with ctx.run_span(self.name):
+        with ctx.run_span(self.name, dataset):
             t0 = time.perf_counter()
             n_workers = self.n_workers or os.cpu_count() or 1
             tasks = _task_stream(dataset, ctx, voxels)
@@ -233,7 +233,7 @@ class MasterWorkerExecutor:
     ) -> VoxelScores:
         from ..parallel.master_worker import _master_loop, _worker_loop
 
-        with ctx.run_span(self.name):
+        with ctx.run_span(self.name, dataset):
             t0 = time.perf_counter()
             tasks = _task_stream(dataset, ctx, voxels)
             # Per-rank contexts keep the hot path lock-free; merged below.

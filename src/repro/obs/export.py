@@ -113,10 +113,28 @@ def to_chrome_trace(spans: Iterable[Span]) -> dict[str, Any]:
     microsecond timestamps; span ids, parent links, exact float
     start/end seconds, metrics, and attrs travel in ``args`` so
     :func:`from_chrome_trace` rebuilds the identical tree.
+
+    Counter metrics — the ``pc.`` (modeled hardware counters) and
+    ``ctr.`` (run counters) namespaces, plus the observatory's
+    ``predicted_*`` predictions — are *additionally* flattened to
+    top-level ``args`` keys, which is where ``chrome://tracing`` and
+    Perfetto surface slice properties; the nested ``metrics`` dict
+    stays authoritative for the round trip.
     """
     events: list[dict[str, Any]] = []
     for span in spans:
         t1 = span.t1 if span.t1 is not None else span.t0
+        args: dict[str, Any] = {
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "t0_s": span.t0,
+            "t1_s": span.t1,
+            "metrics": dict(span.metrics),
+            "attrs": dict(span.attrs),
+        }
+        for mname, value in span.metrics.items():
+            if mname.startswith(("pc.", "ctr.", "predicted_")):
+                args[mname] = value
         events.append(
             {
                 "name": span.name,
@@ -126,14 +144,7 @@ def to_chrome_trace(spans: Iterable[Span]) -> dict[str, Any]:
                 "dur": (t1 - span.t0) * 1e6,
                 "pid": 0,
                 "tid": span.thread,
-                "args": {
-                    "span_id": span.span_id,
-                    "parent_id": span.parent_id,
-                    "t0_s": span.t0,
-                    "t1_s": span.t1,
-                    "metrics": dict(span.metrics),
-                    "attrs": dict(span.attrs),
-                },
+                "args": args,
             }
         )
     return {

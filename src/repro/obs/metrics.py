@@ -34,6 +34,8 @@ __all__ = [
     "TILES",
     "ITERATIONS",
     "CALLS",
+    "PREDICTED_SECONDS",
+    "PREDICTED_GFLOPS",
     "is_known_metric",
     "is_timing_metric",
     "validate_metric",
@@ -74,6 +76,17 @@ TILES = MetricSpec("tiles", "count", "stage-1/2 tiles processed")
 ITERATIONS = MetricSpec("iterations", "count", "solver iterations")
 #: Times the spanned operation ran (aggregation weight for merged spans).
 CALLS = MetricSpec("calls", "count", "number of calls aggregated")
+#: Model-predicted elapsed seconds for the spanned kernel (attached by
+#: the performance observatory, :mod:`repro.obs.perf`).  Deterministic
+#: given geometry + machine spec, so *not* a timing metric: two enriched
+#: runs of the same pipeline must predict identically.
+PREDICTED_SECONDS = MetricSpec(
+    "predicted_seconds", "s", "model-predicted elapsed seconds"
+)
+#: Model-predicted GFLOPS at the predicted time (same provenance).
+PREDICTED_GFLOPS = MetricSpec(
+    "predicted_gflops", "GFLOPS", "model-predicted achieved GFLOPS"
+)
 
 #: The closed part of the vocabulary, keyed by metric name.
 METRICS: dict[str, MetricSpec] = {
@@ -89,6 +102,8 @@ METRICS: dict[str, MetricSpec] = {
         TILES,
         ITERATIONS,
         CALLS,
+        PREDICTED_SECONDS,
+        PREDICTED_GFLOPS,
     )
 }
 

@@ -1,0 +1,135 @@
+"""Human-readable predicted-vs-measured reports from enriched traces.
+
+One enriched trace file (``fcma run --trace`` + :func:`enrich_spans`,
+or ``fcma perf record --trace``) carries everything the paper's
+per-kernel evaluation tables need: measured wall time, model-predicted
+time, modeled memory references / L2 misses, and GFLOPS.  This module
+renders that into the ``fcma perf report`` text: a per-kernel
+comparison table followed by the roofline placement
+(:func:`repro.perf.roofline.format_roofline_report`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ...hw.spec import HardwareSpec
+from ...perf import format_roofline_report, roofline_rows
+from ..span import Span
+from .enrich import default_hardware
+
+__all__ = ["KernelComparison", "format_perf_report", "kernel_comparisons"]
+
+
+@dataclass(frozen=True)
+class KernelComparison:
+    """One kernel's measured-vs-predicted aggregate across a trace."""
+
+    kernel: str
+    calls: int
+    measured_seconds: float
+    predicted_seconds: float
+    #: Modeled memory references (element granular).
+    mem_refs: float
+    #: Modeled DRAM-served L2 misses (line granular).
+    l2_misses: float
+    #: GFLOPS at the measured time.
+    achieved_gflops: float
+
+    @property
+    def ratio(self) -> float:
+        """Measured over predicted seconds (1.0 = perfect model)."""
+        if self.predicted_seconds <= 0:
+            return 0.0
+        return self.measured_seconds / self.predicted_seconds
+
+
+def kernel_comparisons(spans: Iterable[Span]) -> list[KernelComparison]:
+    """Aggregate enriched kernel spans by name, first-appearance order.
+
+    Spans without a prediction (un-modeled kernels, un-enriched traces)
+    are skipped.
+    """
+    order: list[str] = []
+    acc: dict[str, dict[str, float]] = {}
+    for span in spans:
+        if span.kind != "kernel" or "predicted_seconds" not in span.metrics:
+            continue
+        if span.name not in acc:
+            order.append(span.name)
+            acc[span.name] = {
+                "calls": 0.0,
+                "measured": 0.0,
+                "predicted": 0.0,
+                "refs": 0.0,
+                "l2": 0.0,
+                "flops": 0.0,
+            }
+        slot = acc[span.name]
+        slot["calls"] += 1.0
+        slot["measured"] += span.metrics.get("wall_seconds", span.duration)
+        slot["predicted"] += span.metrics["predicted_seconds"]
+        slot["refs"] += span.metrics.get("pc.mem_reads", 0.0) + span.metrics.get(
+            "pc.mem_writes", 0.0
+        )
+        slot["l2"] += span.metrics.get("pc.l2_misses", 0.0)
+        slot["flops"] += span.metrics.get("pc.flops", 0.0)
+
+    rows: list[KernelComparison] = []
+    for name in order:
+        slot = acc[name]
+        achieved = (
+            slot["flops"] / slot["measured"] / 1e9 if slot["measured"] > 0 else 0.0
+        )
+        rows.append(
+            KernelComparison(
+                kernel=name,
+                calls=int(slot["calls"]),
+                measured_seconds=slot["measured"],
+                predicted_seconds=slot["predicted"],
+                mem_refs=slot["refs"],
+                l2_misses=slot["l2"],
+                achieved_gflops=achieved,
+            )
+        )
+    return rows
+
+
+def format_perf_report(
+    spans: Iterable[Span], hw: HardwareSpec | None = None
+) -> str:
+    """The ``fcma perf report`` text for one enriched trace.
+
+    Section 1: per-kernel measured vs predicted milliseconds, the
+    measured/predicted ratio, modeled references and L2 misses (the
+    paper's table vocabulary).  Section 2: the roofline placement of
+    the same kernels on the chosen machine model.
+    """
+    if hw is None:
+        hw = default_hardware()
+    span_list = list(spans)
+    comparisons = kernel_comparisons(span_list)
+    if not comparisons:
+        return (
+            "no enriched kernel spans in trace "
+            "(run `fcma perf record` or enrich_spans first)"
+        )
+    lines = [
+        "predicted vs measured (per kernel, summed over calls)",
+        f"{'kernel':<30} {'calls':>5} {'meas ms':>10} {'pred ms':>10} "
+        f"{'ratio':>6} {'refs':>9} {'L2miss':>9} {'GFLOPS':>8}",
+    ]
+    for row in comparisons:
+        lines.append(
+            f"{row.kernel:<30} {row.calls:>5d} "
+            f"{row.measured_seconds * 1e3:>10.2f} "
+            f"{row.predicted_seconds * 1e3:>10.2f} "
+            f"{row.ratio:>6.2f} "
+            f"{row.mem_refs / 1e9:>8.2f}G "
+            f"{row.l2_misses / 1e6:>8.1f}M "
+            f"{row.achieved_gflops:>8.2f}"
+        )
+    lines.append("")
+    lines.append(format_roofline_report(roofline_rows(span_list, hw), hw))
+    return "\n".join(lines)

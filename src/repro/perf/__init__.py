@@ -35,7 +35,15 @@ from .stage12_model import (
     sweep_fits_l2,
     sweep_slab_bytes,
 )
-from .roofline import RooflinePoint, attainable_gflops, roofline_point
+from .roofline import (
+    RooflinePoint,
+    RooflineRow,
+    attainable_gflops,
+    format_roofline_report,
+    ridge_intensity,
+    roofline_point,
+    roofline_rows,
+)
 from .svm_model import SVM_VARIANTS, SvmVariant, model_svm_cv, svm_problem_count
 from .task_model import (
     OPTIMIZED_TASK_VOXELS,
@@ -69,6 +77,7 @@ __all__ = [
     "NormSweeps",
     "OPTIMIZED_TASK_VOXELS",
     "RooflinePoint",
+    "RooflineRow",
     "SVM_VARIANTS",
     "SvmVariant",
     "SyrkShape",
@@ -84,6 +93,7 @@ __all__ = [
     "corr_shape_for",
     "estimate_kernel",
     "format_report",
+    "format_roofline_report",
     "get_calibration",
     "max_resident_batch",
     "max_resident_voxels",
@@ -97,7 +107,9 @@ __all__ = [
     "offline_task_seconds",
     "online_task_seconds",
     "per_voxel_seconds",
+    "ridge_intensity",
     "roofline_point",
+    "roofline_rows",
     "row_from_estimate",
     "stage12_dispatch_amortization",
     "svm_problem_count",

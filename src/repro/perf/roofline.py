@@ -4,16 +4,34 @@ Used by the ablation benchmarks to show where each kernel sits relative
 to the machine's compute and bandwidth ceilings — the lens behind the
 paper's observation that the correlation gemm (write-heavy) cannot reach
 the syrk's GFLOPS.
+
+Besides the point-wise helpers, this module renders a per-kernel
+roofline report directly from *trace data*: kernel spans enriched by the
+performance observatory (:mod:`repro.obs.perf`) carry modeled ``pc.``
+counters and measured wall time, which is exactly what a roofline needs
+(:func:`roofline_rows`, :func:`format_roofline_report`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
 
 from ..hw.counters import PerfCounters
 from ..hw.spec import HardwareSpec
 
-__all__ = ["RooflinePoint", "roofline_point", "attainable_gflops"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.span import Span
+
+__all__ = [
+    "RooflinePoint",
+    "RooflineRow",
+    "attainable_gflops",
+    "format_roofline_report",
+    "ridge_intensity",
+    "roofline_point",
+    "roofline_rows",
+]
 
 
 @dataclass(frozen=True)
@@ -45,6 +63,15 @@ def attainable_gflops(spec: HardwareSpec, arithmetic_intensity: float) -> float:
     return min(spec.peak_sp_gflops, bw_bound)
 
 
+def ridge_intensity(spec: HardwareSpec) -> float:
+    """The ridge point: the AI where the two ceilings meet.
+
+    Below ``peak / BW`` FLOPs-per-byte a kernel is bandwidth-bound on
+    this machine; above it, compute-bound.
+    """
+    return spec.peak_sp_gflops / spec.mem_bandwidth_gbs
+
+
 def roofline_point(
     spec: HardwareSpec,
     counters: PerfCounters,
@@ -72,3 +99,125 @@ def roofline_point(
         achieved_gflops=achieved,
         memory_bound=attainable < spec.peak_sp_gflops,
     )
+
+
+# -- trace-driven report ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RooflineRow:
+    """One kernel's aggregated trace data placed on the roofline."""
+
+    kernel: str
+    #: Kernel spans aggregated into this row.
+    calls: int
+    #: Measured wall seconds summed over those spans.
+    wall_seconds: float
+    #: Model-predicted seconds summed over those spans.
+    predicted_seconds: float
+    point: RooflinePoint
+
+    @property
+    def predicted_gflops(self) -> float:
+        """GFLOPS the model expects at its own predicted time."""
+        if self.predicted_seconds <= 0 or self.point.achieved_gflops is None:
+            return 0.0
+        return (
+            self.point.achieved_gflops
+            * self.wall_seconds
+            / self.predicted_seconds
+        )
+
+
+def roofline_rows(
+    spans: "Iterable[Span]", spec: HardwareSpec
+) -> list[RooflineRow]:
+    """Per-kernel roofline placements from an *enriched* trace.
+
+    Kernel spans carrying modeled counters (``pc.flops``,
+    ``pc.l2_misses`` — attached by :func:`repro.obs.perf.enrich_spans`)
+    are aggregated by name; each aggregate becomes one point: AI from
+    the modeled DRAM traffic, achieved GFLOPS from the *measured* wall
+    time.  Kernels without counters (un-modeled helpers) are skipped.
+    Rows come back in first-appearance order.
+    """
+    order: list[str] = []
+    acc: dict[str, dict[str, float]] = {}
+    for span in spans:
+        if span.kind != "kernel" or "pc.flops" not in span.metrics:
+            continue
+        if span.name not in acc:
+            order.append(span.name)
+            acc[span.name] = {
+                "calls": 0.0,
+                "wall": 0.0,
+                "predicted": 0.0,
+                "flops": 0.0,
+                "l2_misses": 0.0,
+            }
+        slot = acc[span.name]
+        slot["calls"] += 1.0
+        slot["wall"] += span.metrics.get("wall_seconds", span.duration)
+        slot["predicted"] += span.metrics.get("predicted_seconds", 0.0)
+        slot["flops"] += span.metrics["pc.flops"]
+        slot["l2_misses"] += span.metrics.get("pc.l2_misses", 0.0)
+
+    rows: list[RooflineRow] = []
+    for name in order:
+        slot = acc[name]
+        counters = PerfCounters(
+            flops=slot["flops"], l2_misses=slot["l2_misses"]
+        )
+        elapsed = slot["wall"] if slot["wall"] > 0 else None
+        rows.append(
+            RooflineRow(
+                kernel=name,
+                calls=int(slot["calls"]),
+                wall_seconds=slot["wall"],
+                predicted_seconds=slot["predicted"],
+                point=roofline_point(spec, counters, elapsed),
+            )
+        )
+    return rows
+
+
+def format_roofline_report(
+    rows: Iterable[RooflineRow], spec: HardwareSpec
+) -> str:
+    """Fixed-width per-kernel roofline table.
+
+    Columns: arithmetic intensity, the machine's attainable ceiling at
+    that AI, achieved GFLOPS from measured wall time, efficiency, and
+    which ceiling binds.  The header states the machine's two ceilings
+    and their ridge point so the table reads standalone.
+    """
+    lines = [
+        f"roofline: peak {spec.peak_sp_gflops:.0f} GFLOPS, "
+        f"bw {spec.mem_bandwidth_gbs:.0f} GB/s, "
+        f"ridge {ridge_intensity(spec):.1f} flop/byte",
+        f"{'kernel':<30} {'calls':>5} {'AI':>8} {'attain':>8} "
+        f"{'achieved':>8} {'eff':>6} bound",
+    ]
+    for row in rows:
+        point = row.point
+        ai = (
+            "inf"
+            if point.arithmetic_intensity == float("inf")
+            else f"{point.arithmetic_intensity:.2f}"
+        )
+        achieved = (
+            "-"
+            if point.achieved_gflops is None
+            else f"{point.achieved_gflops:.2f}"
+        )
+        eff = (
+            "-"
+            if point.efficiency is None
+            else f"{point.efficiency:.0%}"
+        )
+        bound = "memory" if point.memory_bound else "compute"
+        lines.append(
+            f"{row.kernel:<30} {row.calls:>5d} {ai:>8} "
+            f"{point.attainable_gflops:>8.1f} {achieved:>8} {eff:>6} {bound}"
+        )
+    return "\n".join(lines)

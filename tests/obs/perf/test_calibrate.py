@@ -1,0 +1,86 @@
+"""The calibration gate: models vs the paper's published tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.obs.perf import (
+    CalibrationCheck,
+    calibration_checks,
+    format_calibration_report,
+    run_calibration,
+)
+
+
+class TestCalibrationCheck:
+    def test_deviation_is_symmetric(self):
+        high = CalibrationCheck("t", "x", modeled=2.0, paper=1.0,
+                                tolerance=0.1)
+        low = CalibrationCheck("t", "x", modeled=0.5, paper=1.0,
+                               tolerance=0.1)
+        assert high.deviation == pytest.approx(1.0)
+        assert low.deviation == pytest.approx(high.deviation)
+        assert not high.ok and not low.ok
+
+    def test_perfect_match_ok(self):
+        check = CalibrationCheck("t", "x", modeled=1.0, paper=1.0,
+                                 tolerance=0.01)
+        assert check.ratio == pytest.approx(1.0)
+        assert check.deviation == pytest.approx(0.0)
+        assert check.ok
+
+
+class TestCalibrationChecks:
+    def test_all_published_values_covered(self):
+        checks = calibration_checks()
+        sources = {c.source for c in checks}
+        # Tables 1, 5-8 and Figures 9, 10 all contribute checks.
+        for expected in ("Table 1", "Table 5", "Table 6", "Table 7",
+                         "Table 8", "Fig 9", "Fig 10"):
+            assert any(s.startswith(expected) for s in sources), expected
+        assert len(checks) >= 20
+
+    def test_models_are_calibrated_at_default_bands(self):
+        """The committed invariant: every check passes at scale 1.0."""
+        failures = [c for c in calibration_checks() if not c.ok]
+        assert failures == []
+
+    def test_tolerance_scale_tightens_uniformly(self):
+        default = calibration_checks(1.0)
+        tight = calibration_checks(0.01)
+        assert all(
+            t.tolerance == pytest.approx(d.tolerance * 0.01)
+            for d, t in zip(default, tight)
+        )
+        # Models are calibrated, not exact: a 100x tighter band fails.
+        assert any(not c.ok for c in tight)
+
+
+class TestRunCalibration:
+    def test_default_passes(self):
+        lines: list[str] = []
+        assert run_calibration(emit=lines.append) == 0
+        report = "\n".join(lines)
+        assert "ok" in report
+        assert "DRIFT" not in report
+
+    def test_tight_tolerance_fails(self):
+        lines: list[str] = []
+        assert run_calibration(0.01, emit=lines.append) == 1
+        assert "DRIFT" in "\n".join(lines)
+
+    def test_report_lists_every_check(self):
+        checks = calibration_checks()
+        report = format_calibration_report(checks)
+        assert len(report.splitlines()) >= len(checks)
+
+
+class TestCalibrateCli:
+    def test_default_exit_zero(self, capsys):
+        assert main(["perf", "calibrate"]) == 0
+        assert "Table 5" in capsys.readouterr().out
+
+    def test_tight_exit_one(self, capsys):
+        assert main(["perf", "calibrate", "--tolerance", "0.01"]) == 1
+        assert "DRIFT" in capsys.readouterr().out

@@ -22,6 +22,7 @@ from repro.obs import (
     to_chrome_trace,
     write_jsonl,
 )
+from repro.obs.span import Span
 
 
 @pytest.fixture()
@@ -103,6 +104,40 @@ class TestChromeTrace:
             {"name": "M", "ph": "M", "ts": 0, "args": {}}
         )
         assert from_chrome_trace(payload) == trace_spans
+
+
+class TestChromeCounterArgs:
+    """Counter metrics surface as top-level args (Perfetto slice props)."""
+
+    @pytest.fixture()
+    def enriched_span(self):
+        return Span(
+            span_id=0, name="score_voxels", kind="kernel", t0=0.0, t1=1.0,
+            metrics={
+                "wall_seconds": 1.0,
+                "pc.l2_misses": 1e6,
+                "ctr.tasks": 2.0,
+                "predicted_seconds": 0.5,
+                "predicted_gflops": 40.0,
+            },
+        )
+
+    def test_counter_namespaces_flattened(self, enriched_span):
+        (event,) = to_chrome_trace([enriched_span])["traceEvents"]
+        args = event["args"]
+        assert args["pc.l2_misses"] == 1e6
+        assert args["ctr.tasks"] == 2.0
+        assert args["predicted_seconds"] == 0.5
+        assert args["predicted_gflops"] == 40.0
+
+    def test_plain_metrics_stay_nested_only(self, enriched_span):
+        (event,) = to_chrome_trace([enriched_span])["traceEvents"]
+        assert "wall_seconds" not in event["args"]
+        assert event["args"]["metrics"]["wall_seconds"] == 1.0
+
+    def test_flattening_keeps_round_trip_lossless(self, enriched_span):
+        payload = json.loads(json.dumps(to_chrome_trace([enriched_span])))
+        assert from_chrome_trace(payload) == [enriched_span]
 
 
 class TestMetricsTable:
