@@ -38,7 +38,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     gen = sub.add_parser("generate", help="write a synthetic dataset (.npz)")
     gen.add_argument("output", help="output .npz path")
-    gen.add_argument("--preset", choices=["quickstart", "face-scene", "attention"],
+    gen.add_argument("--preset",
+                     choices=["quickstart", "face-scene", "attention",
+                              "sparse-100k"],
                      default="quickstart")
     gen.add_argument("--voxels", type=int, default=None,
                      help="override voxel count")
@@ -58,9 +60,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker count (pool defaults to CPUs, "
                           "master-worker to 2)")
     run.add_argument("--variant",
-                     choices=["optimized", "baseline", "optimized-batched"],
+                     choices=["optimized", "baseline", "optimized-batched",
+                              "sparse-batched"],
                      default="optimized")
     run.add_argument("--task-voxels", type=int, default=120)
+    run.add_argument("--threshold", type=float, default=None,
+                     help="sparse-batched: keep normalized correlations "
+                          "with |value| >= THRESHOLD")
+    run.add_argument("--top-k", type=int, default=None,
+                     help="sparse-batched: keep the K strongest "
+                          "correlations per (voxel, epoch) row")
     run.add_argument("--autotune", action="store_true",
                      help="optimized-batched: measure candidate blocking "
                           "plans instead of trusting the analytic model")
@@ -89,8 +98,15 @@ def build_parser() -> argparse.ArgumentParser:
     sel.add_argument("dataset", help="input .npz dataset")
     sel.add_argument("--top", type=int, default=20, help="voxels to report")
     sel.add_argument("--variant",
-                     choices=["optimized", "baseline", "optimized-batched"],
+                     choices=["optimized", "baseline", "optimized-batched",
+                              "sparse-batched"],
                      default="optimized")
+    sel.add_argument("--threshold", type=float, default=None,
+                     help="sparse-batched: keep normalized correlations "
+                          "with |value| >= THRESHOLD")
+    sel.add_argument("--top-k", type=int, default=None,
+                     help="sparse-batched: keep the K strongest "
+                          "correlations per (voxel, epoch) row")
     sel.add_argument("--workers", type=int, default=1,
                      help="process-pool workers (1 = serial)")
     sel.add_argument("--task-voxels", type=int, default=120)
@@ -163,9 +179,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     def _add_run_opts(p: argparse.ArgumentParser) -> None:
         p.add_argument("--variant",
-                       choices=["optimized", "baseline", "optimized-batched"],
+                       choices=["optimized", "baseline", "optimized-batched",
+                                "sparse-batched"],
                        default="optimized-batched")
         p.add_argument("--task-voxels", type=int, default=120)
+        p.add_argument("--threshold", type=float, default=None,
+                       help="sparse-batched: |value| >= THRESHOLD filter")
+        p.add_argument("--top-k", type=int, default=None,
+                       help="sparse-batched: per-row top-K filter")
         p.add_argument("--machine", choices=["phi", "xeon", "knl"],
                        default="xeon",
                        help="machine model used for counter enrichment")
@@ -263,12 +284,15 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         generate_dataset,
         quickstart_config,
         save_dataset,
+        sparse_100k_config,
     )
 
     if args.preset == "quickstart":
         cfg = quickstart_config()
     elif args.preset == "face-scene":
         cfg = face_scene_scaled()
+    elif args.preset == "sparse-100k":
+        cfg = sparse_100k_config()
     else:
         cfg = attention_scaled()
     overrides = {}
@@ -309,6 +333,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         task_voxels=args.task_voxels,
         autotune_blocks=args.autotune,
         plan_cache_path=args.plan_cache,
+        threshold=args.threshold,
+        top_k=args.top_k,
     )
     ctx = RunContext(config, seed=args.seed)
     executor = make_executor(args.executor, n_workers=args.workers)
@@ -394,7 +420,8 @@ def _cmd_select(args: argparse.Namespace) -> int:
     from .exec import RunContext, make_executor
 
     dataset = load_dataset(args.dataset)
-    config = FCMAConfig(variant=args.variant, task_voxels=args.task_voxels)
+    config = FCMAConfig(variant=args.variant, task_voxels=args.task_voxels,
+                        threshold=args.threshold, top_k=args.top_k)
     executor = make_executor("pool" if args.workers > 1 else "serial",
                              n_workers=args.workers)
     scores = executor.run(dataset, RunContext(config))
@@ -553,7 +580,8 @@ def _perf_run_record(args: argparse.Namespace):
     from .obs.perf import config_fingerprint, enrich_spans, record_from_trace
 
     dataset = load_dataset(args.dataset)
-    config = FCMAConfig(variant=args.variant, task_voxels=args.task_voxels)
+    config = FCMAConfig(variant=args.variant, task_voxels=args.task_voxels,
+                        threshold=args.threshold, top_k=args.top_k)
     ctx = RunContext(config)
     make_executor("serial").run(dataset, ctx)
     spans = ctx.tracer.spans()

@@ -17,8 +17,10 @@ from .correlation import (
     epoch_windows,
     iter_blocks,
     normalize_epoch_data,
+    stage1_input_copies,
 )
 from .kernels import (
+    csr_gram_panel,
     kernel_matrix_baseline,
     kernel_matrix_batched,
     kernel_matrix_blocked,
@@ -42,7 +44,18 @@ from .pipeline import (
     task_partition,
 )
 from .results import VoxelScores
-from .voxel_selection import score_voxels, score_voxels_reference
+from .sparse import (
+    SparseCorrelationResult,
+    SparseStage12Stats,
+    correlate_normalize_sparse_batched,
+    threshold_dense,
+    topk_block,
+)
+from .voxel_selection import (
+    score_voxels,
+    score_voxels_reference,
+    score_voxels_sparse,
+)
 
 __all__ = [
     "BlockingPlan",
@@ -50,6 +63,8 @@ __all__ = [
     "MergedNormalizer",
     "NormalizationWorkspace",
     "PlanCache",
+    "SparseCorrelationResult",
+    "SparseStage12Stats",
     "VoxelScores",
     "clear_preprocess_cache",
     "correlate_baseline",
@@ -57,6 +72,8 @@ __all__ = [
     "correlate_blocked",
     "correlate_blocked_reference",
     "correlate_normalize_batched",
+    "correlate_normalize_sparse_batched",
+    "csr_gram_panel",
     "default_plan_cache",
     "epoch_windows",
     "fisher_z",
@@ -75,7 +92,11 @@ __all__ = [
     "run_task",
     "score_voxels",
     "score_voxels_reference",
+    "score_voxels_sparse",
+    "stage1_input_copies",
     "symmetrize_from_triangle",
     "task_partition",
+    "threshold_dense",
+    "topk_block",
     "zscore_within_subject",
 ]

@@ -50,6 +50,7 @@ __all__ = [
     "correlate_blocked_reference",
     "correlate_normalize_batched",
     "iter_blocks",
+    "stage1_input_copies",
 ]
 
 
@@ -142,11 +143,32 @@ def iter_blocks(total: int, block: int) -> Iterator[tuple[int, int]]:
 TileCallback = Callable[[np.ndarray, tuple[int, int], tuple[int, int], tuple[int, int]], None]
 
 
+def stage1_input_copies(z: np.ndarray) -> int:
+    """Hidden array copies the batched gemm makes of this input.
+
+    The batched paths feed ``z`` to one 3D gufunc matmul, which silently
+    buffer-copies any operand that is not C-contiguous float32.  The
+    *output* side is guarded by :func:`_validate_out` (strided or
+    float64 ``out`` is rejected outright); the input side is legal but
+    costs a full extra pass over the BOLD data.  This predicate is what
+    the stage bodies feed the ``stage12_out_copies`` RunContext counter,
+    so a trace exposes the copy instead of it hiding inside BLAS setup.
+    """
+    z = np.asarray(z)
+    if z.dtype == np.float32 and z.flags.c_contiguous:
+        return 0
+    return 1
+
+
 def _validate_out(out: np.ndarray, shape: tuple[int, int, int]) -> np.ndarray:
     """Check a caller-provided output buffer before any BLAS touches it.
 
     A float64 or strided buffer used to surface as an inscrutable
     mid-loop gufunc/BLAS error; fail fast with a clear message instead.
+    Inputs are the other half of the story: a non-contiguous ``z`` is
+    *accepted* but silently copied by the gufunc — see
+    :func:`stage1_input_copies`, which the execution layer uses to count
+    those copies into the trace.
     """
     if not isinstance(out, np.ndarray):
         raise TypeError(f"out must be a numpy array, got {type(out).__name__}")
@@ -180,6 +202,11 @@ def correlate_batched(
         out = np.empty(shape, dtype=np.float32)
     else:
         _validate_out(out, shape)
+    # A non-contiguous float32 z would be buffer-copied epoch slice by
+    # epoch slice inside the gufunc; do the one whole-array copy up
+    # front instead (same count, reported by stage1_input_copies).
+    if z.dtype == np.float32 and not z.flags.c_contiguous:
+        z = np.ascontiguousarray(z)
     # panel: (E, V, T) contiguous copy of the assigned rows; the gufunc
     # broadcasts the batch axis and writes each epoch's (V, N) slab into
     # the strided voxel-major view.

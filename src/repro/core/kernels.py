@@ -23,11 +23,14 @@ All are numerically equivalent up to float32 summation order.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from .correlation import iter_blocks
 
 __all__ = [
+    "csr_gram_panel",
     "kernel_matrix_baseline",
     "kernel_matrix_blocked",
     "kernel_matrix_batched",
@@ -126,7 +129,22 @@ def kernel_matrix_batched(
     :func:`kernel_matrix_blocked` outputs up to float32 summation order
     (bitwise for the unblocked path, which issues the identical GEMM per
     slice).
+
+    ``data`` may also be a :class:`repro.core.sparse.SparseCorrelationResult`,
+    in which case each voxel's ``(M, N)`` CSR row band is Gram-ed as
+    sparse-times-sparse-transpose (:func:`csr_gram_panel`); the dense
+    ``(V, M, M)`` kernel stack feeds the batched SMO unchanged, and at
+    ``tau=0`` it equals the dense path within float32 tolerance (sparse
+    dot products accumulate in a different order).  ``panel_depth`` has
+    no meaning there and must stay ``None``.
     """
+    from .sparse import SparseCorrelationResult
+
+    if isinstance(data, SparseCorrelationResult):
+        if panel_depth is not None:
+            raise ValueError("panel_depth does not apply to CSR input")
+        n_problems = data.shape[0]
+        return csr_gram_panel(data, 0, n_problems)
     data = np.asarray(data)
     if data.ndim != 3:
         raise ValueError(
@@ -146,6 +164,31 @@ def kernel_matrix_batched(
         for i0, i1 in iter_blocks(m, row_band):
             out[:, i0:i1, :i1] += panel[:, i0:i1, :] @ panel_t[:, :, :i1]
     return symmetrize_from_triangle(np.tril(out))
+
+
+def csr_gram_panel(sparse: "Any", start: int, stop: int) -> np.ndarray:
+    """Dense Gram kernels for a panel of voxels of a CSR stage-1/2 result.
+
+    ``sparse`` is a :class:`repro.core.sparse.SparseCorrelationResult`
+    whose rows are ``(voxel, epoch)`` pairs; for each voxel ``v`` in
+    ``[start, stop)`` the ``(M, N)`` CSR band of its ``M`` epoch rows is
+    multiplied with its own transpose — sparse times sparse-transpose,
+    ``O(nnz)`` per output row instead of ``O(M * N)`` — and densified
+    into the ``(stop - start, M, M)`` float32 kernel stack the batched
+    SMO consumes.  Panel-wise so callers can balance ragged per-voxel
+    nnz across score batches.
+    """
+    n_problems, m, _ = sparse.shape
+    if not 0 <= start <= stop <= n_problems:
+        raise ValueError(
+            f"panel [{start}, {stop}) out of range for {n_problems} voxels"
+        )
+    matrix = sparse.to_scipy()
+    out = np.empty((stop - start, m, m), dtype=np.float32)
+    for i, v in enumerate(range(start, stop)):
+        band = matrix[v * m : (v + 1) * m]
+        out[i] = (band @ band.T).toarray()
+    return out
 
 
 def symmetrize_from_triangle(lower: np.ndarray) -> np.ndarray:

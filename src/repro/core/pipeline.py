@@ -80,6 +80,13 @@ class FCMAConfig:
     #: ``pool.map``; None picks ~4 chunks per worker.  The default
     #: chunksize of 1 would serialize one result round-trip per task.
     chunksize: int | None = None
+    #: ``sparse-batched`` only: keep normalized correlations with
+    #: ``|value| >= threshold`` (mutually exclusive with ``top_k``;
+    #: exactly one is required by that variant, rejected elsewhere).
+    threshold: float | None = None
+    #: ``sparse-batched`` only: keep the k strongest correlations per
+    #: (voxel, epoch) row.
+    top_k: int | None = None
 
     def __post_init__(self) -> None:
         from ..exec.registry import available_backends, available_variants
@@ -100,6 +107,21 @@ class FCMAConfig:
             raise ValueError("batch_voxels must be >= 0")
         if self.chunksize is not None and self.chunksize < 1:
             raise ValueError("chunksize must be >= 1 (or None for auto)")
+        if self.threshold is not None and not self.threshold >= 0.0:
+            raise ValueError("threshold must be >= 0")
+        if self.top_k is not None and self.top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        if self.threshold is not None and self.top_k is not None:
+            raise ValueError("threshold and top_k are mutually exclusive")
+        sparse_mode = self.threshold is not None or self.top_k is not None
+        if self.variant == "sparse-batched" and not sparse_mode:
+            raise ValueError(
+                "variant 'sparse-batched' requires threshold or top_k"
+            )
+        if sparse_mode and self.variant != "sparse-batched":
+            raise ValueError(
+                "threshold/top_k only apply to variant 'sparse-batched'"
+            )
 
     def resolved_backend(self) -> Backend:
         """The backend actually used, resolving the variant default."""

@@ -1,0 +1,423 @@
+"""Sparse thresholded stage 1/2: threshold-during-fuse correlation.
+
+The dense correlation matrix is ``V x E x N`` float32 — ~4.7 GB per
+epoch at the paper's 34k voxels and two orders of magnitude beyond
+memory at the 100k-voxel scenarios the ROADMAP targets.  Downstream
+FCMA analyses only consume the strongest correlations per voxel, so
+this module filters *inside* the fused stage-1/2 tile loop: each
+``(voxel_sweep, E, target_block)`` tile is gemm-ed, normalized by the
+same :func:`repro.core.normalization.fuse_normalize_tile` the dense
+engine uses, and immediately reduced to its surviving entries while the
+tile is still cache-resident.  The dense tile is then reused for the
+next block — peak memory is the BOLD input plus one tile plus the CSR
+output, never the full correlation volume.
+
+Two filter modes, sharing one selection semantics with the dense
+reference (:func:`threshold_dense`):
+
+* ``threshold`` (tau): keep entries with ``|value| >= tau`` of the
+  *normalized* (Fisher-z + within-subject z-scored) correlations;
+* ``top_k``: keep the ``k`` largest ``|value|`` per output row
+  ``(assigned voxel, epoch)``, ties broken toward the smaller target
+  column — exactly the first ``k`` entries of a stable descending
+  ``|value|`` argsort.
+
+Equivalence contract: for identical input bits the engine's CSR is
+**bitwise identical** (indptr, indices, data) to
+``threshold_dense(densify-of-the-tau=0-run)`` because both sides apply
+the same predicate to the same float32 values; against the dense
+engine's single full-width gemm the values agree to float32 tolerance
+(BLAS may pick different accumulation kernels per tile shape).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+import numpy as np
+
+from .correlation import _check_stage1_inputs, iter_blocks
+from .normalization import NormalizationWorkspace, fuse_normalize_tile
+
+__all__ = [
+    "SPARSE_TILE_BYTES",
+    "SparseCorrelationResult",
+    "SparseStage12Stats",
+    "correlate_normalize_sparse_batched",
+    "sparse_tile_plan",
+    "threshold_dense",
+    "topk_block",
+]
+
+#: Per-tile byte budget for :func:`sparse_tile_plan`.  The sparse tile
+#: loop is filter-dominated, not gemm-dominated: with the paper's tiny
+#: inner dimension (T ~ 12) the gemm is bandwidth-bound at any tiling,
+#: while every tile pays fixed Python/ufunc dispatch for the normalize
+#: + filter pass.  Dense-planner L2 tiles (~100 KB) create thousands of
+#: tiles whose dispatch overhead dwarfs the arithmetic; a multi-MB tile
+#: amortizes it and still keeps peak memory flat.
+SPARSE_TILE_BYTES = 8 * 1024 * 1024
+
+#: Default voxel-sweep width for :func:`sparse_tile_plan` — wide enough
+#: to amortize the per-sweep A-panel copy, narrow enough that top-k
+#: mode's ``(sweep, E, N)`` row slab stays a small fraction of input.
+SPARSE_SWEEP_ROWS = 16
+
+
+def sparse_tile_plan(
+    n_assigned: int, n_epochs: int, n_voxels: int
+) -> Tuple[int, int]:
+    """Default ``(voxel_sweep, target_block)`` for the sparse engine.
+
+    Unlike the dense planner's L2-reuse tiling, this sizes tiles to
+    ``SPARSE_TILE_BYTES`` so the per-tile dispatch cost of the fused
+    normalize + filter is amortized (see :data:`SPARSE_TILE_BYTES`).
+    The choice only affects speed: the engine's CSR output is bitwise
+    identical under any tiling.
+    """
+    if n_assigned < 1 or n_epochs < 1 or n_voxels < 1:
+        raise ValueError("tile plan dimensions must be >= 1")
+    sweep = min(SPARSE_SWEEP_ROWS, n_assigned)
+    per_column_bytes = sweep * n_epochs * 4
+    t_block = max(1, min(n_voxels, SPARSE_TILE_BYTES // per_column_bytes))
+    return sweep, t_block
+
+
+@dataclass(frozen=True)
+class SparseStage12Stats:
+    """Instrumentation from one sparse stage-1/2 run."""
+
+    #: Gemm+normalize tiles the engine visited.
+    n_tiles: int
+    #: Tiles whose filter kept nothing (tau mode only; top-k always
+    #: keeps ``min(k, N)`` entries per row, so nothing prunes).
+    tiles_pruned: int
+    #: Entries kept across the whole output.
+    nnz: int
+    #: Dense size of the output the filter scanned (``V * E * N``).
+    elements: int
+
+    @property
+    def density(self) -> float:
+        """Kept fraction, in [0, 1]."""
+        if self.elements <= 0:
+            return 0.0
+        return self.nnz / self.elements
+
+
+@dataclass(frozen=True)
+class SparseCorrelationResult:
+    """CSR-encoded normalized correlations, rows = (voxel, epoch) pairs.
+
+    Row ``v * n_epochs + e`` holds assigned voxel ``v``'s epoch-``e``
+    correlations; columns index target voxels.  The layout is exactly
+    scipy's CSR over the flattened ``(V * E, N)`` view of the dense
+    ``(V, E, N)`` array, kept as plain arrays so :mod:`repro.core` does
+    not import scipy at module scope.
+    """
+
+    indptr: np.ndarray   # int64, (V * E + 1,)
+    indices: np.ndarray  # int32, (nnz,) — ascending within each row
+    data: np.ndarray     # float32, (nnz,)
+    shape: Tuple[int, int, int]  # (V, E, N)
+
+    def __post_init__(self) -> None:
+        n_assigned, n_epochs, n_voxels = self.shape
+        n_rows = n_assigned * n_epochs
+        if self.indptr.shape != (n_rows + 1,):
+            raise ValueError(
+                f"indptr must have shape ({n_rows + 1},), got {self.indptr.shape}"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.shape[0]:
+            raise ValueError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indices.shape != self.data.shape:
+            raise ValueError("indices and data must be the same length")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= n_voxels
+        ):
+            raise ValueError("column indices out of range")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.shape[0])
+
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0] * self.shape[1]
+
+    @property
+    def elements(self) -> int:
+        return self.n_rows * self.shape[2]
+
+    @property
+    def density(self) -> float:
+        if self.elements == 0:
+            return 0.0
+        return self.nnz / self.elements
+
+    @property
+    def row_nnz(self) -> np.ndarray:
+        """Per-row kept counts, shape ``(V * E,)`` int64."""
+        return np.diff(self.indptr)
+
+    def row(self, voxel: int, epoch: int) -> Tuple[np.ndarray, np.ndarray]:
+        """One row's ``(columns, values)``."""
+        n_assigned, n_epochs, _ = self.shape
+        if not (0 <= voxel < n_assigned and 0 <= epoch < n_epochs):
+            raise IndexError(f"row ({voxel}, {epoch}) out of range for {self.shape}")
+        r = voxel * n_epochs + epoch
+        lo, hi = int(self.indptr[r]), int(self.indptr[r + 1])
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def densify(self) -> np.ndarray:
+        """Reconstruct the dense ``(V, E, N)`` array (zeros elsewhere)."""
+        dense = np.zeros(self.shape, dtype=np.float32)
+        flat = dense.reshape(self.n_rows, self.shape[2])
+        rows = np.repeat(np.arange(self.n_rows), self.row_nnz)
+        flat[rows, self.indices] = self.data
+        return dense
+
+    def to_scipy(self) -> Any:
+        """The ``(V * E, N)`` scipy CSR matrix sharing these buffers."""
+        from scipy.sparse import csr_matrix
+
+        return csr_matrix(
+            (self.data, self.indices, self.indptr),
+            shape=(self.n_rows, self.shape[2]),
+        )
+
+
+def _check_mode(threshold: float | None, top_k: int | None) -> None:
+    if (threshold is None) == (top_k is None):
+        raise ValueError("exactly one of threshold and top_k must be given")
+    if threshold is not None and not threshold >= 0.0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    if top_k is not None and top_k < 1:
+        raise ValueError(f"top_k must be >= 1, got {top_k}")
+
+
+def topk_block(
+    block: np.ndarray, k: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-row top-``k`` by ``|value|`` of a 2D block, deterministic.
+
+    Returns ``(rows, cols, values)`` in row-major order, columns
+    ascending within each row.  The selection equals the first
+    ``min(k, n)`` entries of a *stable* descending-``|value|`` argsort:
+    ties at the k-th-largest boundary resolve toward smaller column
+    indices.  Implemented with a value partition (O(n) per row) instead
+    of a full argsort; determinism is value-based, so it holds across
+    partition algorithms.
+    """
+    n_rows, n = block.shape
+    kk = min(k, n)
+    if kk == n:
+        rows = np.repeat(np.arange(n_rows, dtype=np.int64), n)
+        cols = np.tile(np.arange(n, dtype=np.int64), n_rows)
+        return rows, cols, block.reshape(-1).copy()
+    magnitude = np.abs(block)
+    kth = np.partition(magnitude, n - kk, axis=1)[:, n - kk]
+    keep = magnitude > kth[:, None]
+    need = kk - keep.sum(axis=1)
+    # Fill the remainder from the tie band (|value| == kth), smallest
+    # columns first; np.nonzero's C order makes the in-row rank of each
+    # tie its ascending-column position.
+    tie_r, tie_c = np.nonzero(magnitude == kth[:, None])
+    starts = np.searchsorted(tie_r, np.arange(n_rows))
+    rank = np.arange(tie_r.size) - starts[tie_r]
+    chosen = rank < need[tie_r]
+    keep[tie_r[chosen], tie_c[chosen]] = True
+    rows, cols = np.nonzero(keep)
+    rows = rows.astype(np.int64, copy=False)
+    cols = cols.astype(np.int64, copy=False)
+    return rows, cols, block[rows, cols]
+
+
+def _tau_block(
+    block: np.ndarray, limit: np.float32
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Entries of a 2D block with ``|value| >= limit``, row-major.
+
+    One flat scan instead of 2D ``np.nonzero``: the mask pass over the
+    full block dominates, and ``flatnonzero`` writes one index array
+    where the tuple form writes two; rows/cols are then recovered with
+    arithmetic over just the survivors.
+    """
+    n_cols = block.shape[1]
+    flat = np.flatnonzero(np.abs(block) >= limit)
+    rows = flat // n_cols
+    cols = flat - rows * n_cols
+    return rows, cols, block.reshape(-1)[flat]
+
+
+def _assemble(
+    rows_parts: List[np.ndarray],
+    cols_parts: List[np.ndarray],
+    vals_parts: List[np.ndarray],
+    shape: Tuple[int, int, int],
+) -> SparseCorrelationResult:
+    """CSR from row-id/column/value fragments.
+
+    Fragments may arrive in any tile order; a stable sort by row id
+    restores row-major layout while preserving each row's ascending
+    column order (tiles are visited left to right).
+    """
+    n_rows = shape[0] * shape[1]
+    if rows_parts:
+        rows = np.concatenate(rows_parts)
+        cols = np.concatenate(cols_parts)
+        vals = np.concatenate(vals_parts)
+    else:
+        rows = np.empty(0, dtype=np.int64)
+        cols = np.empty(0, dtype=np.int64)
+        vals = np.empty(0, dtype=np.float32)
+    order = np.argsort(rows, kind="stable")
+    indptr = np.zeros(n_rows + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rows, minlength=n_rows), out=indptr[1:])
+    return SparseCorrelationResult(
+        indptr=indptr,
+        indices=cols[order].astype(np.int32),
+        data=vals[order],
+        shape=shape,
+    )
+
+
+def threshold_dense(
+    dense: np.ndarray,
+    *,
+    threshold: float | None = None,
+    top_k: int | None = None,
+) -> SparseCorrelationResult:
+    """Filter a dense normalized ``(V, E, N)`` array into CSR.
+
+    The densify-then-threshold reference: applies exactly the selection
+    semantics of :func:`correlate_normalize_sparse_batched` to an
+    already-materialized dense array, so on identical input bits the
+    two produce bitwise-identical CSR buffers.
+    """
+    _check_mode(threshold, top_k)
+    dense = np.asarray(dense)
+    if dense.ndim != 3:
+        raise ValueError(f"dense must be 3D (V, E, N), got shape {dense.shape}")
+    if dense.dtype != np.float32:
+        raise TypeError(f"dense must be float32, got {dense.dtype}")
+    n_assigned, n_epochs, n_voxels = dense.shape
+    flat = np.ascontiguousarray(dense).reshape(n_assigned * n_epochs, n_voxels)
+    if threshold is not None:
+        rows, cols, vals = _tau_block(flat, np.float32(threshold))
+    else:
+        assert top_k is not None
+        rows, cols, vals = topk_block(flat, top_k)
+    return _assemble([rows], [cols], [vals], (n_assigned, n_epochs, n_voxels))
+
+
+def correlate_normalize_sparse_batched(
+    z: np.ndarray,
+    assigned: np.ndarray,
+    epochs_per_subject: int,
+    *,
+    threshold: float | None = None,
+    top_k: int | None = None,
+    voxel_sweep: int | None = None,
+    target_block: int | None = None,
+    workspace: NormalizationWorkspace | None = None,
+) -> Tuple[SparseCorrelationResult, SparseStage12Stats]:
+    """Fused stage 1/2 with in-tile filtering straight to CSR.
+
+    Shares the dense engine's parts rather than forking them: the same
+    epoch-batched tile gemm (``panel @ z.T`` via one 3D matmul per
+    tile) and the same bitwise-exact per-tile normalizer
+    (:func:`fuse_normalize_tile`).  Tiles are ``(voxel_sweep, E,
+    target_block)`` and both filter modes run the identical gemm +
+    normalize sequence, so tau and top-k runs see the same bits.
+
+    In tau mode each tile is filtered and discarded immediately; top-k
+    needs whole rows, so tiles accumulate into a ``(voxel_sweep, E,
+    N)`` slab first — still a small constant multiple of the sweep
+    width, never the full output.
+
+    Returns the CSR result plus :class:`SparseStage12Stats`
+    (tiles visited/pruned, nnz, scanned elements).
+    """
+    _check_mode(threshold, top_k)
+    z, assigned = _check_stage1_inputs(z, assigned)
+    if epochs_per_subject < 1:
+        raise ValueError("epochs_per_subject must be >= 1")
+    n_epochs, n_voxels, _ = z.shape
+    if n_epochs % epochs_per_subject:
+        raise ValueError(
+            f"n_epochs ({n_epochs}) must be divisible by "
+            f"epochs_per_subject ({epochs_per_subject})"
+        )
+    n_assigned = int(assigned.size)
+    if voxel_sweep is not None and voxel_sweep < 1:
+        raise ValueError("voxel_sweep must be >= 1")
+    if target_block is not None and target_block < 1:
+        raise ValueError("target_block must be >= 1")
+    default_sweep, default_block = sparse_tile_plan(
+        n_assigned, n_epochs, n_voxels
+    )
+    sweep = min(voxel_sweep or default_sweep, n_assigned)
+    t_block = min(target_block or default_block, n_voxels)
+    if workspace is None:
+        workspace = NormalizationWorkspace()
+    limit = np.float32(threshold) if threshold is not None else None
+
+    zt = z.swapaxes(1, 2)
+    tiles: dict[Tuple[int, int], np.ndarray] = {}
+    slab: np.ndarray | None = None
+    if top_k is not None:
+        slab = np.empty((sweep, n_epochs, n_voxels), dtype=np.float32)
+    rows_parts: List[np.ndarray] = []
+    cols_parts: List[np.ndarray] = []
+    vals_parts: List[np.ndarray] = []
+    n_tiles = 0
+    tiles_pruned = 0
+
+    for v0, v1 in iter_blocks(n_assigned, sweep):
+        width = v1 - v0
+        panel = z[:, assigned[v0:v1]]  # (E, width, T) contiguous copy
+        for n0, n1 in iter_blocks(n_voxels, t_block):
+            nb = n1 - n0
+            tile = tiles.get((width, nb))
+            if tile is None:
+                tile = tiles.setdefault(
+                    (width, nb), np.empty((width, n_epochs, nb), dtype=np.float32)
+                )
+            np.matmul(panel, zt[:, :, n0:n1], out=tile.swapaxes(0, 1))
+            fuse_normalize_tile(tile, epochs_per_subject, workspace=workspace)
+            n_tiles += 1
+            if limit is not None:
+                t_rows, t_cols, t_vals = _tau_block(
+                    tile.reshape(width * n_epochs, nb), limit
+                )
+                if t_rows.size == 0:
+                    tiles_pruned += 1
+                    continue
+                rows_parts.append(v0 * n_epochs + t_rows)
+                cols_parts.append(n0 + t_cols)
+                vals_parts.append(t_vals)
+            else:
+                assert slab is not None
+                slab[:width, :, n0:n1] = tile
+        if top_k is not None:
+            assert slab is not None
+            s_rows, s_cols, s_vals = topk_block(
+                slab[:width].reshape(width * n_epochs, n_voxels), top_k
+            )
+            rows_parts.append(v0 * n_epochs + s_rows)
+            cols_parts.append(s_cols)
+            vals_parts.append(s_vals)
+
+    shape = (n_assigned, n_epochs, n_voxels)
+    result = _assemble(rows_parts, cols_parts, vals_parts, shape)
+    stats = SparseStage12Stats(
+        n_tiles=n_tiles,
+        tiles_pruned=tiles_pruned,
+        nnz=result.nnz,
+        elements=n_assigned * n_epochs * n_voxels,
+    )
+    return result, stats

@@ -28,10 +28,12 @@ from .preprocessing import (
 from .presets import (
     ATTENTION,
     FACE_SCENE,
+    SPARSE_100K,
     DatasetSpec,
     attention_scaled,
     face_scene_scaled,
     quickstart_config,
+    sparse_100k_config,
 )
 from .synthetic import SyntheticConfig, generate_dataset, ground_truth_voxels
 
@@ -45,6 +47,7 @@ __all__ = [
     "FMRIDataset",
     "NiftiImage",
     "NoiseConfig",
+    "SPARSE_100K",
     "SyntheticConfig",
     "accuracy_map_to_nifti",
     "add_motion_spikes",
@@ -66,6 +69,7 @@ __all__ = [
     "regress_nuisance",
     "save_dataset",
     "save_epochs",
+    "sparse_100k_config",
     "variance_normalize",
     "write_nifti",
 ]

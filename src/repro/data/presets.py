@@ -20,9 +20,11 @@ __all__ = [
     "DatasetSpec",
     "FACE_SCENE",
     "ATTENTION",
+    "SPARSE_100K",
     "face_scene_scaled",
     "attention_scaled",
     "quickstart_config",
+    "sparse_100k_config",
 ]
 
 
@@ -93,6 +95,19 @@ ATTENTION = DatasetSpec(
 )
 
 
+#: Stress geometry for the sparse stage-1/2 backend: ~3x the voxel count
+#: of face-scene, few subjects so the dense correlation buffer (V*E*N
+#: float32 = 9.6 GB at E=24) cannot fit in a 2 GB budget while the 1%
+#: sparse output (~1 GB CSR at top-k 1000) can.
+SPARSE_100K = DatasetSpec(
+    name="sparse-100k",
+    n_voxels=100_000,
+    n_subjects=3,
+    n_epochs=24,
+    epoch_length=12,
+)
+
+
 def face_scene_scaled(
     n_voxels: int = 1200, n_subjects: int = 6, seed: int = 2015
 ) -> SyntheticConfig:
@@ -127,6 +142,27 @@ def attention_scaled(
         n_groups=4,
         seed=seed,
         name="attention-scaled",
+    )
+
+
+def sparse_100k_config(
+    n_voxels: int = SPARSE_100K.n_voxels, seed: int = 2026
+) -> SyntheticConfig:
+    """sparse-100k at full geometry: the <2 GB RSS target of the sparse
+    stage-1/2 backend (BENCH_sparse) materializes this preset.
+
+    Only stage 1/2 is meant to run at this size; the nested
+    cross-validation would be prohibitively slow on all 100k voxels.
+    """
+    return SyntheticConfig(
+        n_voxels=n_voxels,
+        n_subjects=SPARSE_100K.n_subjects,
+        epochs_per_subject=SPARSE_100K.epochs_per_subject,
+        epoch_length=SPARSE_100K.epoch_length,
+        n_informative=max(20, min(n_voxels // 25, 400)),
+        n_groups=4,
+        seed=seed,
+        name="sparse-100k",
     )
 
 

@@ -31,7 +31,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
         make_executor,
         predicted_schedule,
     )
-    from .partition import auto_chunksize, n_tasks, partition_tasks
+    from .partition import (
+        auto_chunksize,
+        n_tasks,
+        partition_rows_by_nnz,
+        partition_tasks,
+    )
     from .registry import (
         available_backends,
         available_variants,
@@ -50,6 +55,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
         execute_task,
         optimized_batched_graph,
         optimized_graph,
+        sparse_batched_graph,
     )
 
 _EXPORTS = {
@@ -65,6 +71,7 @@ _EXPORTS = {
     "predicted_schedule": "executors",
     "auto_chunksize": "partition",
     "n_tasks": "partition",
+    "partition_rows_by_nnz": "partition",
     "partition_tasks": "partition",
     "available_backends": "registry",
     "available_variants": "registry",
@@ -81,6 +88,7 @@ _EXPORTS = {
     "execute_task": "stage_graph",
     "optimized_batched_graph": "stage_graph",
     "optimized_graph": "stage_graph",
+    "sparse_batched_graph": "stage_graph",
 }
 
 __all__ = sorted(_EXPORTS)

@@ -211,7 +211,7 @@ class RunContext:
                 metrics[_PC_PREFIX + f.name] = value
         self.tracer.record(stage, kind="stage", metrics=metrics)
 
-    def increment(self, name: str, value: int = 1) -> None:
+    def increment(self, name: str, value: int | float = 1) -> None:
         """Add ``value`` to the named run counter.
 
         The counter lands twice, by design: as a ``ctr.<name>`` metric
@@ -219,6 +219,10 @@ class RunContext:
         the trace) and aggregated in ``metadata["counters"]`` (the
         run-level view that travels with :meth:`export`, sums under
         :meth:`merge` / :meth:`merge_export`, and feeds ``--json``).
+        Values are usually integral tallies but may be fractional
+        (``stage12_density`` accumulates a kept-fraction per task);
+        :meth:`counter` truncates, so read fractional counters from
+        ``metadata["counters"]`` directly.
         """
         if not self.tracer.add_metric(_CTR_PREFIX + name, float(value)):
             # No span open (library use outside a run): keep the counter

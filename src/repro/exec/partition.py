@@ -15,7 +15,7 @@ from typing import Any
 import numpy as np
 from numpy.typing import NDArray
 
-__all__ = ["partition_tasks", "n_tasks", "auto_chunksize"]
+__all__ = ["partition_tasks", "n_tasks", "auto_chunksize", "partition_rows_by_nnz"]
 
 
 def partition_tasks(
@@ -44,6 +44,52 @@ def partition_tasks(
     if out.ndim != 1 or out.size == 0:
         raise ValueError("voxels must be a non-empty 1D index array")
     return [out[s : s + task_voxels] for s in range(0, out.size, task_voxels)]
+
+
+def partition_rows_by_nnz(
+    row_nnz: NDArray[Any],
+    max_nnz: int,
+    max_rows: int | None = None,
+) -> list[tuple[int, int]]:
+    """Carve contiguous row panels balanced by ragged per-row nnz.
+
+    The sparse stage-1/2 output has wildly uneven rows (a hub voxel can
+    carry orders of magnitude more surviving correlations than a quiet
+    one), so fixed-width panels make some score batches Gram far more
+    stored entries than others.  This greedily packs consecutive rows
+    until adding the next row would push the panel past ``max_nnz``
+    stored entries (or past ``max_rows`` rows); a single row heavier
+    than the budget still gets its own panel, so every row is covered
+    exactly once.
+
+    Returns ``(start, stop)`` half-open panels covering
+    ``range(len(row_nnz))`` in order.
+    """
+    counts = np.asarray(row_nnz, dtype=np.int64)
+    if counts.ndim != 1:
+        raise ValueError(f"row_nnz must be 1D, got shape {counts.shape}")
+    if counts.size and counts.min() < 0:
+        raise ValueError("row_nnz entries must be >= 0")
+    if max_nnz < 1:
+        raise ValueError("max_nnz must be >= 1")
+    if max_rows is not None and max_rows < 1:
+        raise ValueError("max_rows must be >= 1")
+    panels: list[tuple[int, int]] = []
+    start = 0
+    filled = 0
+    for row in range(counts.size):
+        width = row - start
+        if width > 0 and (
+            filled + counts[row] > max_nnz
+            or (max_rows is not None and width >= max_rows)
+        ):
+            panels.append((start, row))
+            start = row
+            filled = 0
+        filled += int(counts[row])
+    if start < counts.size:
+        panels.append((start, counts.size))
+    return panels
 
 
 def n_tasks(n_voxels: int, task_voxels: int) -> int:

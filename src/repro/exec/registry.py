@@ -70,7 +70,7 @@ _BACKENDS: dict[str, BackendFactory] = {
 #: Variant builders; the built-ins self-register when stage_graph loads.
 _VARIANTS: dict[str, GraphBuilder] = {}
 #: Names config validation accepts even before stage_graph has loaded.
-_BUILTIN_VARIANTS = ("baseline", "optimized", "optimized-batched")
+_BUILTIN_VARIANTS = ("baseline", "optimized", "optimized-batched", "sparse-batched")
 
 
 def register_backend(

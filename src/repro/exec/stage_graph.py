@@ -37,11 +37,13 @@ from ..core.correlation import (
     correlate_baseline,
     correlate_blocked,
     correlate_normalize_batched,
+    stage1_input_copies,
 )
 from ..core.kernels import kernel_matrix_baseline, kernel_matrix_blocked
 from ..core.normalization import MergedNormalizer, normalize_separated
 from ..core.results import VoxelScores
-from ..core.voxel_selection import score_voxels
+from ..core.sparse import correlate_normalize_sparse_batched, sparse_tile_plan
+from ..core.voxel_selection import score_voxels, score_voxels_sparse
 from ..svm.cross_validation import kfold_ids
 from .context import RunContext
 from .registry import create_backend, register_variant
@@ -56,6 +58,7 @@ __all__ = [
     "baseline_graph",
     "optimized_graph",
     "optimized_batched_graph",
+    "sparse_batched_graph",
     "build_graph",
     "execute_task",
 ]
@@ -207,14 +210,16 @@ def _correlate_merged(
     return {"correlations": corr}
 
 
-def _correlate_batched_fused(
-    ctx: RunContext, state: Mapping[str, Any]
-) -> Mapping[str, Any]:
+def _resolve_blocking_plan(
+    ctx: RunContext,
+    z: NDArray[Any],
+    assigned: NDArray[Any],
+    e_per_subject: int,
+) -> blocking.BlockingPlan:
+    """Shared plan lookup of the batched stage bodies (dense + sparse):
+    hardware-model default, plan-cache accounting, trace span, counters,
+    and the run-metadata record."""
     config = ctx.config
-    z = state["windows"]
-    assigned = state["assigned"]
-    e_per_subject = state["grouped"].epochs.epochs_per_subject()
-
     hw = ctx.hardware
     if hw is None:
         from ..hw import E5_2670
@@ -248,6 +253,17 @@ def _correlate_batched_fused(
         "target_block": plan.target_block,
         "epoch_block": plan.epoch_block,
     }
+    return plan
+
+
+def _correlate_batched_fused(
+    ctx: RunContext, state: Mapping[str, Any]
+) -> Mapping[str, Any]:
+    z = state["windows"]
+    assigned = state["assigned"]
+    e_per_subject = state["grouped"].epochs.epochs_per_subject()
+    plan = _resolve_blocking_plan(ctx, z, assigned, e_per_subject)
+    input_copies = stage1_input_copies(z)
 
     with ctx.tracer.span("correlate_normalize_batched", kind="kernel") as span:
         corr, n_tiles = correlate_normalize_batched(
@@ -257,7 +273,79 @@ def _correlate_batched_fused(
         span.add_metric("voxels", float(assigned.size))
         span.add_metric("bytes_moved", float(z.nbytes + corr.nbytes))
     ctx.increment("stage12_tiles", n_tiles)
+    if input_copies:
+        ctx.increment("stage12_out_copies", input_copies)
     return {"correlations": corr}
+
+
+def _correlate_sparse_fused(
+    ctx: RunContext, state: Mapping[str, Any]
+) -> Mapping[str, Any]:
+    config = ctx.config
+    z = state["windows"]
+    assigned = state["assigned"]
+    e_per_subject = state["grouped"].epochs.epochs_per_subject()
+    # The dense planner's L2 tiles are wrong for the filter-dominated
+    # sparse loop — use the engine's dispatch-amortizing tile plan.
+    sweep, t_block = sparse_tile_plan(assigned.size, z.shape[0], z.shape[1])
+    ctx.metadata["blocking_plan"] = {
+        "voxel_block": sweep,
+        "target_block": t_block,
+        "epoch_block": z.shape[0],
+    }
+    input_copies = stage1_input_copies(z)
+
+    with ctx.tracer.span("correlate_normalize_sparse", kind="kernel") as span:
+        result, stats = correlate_normalize_sparse_batched(
+            z,
+            assigned,
+            e_per_subject,
+            threshold=config.threshold,
+            top_k=config.top_k,
+            voxel_sweep=sweep,
+            target_block=t_block,
+        )
+        span.add_metric("tiles", float(stats.n_tiles))
+        span.add_metric("tiles_pruned", float(stats.tiles_pruned))
+        span.add_metric("voxels", float(assigned.size))
+        span.add_metric("nnz", float(stats.nnz))
+        span.add_metric("elements", float(stats.elements))
+        span.add_metric("density", stats.density)
+        span.add_metric("voxel_sweep", float(sweep))
+        span.add_metric("target_block", float(t_block))
+        span.add_metric(
+            "bytes_moved",
+            float(
+                z.nbytes
+                + result.data.nbytes
+                + result.indices.nbytes
+                + result.indptr.nbytes
+            ),
+        )
+    ctx.increment("stage12_tiles", stats.n_tiles)
+    ctx.increment("stage12_tiles_pruned", stats.tiles_pruned)
+    ctx.increment("stage12_nnz", stats.nnz)
+    ctx.increment("stage12_density", stats.density)
+    if input_copies:
+        ctx.increment("stage12_out_copies", input_copies)
+    return {"sparse_correlations": result}
+
+
+def _score_sparse(ctx: RunContext, state: Mapping[str, Any]) -> Mapping[str, Any]:
+    grouped = state["grouped"]
+    backend = create_backend(ctx.config)
+    with ctx.tracer.span("score_voxels_sparse", kind="kernel") as span:
+        scores = score_voxels_sparse(
+            state["sparse_correlations"],
+            state["assigned"],
+            grouped.epochs.labels(),
+            _fold_ids(ctx, grouped),
+            backend,
+            batch_voxels=ctx.config.batch_voxels,
+        )
+        span.add_metric("voxels", float(state["assigned"].size))
+        span.add_metric("nnz", float(state["sparse_correlations"].nnz))
+    return {"scores": scores}
 
 
 def _make_score_stage(kernel_fn: Callable[..., Any]) -> StageFn:
@@ -355,9 +443,39 @@ def optimized_batched_graph(config: Any = None) -> StageGraph:
     )
 
 
+def sparse_batched_graph(config: Any = None) -> StageGraph:
+    """Threshold-during-fuse pipeline: CSR stage 1/2, sparse-Gram stage 3.
+
+    Same plan lookup and fused tile engine as ``optimized-batched``, but
+    each normalized tile is filtered (``config.threshold`` /
+    ``config.top_k``) into a CSR block while cache-resident; stage 3
+    Grams the CSR row bands in nnz-balanced panels through the same
+    batched SMO.
+    """
+    return StageGraph(
+        stages=(
+            Stage("preprocess", _preprocess, ("dataset",), ("grouped", "windows")),
+            Stage(
+                "correlate+normalize",
+                _correlate_sparse_fused,
+                ("windows", "assigned", "grouped"),
+                ("sparse_correlations",),
+            ),
+            Stage(
+                "score",
+                _score_sparse,
+                ("sparse_correlations", "assigned", "grouped"),
+                ("scores",),
+            ),
+        ),
+        seeds=_SEEDS,
+    )
+
+
 register_variant("baseline", baseline_graph, overwrite=True)
 register_variant("optimized", optimized_graph, overwrite=True)
 register_variant("optimized-batched", optimized_batched_graph, overwrite=True)
+register_variant("sparse-batched", sparse_batched_graph, overwrite=True)
 
 
 def build_graph(config: Any) -> StageGraph:

@@ -32,6 +32,12 @@ __all__ = [
     "TASKS",
     "VOXELS",
     "TILES",
+    "TILES_PRUNED",
+    "NNZ",
+    "ELEMENTS",
+    "DENSITY",
+    "VOXEL_SWEEP",
+    "TARGET_BLOCK",
     "ITERATIONS",
     "CALLS",
     "PREDICTED_SECONDS",
@@ -72,6 +78,20 @@ TASKS = MetricSpec("tasks", "count", "pipeline tasks processed")
 VOXELS = MetricSpec("voxels", "count", "assigned voxels processed")
 #: Stage-1/2 tiles (normalization sweeps) processed.
 TILES = MetricSpec("tiles", "count", "stage-1/2 tiles processed")
+#: Sparse stage-1/2 tiles whose filter kept nothing.
+TILES_PRUNED = MetricSpec(
+    "tiles_pruned", "count", "sparse tiles with no surviving entries"
+)
+#: Stored entries of a sparse kernel's output (CSR nnz).
+NNZ = MetricSpec("nnz", "count", "stored (non-pruned) output entries")
+#: Dense elements the kernel scanned to produce its output.
+ELEMENTS = MetricSpec("elements", "count", "dense elements scanned")
+#: Kept fraction nnz / elements, in [0, 1].
+DENSITY = MetricSpec("density", "fraction", "kept fraction of dense output")
+#: Voxel-slab width of the sparse tile loop (``BlockingPlan.voxel_block``).
+VOXEL_SWEEP = MetricSpec("voxel_sweep", "voxels", "sparse tile slab width")
+#: Target-column width of the sparse tile loop.
+TARGET_BLOCK = MetricSpec("target_block", "voxels", "sparse tile column width")
 #: Solver (SMO) working-set iterations performed.
 ITERATIONS = MetricSpec("iterations", "count", "solver iterations")
 #: Times the spanned operation ran (aggregation weight for merged spans).
@@ -100,6 +120,12 @@ METRICS: dict[str, MetricSpec] = {
         TASKS,
         VOXELS,
         TILES,
+        TILES_PRUNED,
+        NNZ,
+        ELEMENTS,
+        DENSITY,
+        VOXEL_SWEEP,
+        TARGET_BLOCK,
         ITERATIONS,
         CALLS,
         PREDICTED_SECONDS,

@@ -57,7 +57,12 @@ from .registry import (
     metrics_from_trace,
     record_from_trace,
 )
-from .report import KernelComparison, format_perf_report, kernel_comparisons
+from .report import (
+    KernelComparison,
+    format_density_section,
+    format_perf_report,
+    kernel_comparisons,
+)
 
 __all__ = [
     "BenchmarkRecord",
@@ -81,6 +86,7 @@ __all__ = [
     "default_history_path",
     "enrich_spans",
     "format_calibration_report",
+    "format_density_section",
     "format_perf_report",
     "geometry_from_spans",
     "ingest_legacy_bench",

@@ -31,6 +31,7 @@ from ...perf import (
     model_correlation_matmul,
     model_kernel_syrk,
     model_normalization,
+    model_sparse_stage12,
     model_svm_cv,
 )
 from ..span import Span, SpanNode, build_tree
@@ -144,6 +145,8 @@ def predict_kernel(
     *,
     variant: str = "optimized-batched",
     voxel_sweep: int | None = None,
+    target_block: int | None = None,
+    density: float | None = None,
 ) -> tuple[PerfCounters, float] | None:
     """Model one kernel span's counters and elapsed seconds.
 
@@ -151,10 +154,21 @@ def predict_kernel(
     kernels with no model (``plan_blocks``, solver internals).  For the
     scoring node, ``variant`` selects the implementation pair the run
     actually used (baseline -> MKL syrk + LibSVM; optimized ->
-    panel syrk + PhiSVM).
+    panel syrk + PhiSVM).  The sparse kernel additionally needs its
+    recorded tile geometry and kept fraction (``target_block``,
+    ``density`` — span metrics of ``correlate_normalize_sparse``).
     """
     if n_assigned < 1:
         return None
+    if name == "correlate_normalize_sparse":
+        sweep = voxel_sweep if voxel_sweep else n_assigned
+        tb = target_block if target_block else spec.n_voxels
+        return _combine([
+            model_sparse_stage12(
+                spec, n_assigned, hw, sweep, tb,
+                density if density is not None else 1.0,
+            )
+        ])
     if name == "correlate_baseline":
         return _combine([model_correlation_matmul(spec, n_assigned, hw, "mkl")])
     if name == "normalize_separated":
@@ -185,6 +199,7 @@ MODELED_KERNELS = (
     "normalize_separated",
     "correlate_blocked+merge",
     "correlate_normalize_batched",
+    "correlate_normalize_sparse",
     "score_voxels",
 )
 
@@ -249,9 +264,22 @@ def enrich_spans(
             or task_voxels.get(span.span_id, 0)
         )
         sweep: int | None = None
-        tiles = span.metrics.get("tiles")
-        if tiles and n_assigned:
-            sweep = max(1, math.ceil(n_assigned / tiles))
+        target_block: int | None = None
+        density: float | None = None
+        if span.name == "correlate_normalize_sparse":
+            # The sparse kernel records its tile geometry and kept
+            # fraction explicitly; deriving sweep from the tile count
+            # would conflate the two tiling axes.
+            if span.metrics.get("voxel_sweep"):
+                sweep = int(span.metrics["voxel_sweep"])
+            if span.metrics.get("target_block"):
+                target_block = int(span.metrics["target_block"])
+            if "density" in span.metrics:
+                density = float(span.metrics["density"])
+        else:
+            tiles = span.metrics.get("tiles")
+            if tiles and n_assigned:
+                sweep = max(1, math.ceil(n_assigned / tiles))
         try:
             predicted = predict_kernel(
                 span.name,
@@ -260,6 +288,8 @@ def enrich_spans(
                 hw,
                 variant=variant,
                 voxel_sweep=sweep,
+                target_block=target_block,
+                density=density,
             )
         except (ValueError, ZeroDivisionError):
             continue

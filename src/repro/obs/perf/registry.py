@@ -260,7 +260,10 @@ def metrics_from_trace(spans: Iterable[Span]) -> dict[str, float]:
     * ``kernel.<name>.predicted_seconds`` / ``.predicted_gflops`` /
       ``.pc.*`` — model predictions where the observatory attached them
       (:func:`repro.obs.perf.enrich_spans`);
-    * ``kernel.<name>.model_ratio`` — measured over predicted seconds.
+    * ``kernel.<name>.model_ratio`` — measured over predicted seconds;
+    * ``counter.<name>`` — run counters (``ctr.`` span metrics) summed
+      across all spans; the sparse stage-1/2 counters (``stage12_nnz``,
+      ``stage12_tiles_pruned``, ...) reach drift detection this way.
     """
     metrics: dict[str, float] = {}
     span_list = list(spans)
@@ -278,6 +281,9 @@ def metrics_from_trace(spans: Iterable[Span]) -> dict[str, float]:
         metrics[key] = metrics.get(key, 0.0) + value
 
     for span in span_list:
+        for metric_name, value in span.metrics.items():
+            if metric_name.startswith("ctr."):
+                _bump(f"counter.{metric_name[4:]}", value)
         if span.kind == "stage":
             _bump(
                 f"stage.{span.name}.seconds",

@@ -15,11 +15,22 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from ...hw.spec import HardwareSpec
-from ...perf import format_roofline_report, roofline_rows
+from ...perf import (
+    dense_crossover_density,
+    density_sweep,
+    format_density_sweep,
+    format_roofline_report,
+    roofline_rows,
+)
 from ..span import Span
-from .enrich import default_hardware
+from .enrich import default_hardware, geometry_from_spans
 
-__all__ = ["KernelComparison", "format_perf_report", "kernel_comparisons"]
+__all__ = [
+    "KernelComparison",
+    "format_density_section",
+    "format_perf_report",
+    "kernel_comparisons",
+]
 
 
 @dataclass(frozen=True)
@@ -96,6 +107,60 @@ def kernel_comparisons(spans: Iterable[Span]) -> list[KernelComparison]:
     return rows
 
 
+def format_density_section(
+    spans: Iterable[Span], hw: HardwareSpec | None = None
+) -> str | None:
+    """Density-sweep table for a trace with sparse stage-1/2 spans.
+
+    Aggregates every ``correlate_normalize_sparse`` kernel span (summed
+    voxels as the task size, tile geometry from the first span, measured
+    density as total nnz over total elements), then tabulates the
+    model's predicted sparse-vs-dense seconds over a density grid, the
+    dense crossover point, and the measured wall time on the row nearest
+    the measured density.  Returns ``None`` when the trace has no sparse
+    spans or no recorded geometry.
+    """
+    if hw is None:
+        hw = default_hardware()
+    span_list = list(spans)
+    sparse = [
+        s
+        for s in span_list
+        if s.kind == "kernel" and s.name == "correlate_normalize_sparse"
+    ]
+    if not sparse:
+        return None
+    geometry = geometry_from_spans(span_list)
+    if geometry is None:
+        return None
+    try:
+        spec = geometry.spec()
+    except ValueError:
+        return None
+    n_assigned = int(sum(s.metrics.get("voxels", 0.0) for s in sparse))
+    sweep = int(sparse[0].metrics.get("voxel_sweep", 0)) or n_assigned
+    target_block = (
+        int(sparse[0].metrics.get("target_block", 0)) or spec.n_voxels
+    )
+    if n_assigned < 1:
+        return None
+    elements = sum(s.metrics.get("elements", 0.0) for s in sparse)
+    nnz = sum(s.metrics.get("nnz", 0.0) for s in sparse)
+    wall = sum(s.metrics.get("wall_seconds", s.duration) for s in sparse)
+    measured = (nnz / elements, wall) if elements > 0 else None
+    rows = density_sweep(spec, n_assigned, hw, sweep, target_block)
+    crossover = dense_crossover_density(spec, n_assigned, hw, sweep, target_block)
+    header = (
+        f"sparse stage 1/2 density sweep "
+        f"(V={n_assigned}, sweep={sweep}, target_block={target_block}"
+        + (f", measured density {measured[0]:.4f}" if measured else "")
+        + ")"
+    )
+    return header + "\n" + format_density_sweep(
+        rows, crossover=crossover, measured=measured
+    )
+
+
 def format_perf_report(
     spans: Iterable[Span], hw: HardwareSpec | None = None
 ) -> str:
@@ -104,7 +169,9 @@ def format_perf_report(
     Section 1: per-kernel measured vs predicted milliseconds, the
     measured/predicted ratio, modeled references and L2 misses (the
     paper's table vocabulary).  Section 2: the roofline placement of
-    the same kernels on the chosen machine model.
+    the same kernels on the chosen machine model.  Section 3 (only when
+    the trace ran the sparse variant): the density sweep of
+    :func:`format_density_section`.
     """
     if hw is None:
         hw = default_hardware()
@@ -132,4 +199,8 @@ def format_perf_report(
         )
     lines.append("")
     lines.append(format_roofline_report(roofline_rows(span_list, hw), hw))
+    density_section = format_density_section(span_list, hw)
+    if density_section is not None:
+        lines.append("")
+        lines.append(density_section)
     return "\n".join(lines)

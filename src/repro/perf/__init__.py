@@ -35,6 +35,18 @@ from .stage12_model import (
     sweep_fits_l2,
     sweep_slab_bytes,
 )
+from .sparse_model import (
+    CSR_ASSEMBLY_PASSES,
+    CSR_BYTES_PER_ENTRY,
+    SparseStage12Shape,
+    dense_crossover_density,
+    density_sweep,
+    format_density_sweep,
+    model_sparse_stage12,
+    sparse_stage12_shape_for,
+    tile_bytes,
+    tile_fits_l2,
+)
 from .roofline import (
     RooflinePoint,
     RooflineRow,
@@ -65,6 +77,8 @@ __all__ = [
     "BatchedStage12Shape",
     "BatchedSyrkShape",
     "CALIBRATION",
+    "CSR_ASSEMBLY_PASSES",
+    "CSR_BYTES_PER_ENTRY",
     "CorrShape",
     "DISPATCH_OVERHEAD_SECONDS",
     "InstrumentationRow",
@@ -79,6 +93,7 @@ __all__ = [
     "RooflinePoint",
     "RooflineRow",
     "SVM_VARIANTS",
+    "SparseStage12Shape",
     "SvmVariant",
     "SyrkShape",
     "TaskEstimate",
@@ -89,9 +104,12 @@ __all__ = [
     "batched_stage12_shape_for",
     "batched_syrk_shape_for",
     "calibration_for",
-    "dispatch_amortization",
     "corr_shape_for",
+    "dense_crossover_density",
+    "density_sweep",
+    "dispatch_amortization",
     "estimate_kernel",
+    "format_density_sweep",
     "format_report",
     "format_roofline_report",
     "get_calibration",
@@ -102,6 +120,7 @@ __all__ = [
     "model_correlation_matmul",
     "model_kernel_syrk",
     "model_normalization",
+    "model_sparse_stage12",
     "model_svm_cv",
     "model_task",
     "offline_task_seconds",
@@ -111,10 +130,13 @@ __all__ = [
     "roofline_point",
     "roofline_rows",
     "row_from_estimate",
+    "sparse_stage12_shape_for",
     "stage12_dispatch_amortization",
     "svm_problem_count",
     "sweep_fits_l2",
     "sweep_slab_bytes",
     "syrk_shape_for",
     "task_memory",
+    "tile_bytes",
+    "tile_fits_l2",
 ]

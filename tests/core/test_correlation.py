@@ -321,3 +321,46 @@ class TestBlockedReference:
         )
         assert calls == batched_calls
         assert len(calls) == 3 * 2 * 2  # ceil(10/4) * ceil(10/6) * ceil(4/2)
+
+
+class TestStage1InputCopies:
+    """The input-side twin of the ``out`` validation above: a strided or
+    float64 ``z`` is legal but silently buffer-copied by the batched
+    gufunc; :func:`stage1_input_copies` is the predicate the execution
+    layer feeds into the ``stage12_out_copies`` trace counter."""
+
+    def _z(self):
+        return normalize_epoch_data(stack(3, 8, 6, seed=13))
+
+    def test_contiguous_float32_is_free(self):
+        from repro.core.correlation import stage1_input_copies
+
+        assert stage1_input_copies(self._z()) == 0
+
+    def test_non_contiguous_costs_one_copy(self):
+        from repro.core.correlation import stage1_input_copies
+
+        z = self._z()
+        padded = np.empty((3, 8, 12), dtype=np.float32)
+        padded[:, :, :6] = z
+        strided = padded[:, :, :6]
+        assert not strided.flags.c_contiguous
+        assert stage1_input_copies(strided) == 1
+
+    def test_float64_costs_one_copy(self):
+        from repro.core.correlation import stage1_input_copies
+
+        assert stage1_input_copies(self._z().astype(np.float64)) == 1
+
+    def test_non_contiguous_z_still_bitwise_equal(self):
+        """The hidden copy must not change the produced bits — the
+        counter reports a cost, not a correctness hazard."""
+        from repro.core.correlation import correlate_batched
+
+        z = self._z()
+        padded = np.empty((3, 8, 12), dtype=np.float32)
+        padded[:, :, :6] = z
+        strided = padded[:, :, :6]
+        reference = correlate_batched(z, np.arange(8))
+        from_strided = correlate_batched(strided, np.arange(8))
+        assert reference.tobytes() == from_strided.tobytes()

@@ -68,3 +68,44 @@ class TestMasterLoop:
 
         results = run_ranks(2, spmd)
         assert results[1] == len(tasks)
+
+
+class TestShimsAreDeterministic:
+    """Run the deprecated entry points twice: seed-identical results.
+
+    The shims forward into the executor layer, which is deterministic
+    for a fixed config seed — if a refactor makes a shim re-derive (or
+    drop) any seeded state, these catch it even when the single-run
+    parity tests above still pass.
+    """
+
+    def test_parallel_voxel_selection_twice(
+        self, tiny_dataset, fast_fcma_config
+    ):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            first = parallel_voxel_selection(
+                tiny_dataset, fast_fcma_config, n_workers=2
+            )
+            second = parallel_voxel_selection(
+                tiny_dataset, fast_fcma_config, n_workers=2
+            )
+        np.testing.assert_array_equal(first.voxels, second.voxels)
+        np.testing.assert_array_equal(first.accuracies, second.accuracies)
+
+    def test_master_loop_twice(self, tiny_dataset, fast_fcma_config):
+        tasks = task_partition(
+            tiny_dataset.n_voxels, fast_fcma_config.task_voxels
+        )
+
+        def spmd(comm):
+            if comm.rank == 0:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", DeprecationWarning)
+                    return master_loop(comm, tasks)
+            return worker_loop(comm, tiny_dataset, fast_fcma_config)
+
+        first = run_ranks(3, spmd)[0]
+        second = run_ranks(3, spmd)[0]
+        np.testing.assert_array_equal(first.voxels, second.voxels)
+        np.testing.assert_array_equal(first.accuracies, second.accuracies)

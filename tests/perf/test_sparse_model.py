@@ -1,0 +1,232 @@
+"""Tests for the sparse thresholded stage-1/2 access-pattern model."""
+
+import numpy as np
+import pytest
+
+from repro.data.presets import FACE_SCENE, SPARSE_100K
+from repro.hw import E5_2670, PHI_5110P
+from repro.perf import (
+    CSR_ASSEMBLY_PASSES,
+    CSR_BYTES_PER_ENTRY,
+    SparseStage12Shape,
+    dense_crossover_density,
+    density_sweep,
+    format_density_sweep,
+    model_batched_stage12,
+    model_sparse_stage12,
+    sparse_stage12_shape_for,
+    tile_bytes,
+    tile_fits_l2,
+)
+from repro.perf.roofline import ridge_intensity
+
+
+def _shape(**overrides):
+    defaults = dict(
+        n_epochs=24, n_assigned=64, epoch_len=12, n_voxels=100_000,
+        voxel_sweep=16, target_block=256, density=0.01,
+    )
+    defaults.update(overrides)
+    return SparseStage12Shape(**defaults)
+
+
+class TestShape:
+    def test_flops_equal_dense_engine(self):
+        """The filter discards entries after they are computed — the
+        arithmetic is exactly the dense engine's."""
+        sparse = model_sparse_stage12(FACE_SCENE, 120, PHI_5110P, 16, 256, 0.01)
+        dense = model_batched_stage12(FACE_SCENE, 120, PHI_5110P, 16)
+        assert sparse.counters.flops == dense.counters.flops
+
+    def test_kept_scales_with_density(self):
+        sh = _shape(density=0.01)
+        assert sh.kept == pytest.approx(0.01 * sh.elements)
+        assert _shape(density=1.0).kept == sh.elements
+        assert _shape(density=0.0).kept == 0.0
+
+    def test_tile_counts(self):
+        sh = _shape(n_assigned=10, voxel_sweep=3, n_voxels=100, target_block=30)
+        assert sh.n_slabs == 4       # ceil(10 / 3)
+        assert sh.n_tiles == 4 * 4   # x ceil(100 / 30)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            _shape(n_assigned=0)
+        with pytest.raises(ValueError, match=">= 1"):
+            _shape(voxel_sweep=0)
+        with pytest.raises(ValueError, match="density"):
+            _shape(density=1.5)
+        with pytest.raises(ValueError, match="density"):
+            _shape(density=-0.1)
+
+    def test_shape_for_preset(self):
+        sh = sparse_stage12_shape_for(SPARSE_100K, 256, 16, 5461, 0.01)
+        assert sh.n_voxels == SPARSE_100K.n_voxels
+        assert sh.n_epochs == SPARSE_100K.n_epochs
+
+
+class TestMemoryAccounting:
+    def test_memory_bound_regime(self):
+        """The tentpole roofline claim: at 1% density the modeled kernel
+        sits well below the ridge intensity on both machines."""
+        for hw in (E5_2670, PHI_5110P):
+            est = model_sparse_stage12(SPARSE_100K, 256, hw, 16, 256, 0.01)
+            ai = est.counters.flops / (est.counters.l2_misses * hw.l2.line_bytes)
+            assert ai < ridge_intensity(hw)
+
+    def test_csr_traffic_scales_with_density(self):
+        """DRAM lines must grow linearly in density with slope equal to
+        the CSR write + assembly passes."""
+        lo = model_sparse_stage12(SPARSE_100K, 256, E5_2670, 16, 256, 0.01)
+        hi = model_sparse_stage12(SPARSE_100K, 256, E5_2670, 16, 256, 0.02)
+        sh = sparse_stage12_shape_for(SPARSE_100K, 256, 16, 256, 0.01)
+        expected_extra_lines = (
+            (1 + CSR_ASSEMBLY_PASSES)
+            * (0.01 * sh.elements * CSR_BYTES_PER_ENTRY)
+            / E5_2670.l2.line_bytes
+        )
+        got = hi.counters.l2_misses - lo.counters.l2_misses
+        assert got == pytest.approx(expected_extra_lines, rel=1e-9)
+
+    def test_tile_fits_l2_knee(self):
+        """Crossing the per-thread L2 budget flips the degradation term:
+        the spilled model pays dense write + re-read traffic on top."""
+        small = _shape(target_block=32)
+        big = _shape(target_block=50_000)
+        assert tile_fits_l2(small, E5_2670)
+        assert not tile_fits_l2(big, E5_2670)
+        fit = model_sparse_stage12(SPARSE_100K, 64, E5_2670, 16, 32, 0.01)
+        spill = model_sparse_stage12(SPARSE_100K, 64, E5_2670, 16, 50_000, 0.01)
+        sh = sparse_stage12_shape_for(SPARSE_100K, 64, 16, 32, 0.01)
+        penalty = 2.0 * sh.elements / E5_2670.elements_per_line()
+        # The spilled estimate carries the full dense-degradation lines
+        # (minus the small B re-stream difference from fewer slabs).
+        assert spill.counters.l2_misses > fit.counters.l2_misses
+        assert (
+            spill.counters.l2_misses - fit.counters.l2_misses
+            > 0.5 * penalty
+        )
+
+    def test_tile_bytes_counts_scratch(self):
+        sh = _shape(voxel_sweep=4, n_epochs=8, target_block=100)
+        assert tile_bytes(sh) == 2 * 4 * 8 * 100 * 4
+
+    def test_cache_fraction_validated(self):
+        with pytest.raises(ValueError, match="cache_fraction"):
+            tile_fits_l2(_shape(), E5_2670, cache_fraction=0.0)
+
+
+class TestDensitySweepAndCrossover:
+    def test_sweep_shape_and_monotonicity(self):
+        rows = density_sweep(SPARSE_100K, 256, E5_2670, 16, 256)
+        assert len(rows) == 9  # DEFAULT_DENSITIES
+        densities = [r[0] for r in rows]
+        assert densities == sorted(densities)
+        sparse_s = [r[1] for r in rows]
+        assert sparse_s == sorted(sparse_s)  # cost grows with density
+        dense_s = {r[2] for r in rows}
+        assert len(dense_s) == 1  # dense cost is density-independent
+
+    def test_crossover_none_when_sparse_always_wins(self):
+        """At fitting tiles the dense engine's full-buffer traffic
+        exceeds sparse CSR assembly even at density 1.0."""
+        crossover = dense_crossover_density(SPARSE_100K, 256, E5_2670, 16, 256)
+        assert crossover is None
+
+    def test_crossover_mid_when_b_restream_dominates(self):
+        """A width-1 sweep re-streams the B operand once per assigned
+        voxel, so the sparse engine loses its margin and a finite
+        break-even density appears."""
+        crossover = dense_crossover_density(SPARSE_100K, 64, E5_2670, 1, 512)
+        assert crossover is not None
+        assert 0.0 < crossover < 1.0
+
+    @pytest.mark.parametrize("sweep,t_block", [(16, 256), (1, 512)])
+    def test_crossover_bisection_is_consistent(self, sweep, t_block):
+        """Whatever the crossover value, the sweep must agree with it:
+        rows below the crossover are sparse wins, above dense wins."""
+        args = (SPARSE_100K, 64, E5_2670, sweep, t_block)
+        crossover = dense_crossover_density(*args)
+        rows = density_sweep(*args, densities=np.linspace(0.01, 1.0, 12))
+        for density, sparse_s, dense_s in rows:
+            if crossover is None or density < crossover:
+                assert sparse_s <= dense_s
+            else:
+                assert sparse_s >= dense_s
+
+    def test_format_table(self):
+        rows = density_sweep(SPARSE_100K, 256, E5_2670, 16, 256)
+        text = format_density_sweep(
+            rows, crossover=None, measured=(0.01, 1.44)
+        )
+        lines = text.splitlines()
+        assert "density" in lines[0] and "measured_s" in lines[0]
+        assert len(lines) == 1 + len(rows) + 1
+        assert "crossover: none" in lines[-1]
+        assert sum("1.440" in line for line in lines) == 1
+
+    def test_format_table_with_crossover(self):
+        rows = density_sweep(SPARSE_100K, 64, E5_2670, 16, 50_000)
+        text = format_density_sweep(rows, crossover=0.0)
+        assert "dense engine modeled faster above density 0.000" in text
+
+
+def _kernel_span(**metrics):
+    from repro.obs import Span
+
+    span = Span(
+        span_id=2, name="correlate_normalize_sparse", kind="kernel",
+        t0=0.0, t1=1.0,
+    )
+    for name, value in metrics.items():
+        span.add_metric(name, value)
+    return span
+
+
+def _run_span():
+    """A run span carrying the SPARSE_100K geometry attrs, as the
+    executor records them."""
+    from repro.obs import Span
+
+    span = Span(span_id=1, name="run", kind="run", t0=0.0, t1=1.0)
+    span.attrs.update(
+        n_voxels=SPARSE_100K.n_voxels,
+        n_subjects=SPARSE_100K.n_subjects,
+        n_epochs=SPARSE_100K.n_epochs,
+        epoch_length=SPARSE_100K.epoch_length,
+        dataset=SPARSE_100K.name,
+        variant="sparse-batched",
+    )
+    return span
+
+
+class TestEnrichment:
+    def test_sparse_span_gets_prediction(self):
+        """A traced sparse-batched run's kernel span is enriched with
+        modeled counters and a predicted time."""
+        from repro.obs.perf import enrich_spans
+
+        span = _kernel_span(
+            voxels=64.0, voxel_sweep=16.0, target_block=5461.0, density=0.01
+        )
+        assert enrich_spans([_run_span(), span], hw=E5_2670) == 1
+        metrics = span.metrics
+        assert metrics["predicted_seconds"] > 0
+        assert metrics["pc.flops"] > 0
+
+    def test_report_density_section(self):
+        from repro.obs.perf import format_density_section
+
+        elements = float(64 * SPARSE_100K.n_epochs * SPARSE_100K.n_voxels)
+        span = _kernel_span(
+            voxels=64.0, voxel_sweep=16.0, target_block=5461.0, density=0.01,
+            nnz=0.01 * elements, elements=elements,
+        )
+        section = format_density_section([_run_span(), span], hw=E5_2670)
+        assert section is not None
+        assert "density" in section and "crossover" in section
+
+    def test_density_section_absent_without_sparse_spans(self):
+        from repro.obs.perf import format_density_section
+
+        assert format_density_section([]) is None
