@@ -61,13 +61,22 @@ class OnlineClassifier:
         corr = np.arctanh(np.clip(corr, -1 + 1e-6, 1 - 1e-6))
         return corr.transpose(1, 0, 2).reshape(1, -1)
 
-    def classify_epoch(self, epoch_window: np.ndarray) -> int:
-        """Predicted condition for one incoming epoch (the feedback)."""
-        feats = self.features_for_epoch(epoch_window)
+    def classify_features(self, feats: np.ndarray) -> int:
+        """Predicted condition from an already-computed feature row.
+
+        The streaming loop computes features incrementally (the engine's
+        :class:`~repro.core.incremental.IncrementalEmitter` produces the
+        same Fisher-z row bit for bit); this entry point lets it share
+        the kernel-block + predict step with :meth:`classify_epoch`.
+        """
         block = linear_kernel(
-            feats.astype(np.float32), self.train_features
+            np.ascontiguousarray(feats, dtype=np.float32), self.train_features
         )
         return int(self.model.predict(block)[0])
+
+    def classify_epoch(self, epoch_window: np.ndarray) -> int:
+        """Predicted condition for one incoming epoch (the feedback)."""
+        return self.classify_features(self.features_for_epoch(epoch_window))
 
     def classify_epoch_with_confidence(
         self, epoch_window: np.ndarray
@@ -107,6 +116,7 @@ def run_online_analysis(
     selection_runner: SelectionRunner | None = None,
     executor: Executor | None = None,
     context: RunContext | None = None,
+    warm_start_alpha: np.ndarray | None = None,
 ) -> OnlineResult:
     """Select voxels from one subject's data and train the feedback model.
 
@@ -115,6 +125,11 @@ def run_online_analysis(
     backend (serial by default); the legacy ``selection_runner`` hook
     wins when both are given.  Stage timings accumulate into
     ``context`` (classifier training lands under ``train-classifier``).
+
+    ``warm_start_alpha`` (one dual per epoch, e.g. a previous model's
+    duals padded with zeros for newly arrived epochs) warm-starts the
+    classifier's SMO solve on backends that accept ``alpha0``; backends
+    without warm-start support fall back to a cold solve.
     """
     if top_k < 1:
         raise ValueError("top_k must be >= 1")
@@ -135,7 +150,16 @@ def run_online_analysis(
         features, labels, _ = selected_voxel_features(single, selected.voxels)
         backend = make_backend(config)
         kernel = linear_kernel(features)
-        model = backend.fit_kernel(kernel, labels)
+        model = None
+        if warm_start_alpha is not None:
+            try:
+                model = backend.fit_kernel(
+                    kernel, labels, alpha0=warm_start_alpha
+                )
+            except TypeError:  # backend without warm-start support
+                model = None
+        if model is None:
+            model = backend.fit_kernel(kernel, labels)
         accuracy = model.accuracy(kernel, labels)
         platt = None
         if hasattr(model, "decision_function") and np.unique(labels).size == 2:

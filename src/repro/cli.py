@@ -46,6 +46,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="override voxel count")
     gen.add_argument("--subjects", type=int, default=None,
                      help="override subject count")
+    gen.add_argument("--epochs-per-subject", type=int, default=None,
+                     help="override epochs per subject")
     gen.add_argument("--seed", type=int, default=None)
 
     run = sub.add_parser(
@@ -62,7 +64,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--variant",
                      choices=["optimized", "baseline", "optimized-batched",
                               "sparse-batched"],
-                     default="optimized")
+                     default=None,
+                     help="pipeline variant (default: optimized, or the "
+                          "--emitter's native engine variant)")
+    run.add_argument("--emitter",
+                     choices=["dense", "csr"],
+                     default=None,
+                     help="engine emitter materializing stage-1/2 tiles; "
+                          "without --variant this implies the matching "
+                          "engine variant (dense -> optimized-batched, "
+                          "csr -> sparse-batched)")
     run.add_argument("--task-voxels", type=int, default=120)
     run.add_argument("--threshold", type=float, default=None,
                      help="sparse-batched: keep normalized correlations "
@@ -123,6 +134,37 @@ def build_parser() -> argparse.ArgumentParser:
     onl.add_argument("--subject", type=int, default=0)
     onl.add_argument("--top", type=int, default=20)
     onl.add_argument("--folds", type=int, default=4)
+
+    rt = sub.add_parser(
+        "rtfmri", help="closed-loop streaming session (train, then "
+                       "per-TR incremental feedback)"
+    )
+    rt.add_argument("dataset", help="input .npz dataset (replayed as a scan)")
+    rt.add_argument("--subject", type=int, default=0)
+    rt.add_argument("--training-epochs", type=int, default=8,
+                    help="completed epochs accumulated before training")
+    rt.add_argument("--top-k", type=int, default=20,
+                    help="voxels selected for the feedback classifier")
+    rt.add_argument("--folds", type=int, default=4,
+                    help="within-subject CV folds for voxel selection")
+    rt.add_argument("--retrain-every", type=int, default=None,
+                    help="adaptive mode: refresh the decoder after every "
+                         "N feedback epochs (warm-started SMO)")
+    rt.add_argument("--window-epochs", type=int, default=None,
+                    help="sliding window: retain only the most recent N "
+                         "completed epochs (default: keep everything)")
+    rt.add_argument("--latency-budget-ms", type=float, default=None,
+                    help="fail (exit 1) when the p99 per-TR step latency "
+                         "exceeds this many milliseconds")
+    rt.add_argument("--json", action="store_true",
+                    help="emit the session report as JSON")
+    rt.add_argument("--history", default=None, metavar="PATH",
+                    help="append the session's latency/accuracy metrics "
+                         "to the benchmark history registry at PATH "
+                         "(gate drift with 'fcma perf check --latest')")
+    rt.add_argument("--history-name", default="rtfmri-session",
+                    metavar="NAME",
+                    help="series name the history record is filed under")
 
     rep = sub.add_parser("report", help="instrumentation report (Table 1)")
     rep.add_argument("--dataset", choices=["face-scene", "attention"],
@@ -301,6 +343,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         overrides["n_informative"] = max(8, args.voxels // 25)
     if args.subjects is not None:
         overrides["n_subjects"] = args.subjects
+    if args.epochs_per_subject is not None:
+        overrides["epochs_per_subject"] = args.epochs_per_subject
     if args.seed is not None:
         overrides["seed"] = args.seed
     if overrides:
@@ -328,13 +372,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from .exec import RunContext, make_executor
 
     dataset = load_dataset(args.dataset)
+    variant = args.variant
+    if variant is None:
+        # --emitter alone implies its native engine variant; config
+        # validation rejects any explicit variant/emitter mismatch.
+        variant = {"dense": "optimized-batched", "csr": "sparse-batched"}.get(
+            args.emitter, "optimized"
+        )
     config = FCMAConfig(
-        variant=args.variant,
+        variant=variant,
         task_voxels=args.task_voxels,
         autotune_blocks=args.autotune,
         plan_cache_path=args.plan_cache,
         threshold=args.threshold,
         top_k=args.top_k,
+        emitter=args.emitter,
     )
     ctx = RunContext(config, seed=args.seed)
     executor = make_executor(args.executor, n_workers=args.workers)
@@ -377,6 +429,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         report = ctx.timing_report()
         report["dataset"] = str(dataset)
         report["variant"] = config.variant
+        report["emitter"] = config.resolved_emitter()
         report["top"] = [
             {"voxel": int(v), "accuracy": float(a)}
             for v, a in zip(top.voxels, top.accuracies)
@@ -474,6 +527,121 @@ def _cmd_online(args: argparse.Namespace) -> int:
     print(f"  classifier training accuracy: {result.training_accuracy:.3f}")
     print(f"  voxels: {result.selected.voxels.tolist()}")
     return 0
+
+
+def _cmd_rtfmri(args: argparse.Namespace) -> int:
+    from .core import FCMAConfig
+    from .data import load_dataset
+    from .rtfmri import ClosedLoopSession, ScannerSimulator
+
+    dataset = load_dataset(args.dataset)
+    config = FCMAConfig(online_folds=args.folds)
+    scanner = ScannerSimulator(dataset, subject=args.subject)
+    session = ClosedLoopSession(
+        scanner,
+        config,
+        training_epochs=args.training_epochs,
+        top_k=args.top_k,
+        retrain_every=args.retrain_every,
+        window_epochs=args.window_epochs,
+    )
+    result = session.run()
+    stats = result.streaming
+    p99_ms = stats.p99_step_latency_s * 1e3
+
+    history_path = None
+    if args.history:
+        from .obs.perf import (
+            BenchmarkRecord,
+            HistoryRegistry,
+            config_fingerprint,
+        )
+
+        record = BenchmarkRecord(
+            name=args.history_name,
+            metrics={
+                "median_step_seconds": stats.median_step_latency_s,
+                "p99_step_seconds": stats.p99_step_latency_s,
+                "max_step_seconds": stats.max_step_latency_s,
+                "training_wall_seconds": result.training_latency_s,
+                "feedback_wall_seconds": result.max_feedback_latency_s,
+                "feedback_accuracy": result.feedback_accuracy,
+                "feedback_events": float(len(result.events)),
+                "trs_streamed": float(stats.trs_streamed),
+                "partial_updates": float(stats.partial_updates),
+                "epochs_completed": float(stats.epochs_completed),
+                "epochs_evicted": float(stats.epochs_evicted),
+                "warm_started_retrains": float(stats.warm_started_retrains),
+            },
+            config_hash=config_fingerprint(
+                config,
+                {
+                    "training_epochs": args.training_epochs,
+                    "top_k": args.top_k,
+                    "retrain_every": args.retrain_every,
+                    "window_epochs": args.window_epochs,
+                },
+            ),
+            attrs={"subject": args.subject, "dataset": str(dataset)},
+        )
+        history_path = str(HistoryRegistry(args.history).append(record))
+
+    over_budget = (
+        args.latency_budget_ms is not None
+        and p99_ms > args.latency_budget_ms
+    )
+    if args.json:
+        report = {
+            "dataset": str(dataset),
+            "subject": args.subject,
+            "feedback_events": len(result.events),
+            "feedback_accuracy": result.feedback_accuracy,
+            "training_latency_s": result.training_latency_s,
+            "max_feedback_latency_s": result.max_feedback_latency_s,
+            "retrain_count": session.retrain_count,
+            "streaming": {
+                "trs_streamed": stats.trs_streamed,
+                "partial_updates": stats.partial_updates,
+                "epochs_completed": stats.epochs_completed,
+                "epochs_evicted": stats.epochs_evicted,
+                "warm_started_retrains": stats.warm_started_retrains,
+                "median_step_ms": stats.median_step_latency_s * 1e3,
+                "p99_step_ms": p99_ms,
+                "max_step_ms": stats.max_step_latency_s * 1e3,
+            },
+        }
+        if args.latency_budget_ms is not None:
+            report["latency_budget_ms"] = args.latency_budget_ms
+            report["within_budget"] = not over_budget
+        if history_path is not None:
+            report["history"] = {
+                "path": history_path,
+                "name": args.history_name,
+            }
+        print(json.dumps(report, indent=2))
+    else:
+        print(f"dataset: {dataset}")
+        print(f"feedback: {len(result.events)} events, "
+              f"accuracy {result.feedback_accuracy:.3f}")
+        print(f"training: {result.training_latency_s:.3f} s"
+              + (f", {session.retrain_count} retrains "
+                 f"({stats.warm_started_retrains} warm-started)"
+                 if session.retrain_count else ""))
+        print(f"streaming: {stats.trs_streamed} TRs, "
+              f"{stats.epochs_completed} epochs completed, "
+              f"{stats.epochs_evicted} evicted")
+        print(f"step latency: median "
+              f"{stats.median_step_latency_s * 1e3:.3f} ms, "
+              f"p99 {p99_ms:.3f} ms, "
+              f"max {stats.max_step_latency_s * 1e3:.3f} ms")
+        if args.latency_budget_ms is not None:
+            verdict = "OVER" if over_budget else "within"
+            print(f"latency budget: p99 {p99_ms:.3f} ms {verdict} "
+                  f"{args.latency_budget_ms:.3f} ms")
+        if history_path is not None:
+            print(f"history: recorded '{args.history_name}' "
+                  f"-> {history_path}")
+    return 1 if over_budget else 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -745,6 +913,7 @@ _COMMANDS = {
     "select": _cmd_select,
     "offline": _cmd_offline,
     "online": _cmd_online,
+    "rtfmri": _cmd_rtfmri,
     "report": _cmd_report,
     "reproduce": _cmd_reproduce,
     "simulate": _cmd_simulate,

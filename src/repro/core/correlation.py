@@ -33,13 +33,15 @@ corresponding to a single voxel are contiguous" (Fig. 4).
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
 from ..data.dataset import FMRIDataset
 from ..data.epochs import Epoch
-from .normalization import NormalizationWorkspace, fused_normalize_sweep
+from .engine import DenseEmitter, check_stage1_inputs, run_engine, validate_dense_out
+from .normalization import NormalizationWorkspace
+from .tiling import iter_blocks
 
 __all__ = [
     "normalize_epoch_data",
@@ -85,21 +87,10 @@ def epoch_windows(dataset: FMRIDataset, epochs: Sequence[Epoch] | None = None) -
     return normalize_epoch_data(dataset.epoch_stack(epochs))
 
 
-def _check_stage1_inputs(
-    z: np.ndarray, assigned: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
-    z = np.asarray(z)
-    if z.ndim != 3:
-        raise ValueError(
-            f"normalized data must be (epochs, voxels, time), got {z.shape}"
-        )
-    assigned = np.asarray(assigned, dtype=np.int64)
-    if assigned.ndim != 1 or assigned.size == 0:
-        raise ValueError("assigned must be a non-empty 1D index array")
-    n_voxels = z.shape[1]
-    if assigned.min() < 0 or assigned.max() >= n_voxels:
-        raise IndexError("assigned voxel index out of range")
-    return z, assigned
+#: Input validation shared with the engine (kept under the historical
+#: private names for the modules and tests that import them from here).
+_check_stage1_inputs = check_stage1_inputs
+_validate_out = validate_dense_out
 
 
 def correlate_baseline(z: np.ndarray, assigned: np.ndarray) -> np.ndarray:
@@ -126,16 +117,6 @@ def correlate_baseline(z: np.ndarray, assigned: np.ndarray) -> np.ndarray:
     return out
 
 
-def iter_blocks(total: int, block: int) -> Iterator[tuple[int, int]]:
-    """Yield ``(start, stop)`` covering ``range(total)`` in ``block`` steps."""
-    if total < 0:
-        raise ValueError("total must be >= 0")
-    if block < 1:
-        raise ValueError("block must be >= 1")
-    for start in range(0, total, block):
-        yield start, min(start + block, total)
-
-
 #: Callback invoked on each finished tile of the blocked path.
 #: Arguments: (tile, voxel_block, target_block, epoch_block) where
 #: ``tile`` is the float32 view ``out[v0:v1, e0:e1, n0:n1]`` just
@@ -158,27 +139,6 @@ def stage1_input_copies(z: np.ndarray) -> int:
     if z.dtype == np.float32 and z.flags.c_contiguous:
         return 0
     return 1
-
-
-def _validate_out(out: np.ndarray, shape: tuple[int, int, int]) -> np.ndarray:
-    """Check a caller-provided output buffer before any BLAS touches it.
-
-    A float64 or strided buffer used to surface as an inscrutable
-    mid-loop gufunc/BLAS error; fail fast with a clear message instead.
-    Inputs are the other half of the story: a non-contiguous ``z`` is
-    *accepted* but silently copied by the gufunc — see
-    :func:`stage1_input_copies`, which the execution layer uses to count
-    those copies into the trace.
-    """
-    if not isinstance(out, np.ndarray):
-        raise TypeError(f"out must be a numpy array, got {type(out).__name__}")
-    if out.dtype != np.float32:
-        raise TypeError(f"out must be float32, got {out.dtype}")
-    if not out.flags.c_contiguous:
-        raise TypeError("out must be C-contiguous")
-    if out.shape != shape:
-        raise ValueError(f"out has shape {out.shape}, expected {shape}")
-    return out
 
 
 def correlate_batched(
@@ -338,23 +298,16 @@ def correlate_normalize_batched(
     Normalized values are bitwise-equal to running
     ``normalize_separated`` on the same gemm output, for any sweep.
 
+    This is a thin shim over the tiled engine: a
+    :class:`~repro.core.engine.DenseEmitter` run in full-width mode
+    reproduces the historical single-gemm + phased-sweep sequence
+    bitwise (pinned by ``tests/core/test_stage12_equivalence.py``).
+
     Returns ``(out, n_tiles)`` where ``n_tiles`` is the number of sweep
     slices normalized (the ``stage12_tiles`` RunContext counter).
     """
-    z, assigned = _check_stage1_inputs(z, assigned)
-    n_epochs, n_voxels, _ = z.shape
-    if epochs_per_subject < 1:
-        raise ValueError("epochs_per_subject must be >= 1")
-    if n_epochs % epochs_per_subject != 0:
-        raise ValueError(
-            f"epoch count {n_epochs} not divisible by epochs_per_subject "
-            f"{epochs_per_subject}"
-        )
-    out = correlate_batched(z, assigned, out=out)
-    n_tiles = fused_normalize_sweep(
-        out,
-        epochs_per_subject,
-        voxel_sweep=voxel_sweep,
-        workspace=workspace,
+    emitter = DenseEmitter(voxel_sweep=voxel_sweep, out=out)
+    result: tuple[np.ndarray, int] = run_engine(
+        z, assigned, epochs_per_subject, emitter, workspace=workspace
     )
-    return out, n_tiles
+    return result

@@ -1,0 +1,415 @@
+"""The tiled stage-1/2 engine: one compute loop, pluggable materialization.
+
+The fused correlation+normalization compute — equation-2 gemm, Fisher
+transform (eq. 4), within-subject z-score (eq. 5) — used to live in
+three near-copies: the dense fused path
+(:func:`repro.core.correlation.correlate_normalize_batched`), the
+sparse CSR path
+(:func:`repro.core.sparse.correlate_normalize_sparse_batched`), and the
+naive per-epoch re-run inside :mod:`repro.rtfmri`.  This module is the
+single engine those entry points now shim over: :func:`run_engine`
+walks the blocking-plan tiles, runs the epoch-batched gemm and the
+fused normalizer once, and hands each cache-resident tile to a
+pluggable :class:`TileEmitter` that decides what the output *is* —
+a dense array, CSR fragments, or an incremental sliding-window store.
+
+Two walk modes, selected by the emitter's :class:`TilePlan`:
+
+* **full-width** (``target_block=None``) — one whole-task epoch-batched
+  gemm, then a voxel sweep of the phased normalizer.  This is the dense
+  engine's shape and is *required* for bitwise reproduction of the
+  historical dense results: BLAS may pick different accumulation
+  kernels per gemm shape, so only the identical single-gemm dispatch
+  returns the identical bits.
+* **tiled** — per-tile gemms of ``(voxel_sweep, E, target_block)``
+  blocks with the same scratch-tile reuse the sparse engine used, each
+  tile normalized in cache by
+  :func:`~repro.core.normalization.fuse_normalize_tile` (bitwise-equal
+  to the sweep) and emitted before the next tile overwrites it.  Peak
+  memory is one tile, never the dense volume.
+
+Bitwise contracts the emitters pin (see
+``tests/core/test_engine.py`` and the equivalence suites):
+
+* ``DenseEmitter`` reproduces ``correlate_normalize_batched`` exactly;
+* ``CSREmitter`` (in :mod:`repro.core.sparse`) reproduces
+  ``correlate_normalize_sparse_batched`` exactly, including tau/top-k
+  tie-breaks and ``sparse_tile_plan`` sizing;
+* ``IncrementalEmitter`` (in :mod:`repro.core.incremental`) produces
+  per-epoch planes bitwise-equal to slices of the batch gemm, so a
+  sliding window re-normalized per TR equals batch recompute exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from .normalization import (
+    NormalizationWorkspace,
+    fuse_normalize_tile,
+    fused_normalize_sweep,
+)
+from .tiling import iter_blocks
+
+__all__ = [
+    "EngineShape",
+    "TilePlan",
+    "TileEmitter",
+    "DenseEmitter",
+    "run_engine",
+    "check_stage1_inputs",
+    "validate_dense_out",
+    "register_emitter",
+    "create_emitter",
+    "available_emitters",
+]
+
+
+def check_stage1_inputs(
+    z: np.ndarray, assigned: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate the ``(E, N, T)`` normalized data and assigned rows."""
+    z = np.asarray(z)
+    if z.ndim != 3:
+        raise ValueError(
+            f"normalized data must be (epochs, voxels, time), got {z.shape}"
+        )
+    assigned = np.asarray(assigned, dtype=np.int64)
+    if assigned.ndim != 1 or assigned.size == 0:
+        raise ValueError("assigned must be a non-empty 1D index array")
+    n_voxels = z.shape[1]
+    if assigned.min() < 0 or assigned.max() >= n_voxels:
+        raise IndexError("assigned voxel index out of range")
+    return z, assigned
+
+
+def validate_dense_out(
+    out: np.ndarray, shape: tuple[int, int, int]
+) -> np.ndarray:
+    """Check a caller-provided output buffer before any BLAS touches it.
+
+    A float64 or strided buffer used to surface as an inscrutable
+    mid-loop gufunc/BLAS error; fail fast with a clear message instead.
+    """
+    if not isinstance(out, np.ndarray):
+        raise TypeError(f"out must be a numpy array, got {type(out).__name__}")
+    if out.dtype != np.float32:
+        raise TypeError(f"out must be float32, got {out.dtype}")
+    if not out.flags.c_contiguous:
+        raise TypeError("out must be C-contiguous")
+    if out.shape != shape:
+        raise ValueError(f"out has shape {out.shape}, expected {shape}")
+    return out
+
+
+@dataclass(frozen=True)
+class EngineShape:
+    """Geometry of one stage-1/2 task (what an emitter plans against)."""
+
+    n_assigned: int
+    n_epochs: int
+    n_voxels: int
+    epoch_length: int
+    epochs_per_subject: int
+
+    @property
+    def dense_shape(self) -> tuple[int, int, int]:
+        """The voxel-major dense output shape ``(V, E, N)``."""
+        return (self.n_assigned, self.n_epochs, self.n_voxels)
+
+
+@dataclass(frozen=True)
+class TilePlan:
+    """How the engine walks a task.
+
+    ``target_block=None`` selects full-width mode (one whole-task gemm
+    plus a ``voxel_sweep`` normalization sweep; ``voxel_sweep=None``
+    sweeps the task in one slab).  A ``target_block`` selects tiled
+    mode with per-tile gemms; ``voxel_sweep`` then defaults to all
+    assigned rows.  The distinction is part of the bitwise contract,
+    not a tuning detail — see the module docstring.
+    """
+
+    voxel_sweep: int | None = None
+    target_block: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.voxel_sweep is not None and self.voxel_sweep < 1:
+            raise ValueError("voxel_sweep must be >= 1")
+        if self.target_block is not None and self.target_block < 1:
+            raise ValueError("target_block must be >= 1")
+
+    def resolve(self, shape: EngineShape) -> "TilePlan":
+        """Clamp the plan to the task geometry."""
+        if self.target_block is None:
+            sweep = self.voxel_sweep
+            if sweep is not None:
+                sweep = min(sweep, shape.n_assigned)
+            return TilePlan(voxel_sweep=sweep, target_block=None)
+        sweep = self.voxel_sweep if self.voxel_sweep is not None else shape.n_assigned
+        return TilePlan(
+            voxel_sweep=min(sweep, shape.n_assigned),
+            target_block=min(self.target_block, shape.n_voxels),
+        )
+
+
+@runtime_checkable
+class TileEmitter(Protocol):
+    """What the engine computes *into*: a pluggable materialization.
+
+    The engine drives one call sequence per run::
+
+        plan(shape) -> begin(shape, resolved_plan)
+        [dense_out(shape)]                # full-width mode only
+        emit(tile, v0, v1, n0, n1) ...    # every tile, row-major order
+        end_sweep(v0, v1)                 # after each voxel sweep's tiles
+        finalize() -> result
+
+    ``fused_normalization`` declares whether tiles are stage-2
+    normalized before ``emit`` (dense/CSR) or arrive as raw stage-1
+    correlations (the incremental emitter defers stage 2 to its
+    sliding-window view).  In tiled mode the emitted tile is scratch
+    reused for the next block — an emitter must copy what it keeps.
+    """
+
+    fused_normalization: bool
+
+    def plan(self, shape: EngineShape) -> TilePlan: ...
+
+    def begin(self, shape: EngineShape, plan: TilePlan) -> None: ...
+
+    def dense_out(self, shape: EngineShape) -> np.ndarray: ...
+
+    def emit(
+        self, tile: np.ndarray, v0: int, v1: int, n0: int, n1: int
+    ) -> None: ...
+
+    def end_sweep(self, v0: int, v1: int) -> None: ...
+
+    def finalize(self) -> Any: ...
+
+
+def run_engine(
+    z: np.ndarray,
+    assigned: np.ndarray,
+    epochs_per_subject: int,
+    emitter: TileEmitter,
+    *,
+    workspace: NormalizationWorkspace | None = None,
+) -> Any:
+    """Run one stage-1/2 task through ``emitter``; returns its result.
+
+    ``z`` is equation-2-normalized data ``(E, N, T)``; ``assigned`` the
+    task's voxel rows.  The emitter's plan picks the walk mode; the
+    engine owns the gemms and (when ``emitter.fused_normalization``)
+    the bitwise-exact fused normalizer.
+    """
+    z, assigned = check_stage1_inputs(z, assigned)
+    n_epochs, n_voxels, epoch_length = z.shape
+    if epochs_per_subject < 1:
+        raise ValueError("epochs_per_subject must be >= 1")
+    if n_epochs % epochs_per_subject != 0:
+        raise ValueError(
+            f"epoch count {n_epochs} not divisible by epochs_per_subject "
+            f"{epochs_per_subject}"
+        )
+    shape = EngineShape(
+        n_assigned=int(assigned.size),
+        n_epochs=n_epochs,
+        n_voxels=n_voxels,
+        epoch_length=epoch_length,
+        epochs_per_subject=epochs_per_subject,
+    )
+    plan = emitter.plan(shape).resolve(shape)
+    if workspace is None:
+        workspace = NormalizationWorkspace()
+    emitter.begin(shape, plan)
+    if plan.target_block is None:
+        _run_full_width(z, assigned, shape, plan, emitter, workspace)
+    else:
+        _run_tiled(z, assigned, shape, plan, emitter, workspace)
+    return emitter.finalize()
+
+
+def _run_full_width(
+    z: np.ndarray,
+    assigned: np.ndarray,
+    shape: EngineShape,
+    plan: TilePlan,
+    emitter: TileEmitter,
+    workspace: NormalizationWorkspace,
+) -> None:
+    """One whole-task epoch-batched gemm, then a voxel sweep.
+
+    The single full-shape gemm dispatch is what makes dense results
+    reproducible bitwise across refactors (see module docstring), so
+    this mode never splits the matmul.
+    """
+    # Imported here: correlation.py shims over this module, so the
+    # engine reaches its stage-1 building block lazily.
+    from .correlation import correlate_batched
+
+    out = emitter.dense_out(shape)
+    correlate_batched(z, assigned, out=out)
+    n_rows = shape.n_assigned
+    if emitter.fused_normalization:
+        fused_normalize_sweep(
+            out,
+            shape.epochs_per_subject,
+            voxel_sweep=plan.voxel_sweep,
+            workspace=workspace,
+        )
+    sweep = n_rows if plan.voxel_sweep is None else plan.voxel_sweep
+    for v0, v1 in iter_blocks(n_rows, sweep):
+        emitter.emit(out[v0:v1], v0, v1, 0, shape.n_voxels)
+        emitter.end_sweep(v0, v1)
+
+
+def _run_tiled(
+    z: np.ndarray,
+    assigned: np.ndarray,
+    shape: EngineShape,
+    plan: TilePlan,
+    emitter: TileEmitter,
+    workspace: NormalizationWorkspace,
+) -> None:
+    """Per-tile gemm + in-cache normalize + emit, one tile live at a time.
+
+    The loop structure (sweep-major, scratch tiles keyed on shape,
+    ``panel @ z.T`` through an axis-swapped out view) is the sparse
+    engine's historical loop verbatim — the bitwise anchor for CSR
+    results under any tiling.
+    """
+    assert plan.voxel_sweep is not None and plan.target_block is not None
+    n_epochs, n_voxels = shape.n_epochs, shape.n_voxels
+    zt = z.swapaxes(1, 2)
+    tiles: dict[tuple[int, int], np.ndarray] = {}
+    for v0, v1 in iter_blocks(shape.n_assigned, plan.voxel_sweep):
+        width = v1 - v0
+        panel = z[:, assigned[v0:v1]]  # (E, width, T) contiguous copy
+        for n0, n1 in iter_blocks(n_voxels, plan.target_block):
+            nb = n1 - n0
+            tile = tiles.get((width, nb))
+            if tile is None:
+                tile = tiles.setdefault(
+                    (width, nb),
+                    np.empty((width, n_epochs, nb), dtype=np.float32),
+                )
+            np.matmul(panel, zt[:, :, n0:n1], out=tile.swapaxes(0, 1))
+            if emitter.fused_normalization:
+                fuse_normalize_tile(
+                    tile, shape.epochs_per_subject, workspace=workspace
+                )
+            emitter.emit(tile, v0, v1, n0, n1)
+        emitter.end_sweep(v0, v1)
+
+
+class DenseEmitter:
+    """Materializes the full dense normalized ``(V, E, N)`` array.
+
+    The engine adapter for the historical
+    :func:`~repro.core.correlation.correlate_normalize_batched` result:
+    full-width mode, fused sweep normalization, output written in place
+    into a caller buffer or one allocation.  ``finalize`` returns
+    ``(out, n_tiles)`` where ``n_tiles`` counts the sweep slabs emitted
+    (the ``stage12_tiles`` counter).
+    """
+
+    fused_normalization = True
+
+    def __init__(
+        self,
+        *,
+        voxel_sweep: int | None = None,
+        out: np.ndarray | None = None,
+    ) -> None:
+        if voxel_sweep is not None and voxel_sweep < 1:
+            raise ValueError("voxel_sweep must be >= 1")
+        self._voxel_sweep = voxel_sweep
+        self._out = out
+        #: Sweep slabs emitted by the engine (introspection/counters).
+        self.n_tiles = 0
+
+    def plan(self, shape: EngineShape) -> TilePlan:
+        return TilePlan(voxel_sweep=self._voxel_sweep, target_block=None)
+
+    def begin(self, shape: EngineShape, plan: TilePlan) -> None:
+        self.n_tiles = 0
+
+    def dense_out(self, shape: EngineShape) -> np.ndarray:
+        if self._out is None:
+            self._out = np.empty(shape.dense_shape, dtype=np.float32)
+        else:
+            validate_dense_out(self._out, shape.dense_shape)
+        return self._out
+
+    def emit(
+        self, tile: np.ndarray, v0: int, v1: int, n0: int, n1: int
+    ) -> None:
+        self.n_tiles += 1
+
+    def end_sweep(self, v0: int, v1: int) -> None:
+        pass
+
+    def finalize(self) -> tuple[np.ndarray, int]:
+        assert self._out is not None
+        return self._out, self.n_tiles
+
+
+# -- emitter registry -----------------------------------------------------
+
+EmitterFactory = Callable[..., TileEmitter]
+
+_EMITTERS: dict[str, EmitterFactory] = {}
+
+#: Built-in emitters resolved lazily so ``engine`` never imports its
+#: own consumers at module scope (mirrors ``exec.registry``).
+_BUILTIN_MODULES = {
+    "dense": None,
+    "csr": "repro.core.sparse",
+    "incremental": "repro.core.incremental",
+}
+
+
+def register_emitter(
+    name: str, factory: EmitterFactory, *, overwrite: bool = False
+) -> None:
+    """Register an emitter factory under ``name``."""
+    if not name:
+        raise ValueError("emitter name must be non-empty")
+    if name in _EMITTERS and not overwrite:
+        raise ValueError(f"emitter {name!r} already registered")
+    _EMITTERS[name] = factory
+
+
+def _load_builtin(name: str) -> None:
+    module = _BUILTIN_MODULES.get(name)
+    if module is not None and name not in _EMITTERS:
+        import importlib
+
+        importlib.import_module(module)
+
+
+def create_emitter(name: str, **kwargs: Any) -> TileEmitter:
+    """Instantiate a registered emitter (built-ins load on demand)."""
+    _load_builtin(name)
+    try:
+        factory = _EMITTERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown emitter {name!r}; available: {available_emitters()}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_emitters() -> tuple[str, ...]:
+    """All registered emitter names (built-ins included), sorted."""
+    for name in _BUILTIN_MODULES:
+        _load_builtin(name)
+    return tuple(sorted(_EMITTERS))
+
+
+register_emitter("dense", DenseEmitter)

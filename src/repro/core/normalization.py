@@ -33,6 +33,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .tiling import block_bounds
+
 __all__ = [
     "fisher_z",
     "zscore_within_subject",
@@ -330,7 +332,7 @@ def fused_normalize_sweep(
     grouped = corr.reshape(n_rows, m // e, e, n)
     mean, std, sq = workspace.sweep_buffers(grouped.shape, sweep)
 
-    slabs = [(v0, min(v0 + sweep, n_rows)) for v0 in range(0, n_rows, sweep)]
+    slabs = block_bounds(n_rows, sweep)
     limit = np.float32(1.0 - _CLIP_EPS)
     for v0, v1 in slabs:
         slab = grouped[v0:v1]

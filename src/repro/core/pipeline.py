@@ -40,6 +40,13 @@ __all__ = [
 Variant = str
 Backend = str
 
+#: Engine emitter each engine-backed variant's stage graph materializes
+#: through (the dispatch table ``resolved_emitter`` consults).
+_NATIVE_EMITTERS = {
+    "optimized-batched": "dense",
+    "sparse-batched": "csr",
+}
+
 
 @dataclass(frozen=True)
 class FCMAConfig:
@@ -87,6 +94,12 @@ class FCMAConfig:
     #: ``sparse-batched`` only: keep the k strongest correlations per
     #: (voxel, epoch) row.
     top_k: int | None = None
+    #: Engine emitter (how stage-1/2 tiles are materialized): ``None``
+    #: resolves to the variant's native one — ``dense`` for
+    #: ``optimized-batched``, ``csr`` for ``sparse-batched``.  The
+    #: ``incremental`` emitter is driven per TR by the streaming loop
+    #: (:mod:`repro.rtfmri`), not by a batch variant.
+    emitter: str | None = None
 
     def __post_init__(self) -> None:
         from ..exec.registry import available_backends, available_variants
@@ -122,6 +135,42 @@ class FCMAConfig:
             raise ValueError(
                 "threshold/top_k only apply to variant 'sparse-batched'"
             )
+        if self.emitter is not None:
+            from .engine import available_emitters
+
+            if self.emitter not in available_emitters():
+                raise ValueError(
+                    f"unknown emitter {self.emitter!r}; "
+                    f"available: {available_emitters()}"
+                )
+            if self.emitter == "incremental":
+                raise ValueError(
+                    "the incremental emitter is driven per TR by the "
+                    "streaming loop (repro.rtfmri), not by a batch variant"
+                )
+            native = _NATIVE_EMITTERS.get(self.variant)
+            if native is None:
+                raise ValueError(
+                    f"variant {self.variant!r} does not run through the "
+                    "tiled engine; emitter only applies to engine-backed "
+                    "variants"
+                )
+            if self.emitter != native:
+                raise ValueError(
+                    f"emitter {self.emitter!r} is incompatible with variant "
+                    f"{self.variant!r} (its stage graph materializes "
+                    f"{native!r} output)"
+                )
+
+    def resolved_emitter(self) -> str | None:
+        """The engine emitter actually used (variant default resolved).
+
+        ``None`` for pre-engine variants (``baseline``, ``optimized``)
+        that never touch the tiled engine.
+        """
+        if self.emitter is not None:
+            return self.emitter
+        return _NATIVE_EMITTERS.get(self.variant)
 
     def resolved_backend(self) -> Backend:
         """The backend actually used, resolving the variant default."""

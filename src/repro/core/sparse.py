@@ -37,11 +37,12 @@ from typing import Any, List, Tuple
 
 import numpy as np
 
-from .correlation import _check_stage1_inputs, iter_blocks
-from .normalization import NormalizationWorkspace, fuse_normalize_tile
+from .engine import EngineShape, TilePlan, register_emitter, run_engine
+from .normalization import NormalizationWorkspace
 
 __all__ = [
     "SPARSE_TILE_BYTES",
+    "CSREmitter",
     "SparseCorrelationResult",
     "SparseStage12Stats",
     "correlate_normalize_sparse_batched",
@@ -314,6 +315,130 @@ def threshold_dense(
     return _assemble([rows], [cols], [vals], (n_assigned, n_epochs, n_voxels))
 
 
+class CSREmitter:
+    """Filters fused tiles straight to CSR while they are cache-resident.
+
+    The engine adapter for the historical
+    :func:`correlate_normalize_sparse_batched` result: tiled mode with
+    :func:`sparse_tile_plan` sizing by default, tau filtering per tile
+    or per-sweep top-k over an accumulated ``(voxel_sweep, E, N)`` row
+    slab.  Both modes see the identical gemm + normalize bits, and the
+    selection semantics (including top-k tie-breaks toward smaller
+    columns) are exactly those of :func:`threshold_dense`.
+
+    ``finalize`` returns ``(SparseCorrelationResult,
+    SparseStage12Stats)``; the stats stay available on ``.stats``.
+    """
+
+    fused_normalization = True
+
+    def __init__(
+        self,
+        *,
+        threshold: float | None = None,
+        top_k: int | None = None,
+        voxel_sweep: int | None = None,
+        target_block: int | None = None,
+    ) -> None:
+        _check_mode(threshold, top_k)
+        if voxel_sweep is not None and voxel_sweep < 1:
+            raise ValueError("voxel_sweep must be >= 1")
+        if target_block is not None and target_block < 1:
+            raise ValueError("target_block must be >= 1")
+        self._limit = np.float32(threshold) if threshold is not None else None
+        self._top_k = top_k
+        self._voxel_sweep = voxel_sweep
+        self._target_block = target_block
+        self._slab: np.ndarray | None = None
+        self._rows: List[np.ndarray] = []
+        self._cols: List[np.ndarray] = []
+        self._vals: List[np.ndarray] = []
+        self._shape: Tuple[int, int, int] | None = None
+        #: Instrumentation of the most recent run (also returned).
+        self.stats: SparseStage12Stats | None = None
+        self.n_tiles = 0
+        self.tiles_pruned = 0
+
+    def plan(self, shape: EngineShape) -> TilePlan:
+        default_sweep, default_block = sparse_tile_plan(
+            shape.n_assigned, shape.n_epochs, shape.n_voxels
+        )
+        return TilePlan(
+            voxel_sweep=self._voxel_sweep or default_sweep,
+            target_block=self._target_block or default_block,
+        )
+
+    def begin(self, shape: EngineShape, plan: TilePlan) -> None:
+        self._shape = shape.dense_shape
+        self._rows, self._cols, self._vals = [], [], []
+        self.n_tiles = 0
+        self.tiles_pruned = 0
+        self.stats = None
+        if self._top_k is not None:
+            assert plan.voxel_sweep is not None
+            self._slab = np.empty(
+                (plan.voxel_sweep, shape.n_epochs, shape.n_voxels),
+                dtype=np.float32,
+            )
+
+    def dense_out(self, shape: EngineShape) -> np.ndarray:
+        raise NotImplementedError("CSREmitter runs in tiled mode only")
+
+    def emit(
+        self, tile: np.ndarray, v0: int, v1: int, n0: int, n1: int
+    ) -> None:
+        assert self._shape is not None
+        width, nb = v1 - v0, n1 - n0
+        n_epochs = self._shape[1]
+        self.n_tiles += 1
+        if self._limit is not None:
+            t_rows, t_cols, t_vals = _tau_block(
+                tile.reshape(width * n_epochs, nb), self._limit
+            )
+            if t_rows.size == 0:
+                self.tiles_pruned += 1
+                return
+            self._rows.append(v0 * n_epochs + t_rows)
+            self._cols.append(n0 + t_cols)
+            self._vals.append(t_vals)
+        else:
+            assert self._slab is not None
+            self._slab[:width, :, n0:n1] = tile
+
+    def end_sweep(self, v0: int, v1: int) -> None:
+        if self._top_k is None:
+            return
+        assert self._slab is not None and self._shape is not None
+        width = v1 - v0
+        n_epochs, n_voxels = self._shape[1], self._shape[2]
+        s_rows, s_cols, s_vals = topk_block(
+            self._slab[:width].reshape(width * n_epochs, n_voxels),
+            self._top_k,
+        )
+        self._rows.append(v0 * n_epochs + s_rows)
+        self._cols.append(s_cols)
+        self._vals.append(s_vals)
+
+    def finalize(self) -> Tuple[SparseCorrelationResult, SparseStage12Stats]:
+        assert self._shape is not None
+        result = _assemble(self._rows, self._cols, self._vals, self._shape)
+        n_assigned, n_epochs, n_voxels = self._shape
+        self.stats = SparseStage12Stats(
+            n_tiles=self.n_tiles,
+            tiles_pruned=self.tiles_pruned,
+            nnz=result.nnz,
+            elements=n_assigned * n_epochs * n_voxels,
+        )
+        # Fragment lists are dropped so a kept emitter does not pin the
+        # concatenated copies alive alongside the assembled CSR.
+        self._rows, self._cols, self._vals = [], [], []
+        self._slab = None
+        return result, self.stats
+
+
+register_emitter("csr", CSREmitter)
+
+
 def correlate_normalize_sparse_batched(
     z: np.ndarray,
     assigned: np.ndarray,
@@ -327,13 +452,9 @@ def correlate_normalize_sparse_batched(
 ) -> Tuple[SparseCorrelationResult, SparseStage12Stats]:
     """Fused stage 1/2 with in-tile filtering straight to CSR.
 
-    Shares the dense engine's parts rather than forking them: the same
-    epoch-batched tile gemm (``panel @ z.T`` via one 3D matmul per
-    tile) and the same bitwise-exact per-tile normalizer
-    (:func:`fuse_normalize_tile`).  Tiles are ``(voxel_sweep, E,
-    target_block)`` and both filter modes run the identical gemm +
-    normalize sequence, so tau and top-k runs see the same bits.
-
+    A thin shim over the tiled engine: :class:`CSREmitter` receives the
+    same epoch-batched tile gemm and bitwise-exact per-tile normalizer
+    the dense engine uses, and filters each tile while cache-resident.
     In tau mode each tile is filtered and discarded immediately; top-k
     needs whole rows, so tiles accumulate into a ``(voxel_sweep, E,
     N)`` slab first — still a small constant multiple of the sweep
@@ -342,82 +463,13 @@ def correlate_normalize_sparse_batched(
     Returns the CSR result plus :class:`SparseStage12Stats`
     (tiles visited/pruned, nnz, scanned elements).
     """
-    _check_mode(threshold, top_k)
-    z, assigned = _check_stage1_inputs(z, assigned)
-    if epochs_per_subject < 1:
-        raise ValueError("epochs_per_subject must be >= 1")
-    n_epochs, n_voxels, _ = z.shape
-    if n_epochs % epochs_per_subject:
-        raise ValueError(
-            f"n_epochs ({n_epochs}) must be divisible by "
-            f"epochs_per_subject ({epochs_per_subject})"
-        )
-    n_assigned = int(assigned.size)
-    if voxel_sweep is not None and voxel_sweep < 1:
-        raise ValueError("voxel_sweep must be >= 1")
-    if target_block is not None and target_block < 1:
-        raise ValueError("target_block must be >= 1")
-    default_sweep, default_block = sparse_tile_plan(
-        n_assigned, n_epochs, n_voxels
+    emitter = CSREmitter(
+        threshold=threshold,
+        top_k=top_k,
+        voxel_sweep=voxel_sweep,
+        target_block=target_block,
     )
-    sweep = min(voxel_sweep or default_sweep, n_assigned)
-    t_block = min(target_block or default_block, n_voxels)
-    if workspace is None:
-        workspace = NormalizationWorkspace()
-    limit = np.float32(threshold) if threshold is not None else None
-
-    zt = z.swapaxes(1, 2)
-    tiles: dict[Tuple[int, int], np.ndarray] = {}
-    slab: np.ndarray | None = None
-    if top_k is not None:
-        slab = np.empty((sweep, n_epochs, n_voxels), dtype=np.float32)
-    rows_parts: List[np.ndarray] = []
-    cols_parts: List[np.ndarray] = []
-    vals_parts: List[np.ndarray] = []
-    n_tiles = 0
-    tiles_pruned = 0
-
-    for v0, v1 in iter_blocks(n_assigned, sweep):
-        width = v1 - v0
-        panel = z[:, assigned[v0:v1]]  # (E, width, T) contiguous copy
-        for n0, n1 in iter_blocks(n_voxels, t_block):
-            nb = n1 - n0
-            tile = tiles.get((width, nb))
-            if tile is None:
-                tile = tiles.setdefault(
-                    (width, nb), np.empty((width, n_epochs, nb), dtype=np.float32)
-                )
-            np.matmul(panel, zt[:, :, n0:n1], out=tile.swapaxes(0, 1))
-            fuse_normalize_tile(tile, epochs_per_subject, workspace=workspace)
-            n_tiles += 1
-            if limit is not None:
-                t_rows, t_cols, t_vals = _tau_block(
-                    tile.reshape(width * n_epochs, nb), limit
-                )
-                if t_rows.size == 0:
-                    tiles_pruned += 1
-                    continue
-                rows_parts.append(v0 * n_epochs + t_rows)
-                cols_parts.append(n0 + t_cols)
-                vals_parts.append(t_vals)
-            else:
-                assert slab is not None
-                slab[:width, :, n0:n1] = tile
-        if top_k is not None:
-            assert slab is not None
-            s_rows, s_cols, s_vals = topk_block(
-                slab[:width].reshape(width * n_epochs, n_voxels), top_k
-            )
-            rows_parts.append(v0 * n_epochs + s_rows)
-            cols_parts.append(s_cols)
-            vals_parts.append(s_vals)
-
-    shape = (n_assigned, n_epochs, n_voxels)
-    result = _assemble(rows_parts, cols_parts, vals_parts, shape)
-    stats = SparseStage12Stats(
-        n_tiles=n_tiles,
-        tiles_pruned=tiles_pruned,
-        nnz=result.nnz,
-        elements=n_assigned * n_epochs * n_voxels,
+    result: Tuple[SparseCorrelationResult, SparseStage12Stats] = run_engine(
+        z, assigned, epochs_per_subject, emitter, workspace=workspace
     )
-    return result, stats
+    return result

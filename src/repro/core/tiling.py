@@ -1,0 +1,55 @@
+"""Tile arithmetic shared by every loop that carves an index range.
+
+The correlation engine's voxel sweeps, the sparse filter's target
+blocks, the normalization sweep's slabs, and the task partitioner all
+walk ``range(total)`` in fixed-size blocks with a possibly-short tail.
+That arithmetic used to be repeated (with small stylistic variations)
+across ``core/correlation.py``, ``core/sparse.py``, and
+``exec/partition.py``; it lives here exactly once now, so the tail-tile
+conventions cannot drift between the compute engine and the execution
+layer.
+
+All helpers agree on the same convention: blocks are half-open
+``[start, stop)`` ranges, full-sized except possibly the last, covering
+``range(total)`` exactly once in ascending order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["iter_blocks", "block_bounds", "n_blocks", "tail_block"]
+
+
+def _check(total: int, block: int) -> None:
+    if total < 0:
+        raise ValueError("total must be >= 0")
+    if block < 1:
+        raise ValueError("block must be >= 1")
+
+
+def iter_blocks(total: int, block: int) -> Iterator[tuple[int, int]]:
+    """Yield ``(start, stop)`` covering ``range(total)`` in ``block`` steps."""
+    _check(total, block)
+    for start in range(0, total, block):
+        yield start, min(start + block, total)
+
+
+def block_bounds(total: int, block: int) -> list[tuple[int, int]]:
+    """:func:`iter_blocks` materialized (for loops walked more than once)."""
+    return list(iter_blocks(total, block))
+
+
+def n_blocks(total: int, block: int) -> int:
+    """Number of blocks :func:`iter_blocks` yields (``ceil(total/block)``)."""
+    _check(total, block)
+    return -(-total // block)
+
+
+def tail_block(total: int, block: int) -> int:
+    """Size of the final block: ``block`` when ``total`` divides evenly,
+    the remainder otherwise, and 0 when ``total`` is 0."""
+    _check(total, block)
+    if total == 0:
+        return 0
+    return total - (n_blocks(total, block) - 1) * block

@@ -15,6 +15,8 @@ from typing import Any
 import numpy as np
 from numpy.typing import NDArray
 
+from ..core.tiling import iter_blocks, n_blocks
+
 __all__ = ["partition_tasks", "n_tasks", "auto_chunksize", "partition_rows_by_nnz"]
 
 
@@ -37,13 +39,13 @@ def partition_tasks(
         if n_voxels < 1:
             raise ValueError("n_voxels must be >= 1")
         return [
-            np.arange(start, min(start + task_voxels, n_voxels), dtype=np.int64)
-            for start in range(0, n_voxels, task_voxels)
+            np.arange(start, stop, dtype=np.int64)
+            for start, stop in iter_blocks(n_voxels, task_voxels)
         ]
     out = np.asarray(voxels, dtype=np.int64)
     if out.ndim != 1 or out.size == 0:
         raise ValueError("voxels must be a non-empty 1D index array")
-    return [out[s : s + task_voxels] for s in range(0, out.size, task_voxels)]
+    return [out[start:stop] for start, stop in iter_blocks(out.size, task_voxels)]
 
 
 def partition_rows_by_nnz(
@@ -96,9 +98,7 @@ def n_tasks(n_voxels: int, task_voxels: int) -> int:
     """Number of tasks a partition produces (``ceil(n/task_voxels)``)."""
     if n_voxels < 1:
         raise ValueError("n_voxels must be >= 1")
-    if task_voxels < 1:
-        raise ValueError("task_voxels must be >= 1")
-    return -(-n_voxels // task_voxels)
+    return n_blocks(n_voxels, task_voxels)
 
 
 def auto_chunksize(n_tasks: int, n_workers: int) -> int:
@@ -109,4 +109,4 @@ def auto_chunksize(n_tasks: int, n_workers: int) -> int:
     """
     if n_tasks < 1 or n_workers < 1:
         raise ValueError("n_tasks and n_workers must be >= 1")
-    return max(1, -(-n_tasks // (n_workers * 4)))
+    return max(1, n_blocks(n_tasks, n_workers * 4))

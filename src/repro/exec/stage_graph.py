@@ -36,13 +36,13 @@ from ..core import blocking
 from ..core.correlation import (
     correlate_baseline,
     correlate_blocked,
-    correlate_normalize_batched,
     stage1_input_copies,
 )
+from ..core.engine import DenseEmitter, run_engine
 from ..core.kernels import kernel_matrix_baseline, kernel_matrix_blocked
 from ..core.normalization import MergedNormalizer, normalize_separated
 from ..core.results import VoxelScores
-from ..core.sparse import correlate_normalize_sparse_batched, sparse_tile_plan
+from ..core.sparse import CSREmitter, sparse_tile_plan
 from ..core.voxel_selection import score_voxels, score_voxels_sparse
 from ..svm.cross_validation import kfold_ids
 from .context import RunContext
@@ -59,6 +59,7 @@ __all__ = [
     "optimized_graph",
     "optimized_batched_graph",
     "sparse_batched_graph",
+    "register_fused_stage",
     "build_graph",
     "execute_task",
 ]
@@ -256,6 +257,12 @@ def _resolve_blocking_plan(
     return plan
 
 
+def _note_emitter(ctx: RunContext, name: str) -> None:
+    """Per-emitter RunContext accounting shared by the engine stages."""
+    ctx.metadata["emitter"] = name
+    ctx.increment(f"emitter_{name}_runs", 1)
+
+
 def _correlate_batched_fused(
     ctx: RunContext, state: Mapping[str, Any]
 ) -> Mapping[str, Any]:
@@ -264,15 +271,16 @@ def _correlate_batched_fused(
     e_per_subject = state["grouped"].epochs.epochs_per_subject()
     plan = _resolve_blocking_plan(ctx, z, assigned, e_per_subject)
     input_copies = stage1_input_copies(z)
+    emitter = DenseEmitter(voxel_sweep=plan.voxel_block)
 
     with ctx.tracer.span("correlate_normalize_batched", kind="kernel") as span:
-        corr, n_tiles = correlate_normalize_batched(
-            z, assigned, e_per_subject, voxel_sweep=plan.voxel_block
-        )
+        corr, n_tiles = run_engine(z, assigned, e_per_subject, emitter)
         span.add_metric("tiles", float(n_tiles))
         span.add_metric("voxels", float(assigned.size))
         span.add_metric("bytes_moved", float(z.nbytes + corr.nbytes))
+    _note_emitter(ctx, "dense")
     ctx.increment("stage12_tiles", n_tiles)
+    ctx.increment("emitter_dense_tiles", n_tiles)
     if input_copies:
         ctx.increment("stage12_out_copies", input_copies)
     return {"correlations": corr}
@@ -294,17 +302,15 @@ def _correlate_sparse_fused(
         "epoch_block": z.shape[0],
     }
     input_copies = stage1_input_copies(z)
+    emitter = CSREmitter(
+        threshold=config.threshold,
+        top_k=config.top_k,
+        voxel_sweep=sweep,
+        target_block=t_block,
+    )
 
     with ctx.tracer.span("correlate_normalize_sparse", kind="kernel") as span:
-        result, stats = correlate_normalize_sparse_batched(
-            z,
-            assigned,
-            e_per_subject,
-            threshold=config.threshold,
-            top_k=config.top_k,
-            voxel_sweep=sweep,
-            target_block=t_block,
-        )
+        result, stats = run_engine(z, assigned, e_per_subject, emitter)
         span.add_metric("tiles", float(stats.n_tiles))
         span.add_metric("tiles_pruned", float(stats.tiles_pruned))
         span.add_metric("voxels", float(assigned.size))
@@ -322,13 +328,54 @@ def _correlate_sparse_fused(
                 + result.indptr.nbytes
             ),
         )
+    _note_emitter(ctx, "csr")
     ctx.increment("stage12_tiles", stats.n_tiles)
+    ctx.increment("emitter_csr_tiles", stats.n_tiles)
     ctx.increment("stage12_tiles_pruned", stats.tiles_pruned)
     ctx.increment("stage12_nnz", stats.nnz)
     ctx.increment("stage12_density", stats.density)
     if input_copies:
         ctx.increment("stage12_out_copies", input_copies)
     return {"sparse_correlations": result}
+
+
+#: Engine stage bodies keyed by emitter name — the exec-layer dispatch
+#: for the core engine's pluggable materializations.  A variant's graph
+#: builder resolves ``config.resolved_emitter()`` through this table, so
+#: registering a new emitter's stage body plugs it into the pipeline
+#: without editing the builders.
+FUSED_STAGE_BODIES: dict[str, StageFn] = {
+    "dense": _correlate_batched_fused,
+    "csr": _correlate_sparse_fused,
+}
+
+
+def register_fused_stage(
+    emitter: str, fn: StageFn, *, overwrite: bool = False
+) -> None:
+    """Register the stage body that drives the engine for ``emitter``."""
+    if not emitter:
+        raise ValueError("emitter name must be non-empty")
+    if emitter in FUSED_STAGE_BODIES and not overwrite:
+        raise ValueError(f"stage body for emitter {emitter!r} already registered")
+    FUSED_STAGE_BODIES[emitter] = fn
+
+
+def _fused_stage_body(config: Any, default_emitter: str) -> StageFn:
+    """Resolve a config's emitter to its registered engine stage body."""
+    name = default_emitter
+    if config is not None:
+        resolver = getattr(config, "resolved_emitter", None)
+        resolved = resolver() if callable(resolver) else None
+        if resolved is not None:
+            name = resolved
+    try:
+        return FUSED_STAGE_BODIES[name]
+    except KeyError:
+        raise StageGraphError(
+            f"no engine stage body registered for emitter {name!r}; "
+            f"known: {sorted(FUSED_STAGE_BODIES)}"
+        ) from None
 
 
 def _score_sparse(ctx: RunContext, state: Mapping[str, Any]) -> Mapping[str, Any]:
@@ -428,7 +475,7 @@ def optimized_batched_graph(config: Any = None) -> StageGraph:
             Stage("preprocess", _preprocess, ("dataset",), ("grouped", "windows")),
             Stage(
                 "correlate+normalize",
-                _correlate_batched_fused,
+                _fused_stage_body(config, "dense"),
                 ("windows", "assigned", "grouped"),
                 ("correlations",),
             ),
@@ -457,7 +504,7 @@ def sparse_batched_graph(config: Any = None) -> StageGraph:
             Stage("preprocess", _preprocess, ("dataset",), ("grouped", "windows")),
             Stage(
                 "correlate+normalize",
-                _correlate_sparse_fused,
+                _fused_stage_body(config, "csr"),
                 ("windows", "assigned", "grouped"),
                 ("sparse_correlations",),
             ),

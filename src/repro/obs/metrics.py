@@ -39,6 +39,7 @@ __all__ = [
     "VOXEL_SWEEP",
     "TARGET_BLOCK",
     "ITERATIONS",
+    "TRS",
     "CALLS",
     "PREDICTED_SECONDS",
     "PREDICTED_GFLOPS",
@@ -94,6 +95,9 @@ VOXEL_SWEEP = MetricSpec("voxel_sweep", "voxels", "sparse tile slab width")
 TARGET_BLOCK = MetricSpec("target_block", "voxels", "sparse tile column width")
 #: Solver (SMO) working-set iterations performed.
 ITERATIONS = MetricSpec("iterations", "count", "solver iterations")
+#: TR volumes folded into a streaming kernel span (the incremental
+#: engine's epoch length / update count).
+TRS = MetricSpec("trs", "count", "TR volumes processed by the span")
 #: Times the spanned operation ran (aggregation weight for merged spans).
 CALLS = MetricSpec("calls", "count", "number of calls aggregated")
 #: Model-predicted elapsed seconds for the spanned kernel (attached by
@@ -127,6 +131,7 @@ METRICS: dict[str, MetricSpec] = {
         VOXEL_SWEEP,
         TARGET_BLOCK,
         ITERATIONS,
+        TRS,
         CALLS,
         PREDICTED_SECONDS,
         PREDICTED_GFLOPS,

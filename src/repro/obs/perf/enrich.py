@@ -26,9 +26,12 @@ from ...data.presets import DatasetSpec
 from ...hw.counters import PerfCounters
 from ...hw.spec import HardwareSpec
 from ...perf import (
+    IncrementalStepShape,
     KernelEstimate,
     model_batched_stage12,
     model_correlation_matmul,
+    model_incremental_epoch_close,
+    model_incremental_tr_update,
     model_kernel_syrk,
     model_normalization,
     model_sparse_stage12,
@@ -147,6 +150,7 @@ def predict_kernel(
     voxel_sweep: int | None = None,
     target_block: int | None = None,
     density: float | None = None,
+    epoch_len: int | None = None,
 ) -> tuple[PerfCounters, float] | None:
     """Model one kernel span's counters and elapsed seconds.
 
@@ -169,6 +173,19 @@ def predict_kernel(
                 density if density is not None else 1.0,
             )
         ])
+    if name in ("incremental_tr_update", "incremental_epoch_close"):
+        # Streaming kernels of the rtfmri loop: per-span cost of one
+        # update / one epoch close (the span's ``calls`` metric scales
+        # an aggregated tr-update span back up in enrich_spans).
+        shape = IncrementalStepShape(
+            n_assigned=n_assigned,
+            n_voxels=spec.n_voxels,
+            epoch_len=epoch_len if epoch_len else spec.epoch_length,
+            window_epochs=spec.n_epochs,
+        )
+        if name == "incremental_tr_update":
+            return _combine([model_incremental_tr_update(shape, hw)])
+        return _combine([model_incremental_epoch_close(shape, hw)])
     if name == "correlate_baseline":
         return _combine([model_correlation_matmul(spec, n_assigned, hw, "mkl")])
     if name == "normalize_separated":
@@ -200,6 +217,8 @@ MODELED_KERNELS = (
     "correlate_blocked+merge",
     "correlate_normalize_batched",
     "correlate_normalize_sparse",
+    "incremental_tr_update",
+    "incremental_epoch_close",
     "score_voxels",
 )
 
@@ -266,7 +285,15 @@ def enrich_spans(
         sweep: int | None = None
         target_block: int | None = None
         density: float | None = None
-        if span.name == "correlate_normalize_sparse":
+        epoch_len: int | None = None
+        scale = 1.0
+        if span.name.startswith("incremental_"):
+            if span.metrics.get("trs"):
+                epoch_len = int(span.metrics["trs"])
+            if span.name == "incremental_tr_update":
+                # The loop records one aggregate span for all updates.
+                scale = float(span.metrics.get("calls") or 1.0)
+        elif span.name == "correlate_normalize_sparse":
             # The sparse kernel records its tile geometry and kept
             # fraction explicitly; deriving sweep from the tile count
             # would conflate the two tiling axes.
@@ -290,12 +317,16 @@ def enrich_spans(
                 voxel_sweep=sweep,
                 target_block=target_block,
                 density=density,
+                epoch_len=epoch_len,
             )
         except (ValueError, ZeroDivisionError):
             continue
         if predicted is None:
             continue
         counters, seconds = predicted
+        if scale != 1.0:
+            counters = counters.scaled(scale)
+            seconds *= scale
         for field_name in (
             "mem_reads",
             "mem_writes",

@@ -2,7 +2,12 @@
 epoch assembly, and the feedback loop driver."""
 
 from .assembler import CompletedEpoch, EpochAssembler
-from .loop import ClosedLoopResult, ClosedLoopSession, FeedbackEvent
+from .loop import (
+    ClosedLoopResult,
+    ClosedLoopSession,
+    FeedbackEvent,
+    StreamingStats,
+)
 from .scanner import ScannerSimulator, Volume
 
 __all__ = [
@@ -12,5 +17,6 @@ __all__ = [
     "EpochAssembler",
     "FeedbackEvent",
     "ScannerSimulator",
+    "StreamingStats",
     "Volume",
 ]

@@ -104,3 +104,16 @@ class EpochAssembler:
     def epochs_emitted(self) -> int:
         """Number of complete epochs produced so far."""
         return self._emitted
+
+    @property
+    def in_progress(self) -> np.ndarray | None:
+        """Volumes buffered in the open epoch, ``(n_voxels, t)``.
+
+        ``None`` when no labeled epoch is being assembled.  Lets a
+        streaming consumer that attaches mid-scan (e.g. the closed
+        loop's feedback phase right after training) seed its per-TR
+        state with the TRs the assembler has already absorbed.
+        """
+        if not self._current:
+            return None
+        return np.stack(self._current, axis=1)

@@ -83,16 +83,25 @@ class OneVsOneClassifier:
     def __init__(self, backend: KernelBackend):
         self._backend = backend
 
-    def fit_kernel(self, kernel: np.ndarray, labels: np.ndarray):
+    def fit_kernel(
+        self,
+        kernel: np.ndarray,
+        labels: np.ndarray,
+        alpha0: np.ndarray | None = None,
+    ):
         """Train; returns a binary :class:`SVMModel` for 2 classes, a
         :class:`OneVsOneModel` otherwise (so binary problems stay on the
-        fast path with zero overhead)."""
+        fast path with zero overhead).  ``alpha0`` warm-starts binary
+        solves on backends that support it; the pairwise machines of a
+        multiclass fit always start cold (the duals don't decompose)."""
         kernel = np.asarray(kernel)
         labels = np.asarray(labels)
         classes = np.unique(labels)
         if classes.size < 2:
             raise ValueError("need at least 2 classes")
         if classes.size == 2:
+            if alpha0 is not None:
+                return self._backend.fit_kernel(kernel, labels, alpha0=alpha0)
             return self._backend.fit_kernel(kernel, labels)
         machines: dict[tuple[int, int], SVMModel] = {}
         pair_indices: dict[tuple[int, int], np.ndarray] = {}

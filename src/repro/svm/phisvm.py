@@ -72,11 +72,19 @@ class PhiSVM:
         #: Selector used by the most recent fit (introspection/ablation).
         self.last_selector: WorkingSetSelector | None = None
 
-    def fit_kernel(self, kernel: np.ndarray, labels: np.ndarray) -> SVMModel:
+    def fit_kernel(
+        self,
+        kernel: np.ndarray,
+        labels: np.ndarray,
+        alpha0: np.ndarray | None = None,
+    ) -> SVMModel:
         """Train on a precomputed kernel matrix (the FCMA fast path).
 
         ``kernel`` is cast to float32 if needed; ``labels`` may be any
-        two distinct integer classes.
+        two distinct integer classes.  ``alpha0`` warm-starts the SMO
+        solve (see :func:`~repro.svm.smo.solve_smo`) — the streaming
+        loop's retrains resume from the previous model's duals padded
+        with zeros for the newly arrived epochs.
         """
         kernel = validate_kernel_matrix(kernel)
         kernel = np.ascontiguousarray(kernel, dtype=np.float32)
@@ -90,6 +98,7 @@ class PhiSVM:
             tol=self.tol,
             max_iter=self.max_iter,
             selector=selector,
+            alpha0=alpha0,
         )
         return SVMModel(
             dual_coef=(result.alpha * y).astype(np.float32),

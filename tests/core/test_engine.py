@@ -1,0 +1,216 @@
+"""Engine/emitter conformance: the protocol contract and the registry.
+
+Every emitter must observe the same call sequence from
+:func:`repro.core.engine.run_engine` — ``plan -> begin -> [dense_out] ->
+emit* / end_sweep* -> finalize`` — and the built-in emitters must
+reproduce their pre-refactor entry points bitwise (pinned in
+``test_stage12_equivalence.py`` / ``test_sparse_equivalence.py`` /
+``test_incremental.py``; this module pins the *protocol*).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import normalize_epoch_data
+from repro.core.engine import (
+    DenseEmitter,
+    EngineShape,
+    TileEmitter,
+    TilePlan,
+    available_emitters,
+    create_emitter,
+    register_emitter,
+    run_engine,
+)
+from repro.core.incremental import IncrementalEmitter
+from repro.core.sparse import CSREmitter
+
+
+def _problem(n_epochs=6, n_voxels=23, epoch_len=7, n_assigned=9, seed=3):
+    rng = np.random.default_rng(seed)
+    z = normalize_epoch_data(
+        rng.standard_normal((n_epochs, n_voxels, epoch_len)).astype(np.float32)
+    )
+    assigned = rng.choice(n_voxels, size=n_assigned, replace=False)
+    assigned.sort()
+    return z, assigned
+
+
+class RecordingEmitter:
+    """Protocol probe: records the engine's call sequence."""
+
+    def __init__(self, fused: bool, target_block: int | None = None):
+        self.fused_normalization = fused
+        self._target_block = target_block
+        self.calls: list[tuple] = []
+        self._out: np.ndarray | None = None
+
+    def plan(self, shape: EngineShape) -> TilePlan:
+        self.calls.append(("plan", shape))
+        return TilePlan(target_block=self._target_block)
+
+    def begin(self, shape: EngineShape, plan: TilePlan) -> None:
+        self.calls.append(("begin", shape, plan))
+
+    def dense_out(self, shape: EngineShape) -> np.ndarray:
+        self.calls.append(("dense_out", shape))
+        self._out = np.empty(shape.dense_shape, dtype=np.float32)
+        return self._out
+
+    def emit(self, tile, v0, v1, n0, n1) -> None:
+        self.calls.append(("emit", v0, v1, n0, n1, tile.shape))
+
+    def end_sweep(self, v0, v1) -> None:
+        self.calls.append(("end_sweep", v0, v1))
+
+    def finalize(self):
+        self.calls.append(("finalize",))
+        return self.calls
+
+
+class TestProtocolSequence:
+    def test_runtime_checkable(self):
+        assert isinstance(DenseEmitter(), TileEmitter)
+        assert isinstance(CSREmitter(top_k=3), TileEmitter)
+        assert isinstance(
+            IncrementalEmitter(np.array([0]), 4), TileEmitter
+        )
+        assert isinstance(RecordingEmitter(fused=True), TileEmitter)
+
+    def test_full_width_sequence(self):
+        z, assigned = _problem()
+        probe = RecordingEmitter(fused=True)
+        calls = run_engine(z, assigned, 3, probe)
+        names = [c[0] for c in calls]
+        # plan -> begin -> dense_out -> (emit, end_sweep)* -> finalize
+        assert names[:3] == ["plan", "begin", "dense_out"]
+        assert names[-1] == "finalize"
+        body = names[3:-1]
+        assert body == ["emit", "end_sweep"] * (len(body) // 2)
+        # Full-width emits span the whole target axis.
+        for call in calls:
+            if call[0] == "emit":
+                _, v0, v1, n0, n1, tile_shape = call
+                assert (n0, n1) == (0, z.shape[1])
+                assert tile_shape == (v1 - v0, z.shape[0], z.shape[1])
+
+    def test_tiled_sequence_covers_geometry(self):
+        z, assigned = _problem()
+        probe = RecordingEmitter(fused=False, target_block=8)
+        calls = run_engine(z, assigned, 3, probe)
+        emitted = np.zeros((assigned.size, z.shape[1]), dtype=int)
+        for call in calls:
+            if call[0] == "emit":
+                _, v0, v1, n0, n1, _ = call
+                emitted[v0:v1, n0:n1] += 1
+        # Every (assigned voxel, target) cell emitted exactly once.
+        assert (emitted == 1).all()
+        sweeps = [c for c in calls if c[0] == "end_sweep"]
+        assert sweeps[-1][2] == assigned.size
+
+    def test_begin_sees_resolved_plan(self):
+        z, assigned = _problem()
+        probe = RecordingEmitter(fused=True)
+        calls = run_engine(z, assigned, 3, probe)
+        (_, shape, plan) = next(c for c in calls if c[0] == "begin")
+        assert shape.n_assigned == assigned.size
+        assert shape.n_voxels == z.shape[1]
+        assert shape.epochs_per_subject == 3
+        assert plan == plan.resolve(shape)  # already clamped
+
+    def test_epoch_divisibility_validated(self):
+        z, assigned = _problem(n_epochs=6)
+        with pytest.raises(ValueError, match="divisible"):
+            run_engine(z, assigned, 4, RecordingEmitter(fused=True))
+
+
+class TestBuiltinEmitterReturns:
+    """finalize() is the engine's return value, per emitter."""
+
+    def test_dense(self):
+        z, assigned = _problem()
+        out, n_tiles = run_engine(z, assigned, 3, DenseEmitter())
+        assert out.shape == (assigned.size, z.shape[0], z.shape[1])
+        assert out.dtype == np.float32
+        assert n_tiles >= 1
+
+    def test_csr(self):
+        z, assigned = _problem()
+        result, stats = run_engine(z, assigned, 3, CSREmitter(top_k=4))
+        assert result.nnz == assigned.size * z.shape[0] * 4
+        assert stats.n_tiles >= 1
+
+    def test_incremental(self):
+        z, assigned = _problem()
+        emitter = IncrementalEmitter(assigned, z.shape[1])
+        window = run_engine(z, assigned, 1, emitter)
+        assert window == z.shape[0] == emitter.window_size
+
+    def test_dense_out_validation(self):
+        z, assigned = _problem()
+        bad = np.empty((assigned.size, z.shape[0], z.shape[1] + 1), np.float32)
+        with pytest.raises(ValueError):
+            run_engine(z, assigned, 3, DenseEmitter(out=bad))
+
+
+class TestRegistry:
+    def test_builtins_listed(self):
+        names = available_emitters()
+        assert {"dense", "csr", "incremental"} <= set(names)
+        assert names == tuple(sorted(names))
+
+    def test_create_dense_and_csr(self):
+        assert isinstance(create_emitter("dense"), DenseEmitter)
+        emitter = create_emitter("csr", top_k=5)
+        assert isinstance(emitter, CSREmitter)
+
+    def test_create_unknown(self):
+        with pytest.raises(ValueError, match="unknown emitter"):
+            create_emitter("no-such-emitter")
+
+    def test_register_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_emitter("dense", DenseEmitter)
+
+    def test_register_custom_and_overwrite(self):
+        try:
+            register_emitter("probe", lambda: RecordingEmitter(fused=True))
+            assert "probe" in available_emitters()
+            register_emitter(
+                "probe",
+                lambda: RecordingEmitter(fused=False),
+                overwrite=True,
+            )
+            assert create_emitter("probe").fused_normalization is False
+        finally:
+            from repro.core import engine as engine_mod
+
+            engine_mod._EMITTERS.pop("probe", None)
+
+
+class TestPlanResolution:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TilePlan(voxel_sweep=0)
+        with pytest.raises(ValueError):
+            TilePlan(target_block=0)
+
+    def test_full_width_clamps_sweep(self):
+        shape = EngineShape(
+            n_assigned=5, n_epochs=4, n_voxels=30,
+            epoch_length=7, epochs_per_subject=2,
+        )
+        plan = TilePlan(voxel_sweep=100).resolve(shape)
+        assert plan.voxel_sweep == 5
+        assert plan.target_block is None
+
+    def test_tiled_defaults_and_clamps(self):
+        shape = EngineShape(
+            n_assigned=5, n_epochs=4, n_voxels=30,
+            epoch_length=7, epochs_per_subject=2,
+        )
+        plan = TilePlan(target_block=64).resolve(shape)
+        assert plan.voxel_sweep == 5   # defaults to whole task
+        assert plan.target_block == 30  # clamped to brain

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import assume, given, settings
+from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
 from repro.core.correlation import (
@@ -260,7 +260,13 @@ class TestPropertyBasedEquivalence:
         if mode[0] == "top_k":
             assert stats.nnz == n_assigned * n_epochs * min(mode[1], n_voxels)
 
-    @settings(max_examples=30, deadline=None)
+    @settings(
+        max_examples=30,
+        deadline=None,
+        # The ill-conditioned-group assume below discards a seed-dependent
+        # share of draws; that filtering is the point, not a slowdown bug.
+        suppress_health_check=[HealthCheck.filter_too_much],
+    )
     @given(_random_problem())
     def test_engine_matches_dense_fused_tolerance(self, params):
         (n_epochs, n_voxels, epoch_len, n_assigned,

@@ -1,0 +1,74 @@
+"""The shared tile arithmetic: one convention for every blocked loop."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.tiling import block_bounds, iter_blocks, n_blocks, tail_block
+
+
+class TestIterBlocks:
+    def test_exact_division(self):
+        assert list(iter_blocks(8, 4)) == [(0, 4), (4, 8)]
+
+    def test_ragged_tail(self):
+        assert list(iter_blocks(10, 4)) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_block_larger_than_total(self):
+        assert list(iter_blocks(3, 100)) == [(0, 3)]
+
+    def test_empty_range(self):
+        assert list(iter_blocks(0, 4)) == []
+
+    def test_rejects_negative_total(self):
+        with pytest.raises(ValueError):
+            list(iter_blocks(-1, 4))
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_rejects_bad_block(self, bad):
+        with pytest.raises(ValueError):
+            list(iter_blocks(10, bad))
+
+
+class TestDerivedHelpers:
+    def test_block_bounds_materializes_iter_blocks(self):
+        assert block_bounds(11, 3) == list(iter_blocks(11, 3))
+
+    @pytest.mark.parametrize(
+        "total,block,expected",
+        [(10, 4, 3), (8, 4, 2), (1, 1, 1), (0, 5, 0), (5, 100, 1)],
+    )
+    def test_n_blocks(self, total, block, expected):
+        assert n_blocks(total, block) == expected
+
+    @pytest.mark.parametrize(
+        "total,block,expected",
+        [(10, 4, 2), (8, 4, 4), (5, 100, 5), (0, 3, 0), (7, 1, 1)],
+    )
+    def test_tail_block(self, total, block, expected):
+        assert tail_block(total, block) == expected
+
+    def test_errors_match_iter_blocks(self):
+        for fn in (block_bounds, n_blocks, tail_block):
+            with pytest.raises(ValueError):
+                fn(-1, 4)
+            with pytest.raises(ValueError):
+                fn(10, 0)
+
+
+@given(total=st.integers(0, 500), block=st.integers(1, 500))
+def test_blocks_cover_range_exactly_once(total, block):
+    bounds = block_bounds(total, block)
+    # Half-open, ascending, contiguous, covering [0, total).
+    covered = np.concatenate(
+        [np.arange(start, stop) for start, stop in bounds]
+    ) if bounds else np.empty(0, dtype=np.int64)
+    np.testing.assert_array_equal(covered, np.arange(total))
+    # Every block full-sized except possibly the last.
+    for start, stop in bounds[:-1]:
+        assert stop - start == block
+    assert len(bounds) == n_blocks(total, block)
+    if bounds:
+        last_start, last_stop = bounds[-1]
+        assert last_stop - last_start == tail_block(total, block)
