@@ -11,12 +11,21 @@ projection.)
 import pytest
 
 from repro.bench import render_table
-from repro.cluster import ClusterConfig, offline_workload, simulate_with_failures
+from repro.cluster import (
+    ClusterConfig,
+    FoldSpec,
+    TaskSpec,
+    Workload,
+    offline_workload,
+    simulate_with_failures,
+)
 from repro.data import FACE_SCENE
 from repro.hw import PHI_5110P
 from repro.perf.task_model import offline_task_seconds
 
 FAILURE_COUNTS = [0, 1, 4, 16, 48]
+#: Column tiles per row panel in the tile-granularity variant.
+TILE_SPLIT = 4
 
 
 def _workload():
@@ -61,3 +70,86 @@ def test_failure_sweep(benchmark, save_table):
     # Even after losing half the machine, within ~2.5x of healthy
     # (survivor capacity bound: 96/48 = 2x, plus retry timeouts).
     assert results[48] < base * 2.6
+
+
+def _tiled_workload() -> Workload:
+    """The same offline work carved at 2-D tile granularity.
+
+    Every 120-voxel row-panel task splits into ``TILE_SPLIT`` column
+    tiles of 1/TILE_SPLIT the compute and result payload — the carve
+    :mod:`repro.parallel.tiled` actually dispatches.  More handouts,
+    but a smaller re-execution quantum when a worker dies mid-task.
+    """
+    base = _workload()
+    folds = []
+    for fold in base.folds:
+        tasks = []
+        for t in fold.tasks:
+            tasks.extend(
+                TaskSpec(
+                    t.compute_seconds / TILE_SPLIT,
+                    task_bytes=t.task_bytes,
+                    result_bytes=max(t.result_bytes // TILE_SPLIT, 1),
+                )
+                for _ in range(TILE_SPLIT)
+            )
+        folds.append(
+            FoldSpec(
+                tasks=tuple(tasks),
+                serial_seconds=fold.serial_seconds,
+                label=f"{fold.label}-tiled",
+            )
+        )
+    return Workload(
+        name=f"{base.name}-tiled",
+        dataset_bytes=base.dataset_bytes,
+        folds=tuple(folds),
+    )
+
+
+def test_tile_granularity_shrinks_failure_cost(save_table):
+    """Satellite: tile-granularity retry loses at most one tile.
+
+    A worker killed mid-task forfeits its in-flight quantum; at 2-D
+    tile granularity that quantum is ``1/TILE_SPLIT`` of a row-panel
+    task, so the recovery overhead over a healthy run shrinks while
+    healthy elapsed stays within the master-handout noise.
+    """
+    config = ClusterConfig(n_workers=96)
+    failures = {0: 10.0, 1: 25.0, 2: 40.0, 3: 55.0}
+
+    panel_healthy = simulate_with_failures(_workload(), config, {})
+    panel_failed = simulate_with_failures(_workload(), config, failures)
+    tile_healthy = simulate_with_failures(_tiled_workload(), config, {})
+    tile_failed = simulate_with_failures(_tiled_workload(), config, failures)
+
+    panel_cost = panel_failed.elapsed_seconds - panel_healthy.elapsed_seconds
+    tile_cost = tile_failed.elapsed_seconds - tile_healthy.elapsed_seconds
+
+    rows = [
+        [
+            "row panel",
+            f"{panel_healthy.elapsed_seconds:.1f}",
+            f"{panel_failed.elapsed_seconds:.1f}",
+            f"{panel_cost:.1f}",
+        ],
+        [
+            f"2-D tile (1/{TILE_SPLIT})",
+            f"{tile_healthy.elapsed_seconds:.1f}",
+            f"{tile_failed.elapsed_seconds:.1f}",
+            f"{tile_cost:.1f}",
+        ],
+    ]
+    save_table(
+        "failure_granularity",
+        render_table(
+            ["task granularity", "healthy s", "4 failures s", "recovery cost s"],
+            rows,
+            title="Recovery cost vs task granularity (96 workers, 4 mid-run deaths)",
+        ),
+    )
+
+    # Both carves finish every voxel; the finer carve recovers cheaper.
+    assert tile_cost <= panel_cost + 1e-9
+    # Finer handouts must not blow up the healthy run (master overhead).
+    assert tile_healthy.elapsed_seconds <= panel_healthy.elapsed_seconds * 1.15

@@ -61,6 +61,28 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=None,
                      help="worker count (pool defaults to CPUs, "
                           "master-worker to 2)")
+    run.add_argument("--transport", choices=["thread", "tcp"],
+                     default="thread",
+                     help="master-worker rank fabric: in-process threads "
+                          "or real processes over length-prefixed TCP")
+    run.add_argument("--partition", choices=["rows", "tiles"],
+                     default="rows",
+                     help="master-worker work decomposition: 1-D row "
+                          "panels or 2-D correlation tiles with "
+                          "comm/compute overlap")
+    run.add_argument("--listen", default=None, metavar="HOST:PORT",
+                     help="tcp transport: address to listen on "
+                          "(default 127.0.0.1:0 = any free port)")
+    run.add_argument("--hosts", type=int, default=None, metavar="N",
+                     help="tcp transport: wait for N externally started "
+                          "workers ('fcma worker --connect HOST:PORT' on "
+                          "each host) instead of spawning local processes")
+    run.add_argument("--tile-cols", type=int, default=None,
+                     help="tiles partition: fixed tile column width "
+                          "(default: sized from the blocking planner)")
+    run.add_argument("--comm-timeout", type=float, default=None,
+                     help="communicator timeout in seconds (default: "
+                          "FCMA_COMM_TIMEOUT or 120)")
     run.add_argument("--variant",
                      choices=["optimized", "baseline", "optimized-batched",
                               "sparse-batched"],
@@ -104,6 +126,17 @@ def build_parser() -> argparse.ArgumentParser:
                           "history registry at PATH (JSON-lines)")
     run.add_argument("--history-name", default="fcma-run", metavar="NAME",
                      help="series name the history record is filed under")
+
+    wrk = sub.add_parser(
+        "worker",
+        help="join a listening 'fcma run --transport tcp' master as one "
+             "TCP worker rank",
+    )
+    wrk.add_argument("--connect", required=True, metavar="HOST:PORT",
+                     help="address the master is listening on")
+    wrk.add_argument("--timeout", type=float, default=None,
+                     help="communicator timeout in seconds (default: "
+                          "FCMA_COMM_TIMEOUT or 120)")
 
     sel = sub.add_parser("select", help="run voxel selection on a dataset")
     sel.add_argument("dataset", help="input .npz dataset")
@@ -387,9 +420,46 @@ def _cmd_run(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         top_k=args.top_k,
         emitter=args.emitter,
+        comm_timeout=args.comm_timeout,
     )
     ctx = RunContext(config, seed=args.seed)
-    executor = make_executor(args.executor, n_workers=args.workers)
+    mw_opts: dict[str, object] = {}
+    if args.transport != "thread" or args.partition != "rows":
+        if args.executor != "master-worker":
+            print(
+                "error: --transport/--partition require "
+                "--executor master-worker",
+                file=sys.stderr,
+            )
+            return 2
+    if args.executor == "master-worker":
+        mw_opts["transport"] = args.transport
+        mw_opts["partition"] = args.partition
+        if args.tile_cols is not None:
+            mw_opts["tile_cols"] = args.tile_cols
+        if args.listen is not None:
+            from .parallel.tcp_worker import parse_endpoint
+
+            host, port = parse_endpoint(args.listen)
+            mw_opts["host"] = host
+            mw_opts["port"] = port
+        if args.hosts is not None:
+            if args.listen is None or mw_opts.get("port", 0) == 0:
+                print(
+                    "error: --hosts needs --listen HOST:PORT with an "
+                    "explicit port so workers know where to connect",
+                    file=sys.stderr,
+                )
+                return 2
+            # External workers join via 'fcma worker --connect'.
+            mw_opts["spawn"] = False
+            args.workers = args.hosts
+            print(
+                f"waiting for {args.hosts} worker(s) on {args.listen} "
+                f"('fcma worker --connect {args.listen}')",
+                file=sys.stderr,
+            )
+    executor = make_executor(args.executor, n_workers=args.workers, **mw_opts)
     scores = executor.run(dataset, ctx)
     top = scores.top(args.top)
 
@@ -907,9 +977,19 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     }[args.perf_command](args)
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .parallel.tcp_worker import main as worker_main
+
+    argv = ["--connect", args.connect]
+    if args.timeout is not None:
+        argv += ["--timeout", str(args.timeout)]
+    return worker_main(argv)
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "run": _cmd_run,
+    "worker": _cmd_worker,
     "select": _cmd_select,
     "offline": _cmd_offline,
     "online": _cmd_online,

@@ -100,6 +100,10 @@ class FCMAConfig:
     #: ``incremental`` emitter is driven per TR by the streaming loop
     #: (:mod:`repro.rtfmri`), not by a batch variant.
     emitter: str | None = None
+    #: Seconds before a blocked communicator receive/collective aborts.
+    #: ``None`` falls back to the ``FCMA_COMM_TIMEOUT`` environment
+    #: variable, then 120 s (see :func:`repro.parallel.comm.default_timeout`).
+    comm_timeout: float | None = None
 
     def __post_init__(self) -> None:
         from ..exec.registry import available_backends, available_variants
@@ -124,6 +128,8 @@ class FCMAConfig:
             raise ValueError("threshold must be >= 0")
         if self.top_k is not None and self.top_k < 1:
             raise ValueError("top_k must be >= 1")
+        if self.comm_timeout is not None and not self.comm_timeout > 0:
+            raise ValueError("comm_timeout must be positive (or None for auto)")
         if self.threshold is not None and self.top_k is not None:
             raise ValueError("threshold and top_k are mutually exclusive")
         sparse_mode = self.threshold is not None or self.top_k is not None

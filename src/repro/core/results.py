@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["VoxelScores"]
+__all__ = ["PanelAssembler", "VoxelScores"]
 
 
 @dataclass(frozen=True)
@@ -64,3 +64,103 @@ class VoxelScores:
         if hits.size == 0:
             raise KeyError(f"voxel {voxel} not in results")
         return float(self.accuracies[hits[0]])
+
+
+class PanelAssembler:
+    """Merges 2-D stage-1/2 tiles back into full correlation row panels.
+
+    Under 2-D tile partitioning a row panel's normalized correlations
+    ``(rows, epochs, n_voxels)`` arrive as column blocks, possibly out
+    of order and from different workers.  The assembler owns one buffer
+    per panel, fills column ranges as tiles land, and reports a panel
+    exactly once when its last column arrives — the handoff point where
+    the master turns it into a stage-3 scoring task.
+
+    Tiles for the same column range may legally arrive twice (a worker
+    presumed lost can still have delivered its result before dying);
+    the duplicate bytes are identical by the tiled engine's determinism
+    contract, so later writes simply overwrite earlier ones and the
+    completion count only advances on first arrival.
+    """
+
+    def __init__(self, n_voxels: int, n_epochs: int):
+        if n_voxels < 1 or n_epochs < 1:
+            raise ValueError("n_voxels and n_epochs must be >= 1")
+        self._n_voxels = n_voxels
+        self._n_epochs = n_epochs
+        self._buffers: dict[int, np.ndarray] = {}
+        self._rows: dict[int, np.ndarray] = {}
+        self._filled: dict[int, set[tuple[int, int]]] = {}
+        self._expected: dict[int, int] = {}
+        self._done: set[int] = set()
+
+    def expect(self, panel: int, rows: np.ndarray, n_tiles: int) -> None:
+        """Declare a panel's row ids and how many column tiles it needs."""
+        if n_tiles < 1:
+            raise ValueError("n_tiles must be >= 1")
+        if panel in self._expected:
+            raise ValueError(f"panel {panel} already declared")
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.ndim != 1 or rows.size == 0:
+            raise ValueError("rows must be a non-empty 1D index array")
+        self._expected[panel] = n_tiles
+        self._rows[panel] = rows
+
+    def add(
+        self,
+        panel: int,
+        col_start: int,
+        col_stop: int,
+        block: np.ndarray,
+    ) -> np.ndarray | None:
+        """Place one tile; returns the full panel when it completes.
+
+        ``block`` must be ``(rows, epochs, col_stop - col_start)``
+        float32.  Returns ``None`` while columns are still missing and
+        for duplicate arrivals after completion.
+        """
+        if panel not in self._expected:
+            raise KeyError(f"panel {panel} was never declared via expect()")
+        if not 0 <= col_start < col_stop <= self._n_voxels:
+            raise ValueError(f"bad column range [{col_start}, {col_stop})")
+        rows = self._rows[panel]
+        want = (rows.size, self._n_epochs, col_stop - col_start)
+        block = np.asarray(block, dtype=np.float32)
+        if block.shape != want:
+            raise ValueError(f"tile has shape {block.shape}, expected {want}")
+        buf = self._buffers.get(panel)
+        if buf is None:
+            buf = self._buffers[panel] = np.empty(
+                (rows.size, self._n_epochs, self._n_voxels), dtype=np.float32
+            )
+            self._filled[panel] = set()
+        buf[:, :, col_start:col_stop] = block
+        self._filled[panel].add((col_start, col_stop))
+        if panel in self._done or len(self._filled[panel]) < self._expected[panel]:
+            return None
+        self._done.add(panel)
+        return buf
+
+    def rows_of(self, panel: int) -> np.ndarray:
+        """The declared row ids of a panel."""
+        return self._rows[panel]
+
+    def panel_buffer(self, panel: int) -> np.ndarray:
+        """A completed panel's full ``(rows, epochs, n_voxels)`` buffer."""
+        if panel not in self._done:
+            raise KeyError(f"panel {panel} is not complete")
+        return self._buffers[panel]
+
+    def release(self, panel: int) -> None:
+        """Drop a completed panel's buffer (after stage 3 consumed it)."""
+        self._buffers.pop(panel, None)
+        self._filled.pop(panel, None)
+
+    @property
+    def n_complete(self) -> int:
+        return len(self._done)
+
+    @property
+    def pending_panels(self) -> list[int]:
+        """Declared panels whose buffers are still incomplete."""
+        return sorted(p for p in self._expected if p not in self._done)

@@ -204,11 +204,26 @@ class ProcessPoolExecutor:
 # -- master-worker --------------------------------------------------------
 
 
-class MasterWorkerExecutor:
-    """The paper's pull-based protocol over in-process thread ranks.
+#: Transport / partition names ``MasterWorkerExecutor`` accepts.
+TRANSPORT_NAMES = ("thread", "tcp")
+PARTITION_NAMES = ("rows", "tiles")
 
-    Wraps :mod:`repro.parallel.master_worker`: rank 0 serves the task
-    stream on demand and aggregates, ranks 1..n run the stage graph.
+
+class MasterWorkerExecutor:
+    """The paper's pull-based protocol over a pluggable transport.
+
+    Wraps :mod:`repro.parallel.master_worker` (1-D row partitioning)
+    and :mod:`repro.parallel.tiled` (2-D tile partitioning with
+    communication/compute overlap): rank 0 serves work on demand and
+    aggregates, ranks 1..n run the stage kernels.
+
+    * ``transport="thread"`` (default) runs the ranks as in-process
+      threads — the historical, bitwise-identical path.
+    * ``transport="tcp"`` listens on ``host:port`` and runs the same
+      protocol against real worker *processes* (spawned locally when
+      ``spawn=True``, or joined externally via ``fcma worker
+      --connect``), so the run spans multiple cores or hosts.
+
     After the run, the measured per-task stream is replayed through the
     cluster simulator (:func:`predicted_schedule`) and the predicted
     elapsed time lands in ``ctx.metadata["predicted"]`` next to the
@@ -217,13 +232,66 @@ class MasterWorkerExecutor:
 
     name = "master-worker"
 
-    def __init__(self, n_workers: int = 2, max_retries: int = 2):
+    def __init__(
+        self,
+        n_workers: int = 2,
+        max_retries: int = 2,
+        transport: str = "thread",
+        partition: str = "rows",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        spawn: bool = True,
+        tile_cols: int | None = None,
+    ):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         if max_retries < 1:
             raise ValueError("max_retries must be >= 1")
+        if transport not in TRANSPORT_NAMES:
+            raise ValueError(
+                f"unknown transport {transport!r}; choose from {TRANSPORT_NAMES}"
+            )
+        if partition not in PARTITION_NAMES:
+            raise ValueError(
+                f"unknown partition {partition!r}; choose from {PARTITION_NAMES}"
+            )
+        if tile_cols is not None and tile_cols < 1:
+            raise ValueError("tile_cols must be >= 1")
         self.n_workers = n_workers
         self.max_retries = max_retries
+        self.transport = transport
+        self.partition = partition
+        self.host = host
+        self.port = port
+        self.spawn = spawn
+        self.tile_cols = tile_cols
+
+    def _timeout(self, ctx: RunContext) -> float:
+        from ..parallel.comm import default_timeout
+
+        configured = getattr(ctx.config, "comm_timeout", None)
+        return default_timeout() if configured is None else float(configured)
+
+    def _tile_stream(
+        self,
+        dataset: FMRIDataset,
+        ctx: RunContext,
+        voxels: NDArray[Any] | None,
+        n_voxels: int,
+    ) -> list[Any]:
+        from .partition import partition_tiles, tile_cols_for
+
+        config = ctx.config
+        n_panels = len(_task_stream(dataset, ctx, voxels))
+        cols = (
+            self.tile_cols
+            if self.tile_cols is not None
+            else tile_cols_for(
+                n_voxels, config.target_block, self.n_workers, n_panels
+            )
+        )
+        ctx.metadata["tile_cols"] = cols
+        return partition_tiles(n_voxels, config.task_voxels, cols, voxels)
 
     def run(
         self,
@@ -232,36 +300,85 @@ class MasterWorkerExecutor:
         voxels: NDArray[Any] | None = None,
     ) -> VoxelScores:
         from ..parallel.master_worker import _master_loop, _worker_loop
+        from ..parallel.tiled import tiled_master_loop, tiled_worker_loop
 
+        timeout = self._timeout(ctx)
         with ctx.run_span(self.name, dataset):
             t0 = time.perf_counter()
             tasks = _task_stream(dataset, ctx, voxels)
-            # Per-rank contexts keep the hot path lock-free; merged below.
-            worker_ctxs = [RunContext(ctx.config) for _ in range(self.n_workers)]
+            tiled = self.partition == "tiles"
+            if tiled or self.transport == "tcp":
+                # Tile geometry (and the TCP broadcast) need the
+                # preprocessed shape; the per-process cache makes this
+                # free for the workers that preprocess again.
+                _, z = preprocess_dataset(dataset)
+                n_epochs, n_voxels = z.shape[0], z.shape[1]
+            tiles = (
+                self._tile_stream(dataset, ctx, voxels, n_voxels)
+                if tiled
+                else []
+            )
+            n_work = len(tiles) + len(tasks) if tiled else len(tasks)
 
-            def spmd(comm: Comm) -> Any:
-                # The paper's master "first distributes brain data to the
-                # worker nodes": the broadcast shares the dataset reference.
-                ds = comm.bcast(dataset if comm.rank == 0 else None)
-                if comm.rank == 0:
-                    return _master_loop(comm, tasks, max_retries=self.max_retries)
-                wctx = worker_ctxs[comm.rank - 1]
+            if self.transport == "tcp":
+                scores = self._run_tcp(dataset, ctx, tasks, tiles, timeout)
+            else:
+                # Per-rank contexts keep the hot path lock-free; merged below.
+                worker_ctxs = [
+                    RunContext(ctx.config) for _ in range(self.n_workers)
+                ]
+                # Rank 0's comm stats, surfaced after the join so the
+                # counters attach to the run span (main thread), not a
+                # detached counter root on the spmd thread.
+                master_stats: list[Any] = []
 
-                def run_one(
-                    d: FMRIDataset, assigned: NDArray[np.int64], _cfg: FCMAConfig
-                ) -> VoxelScores:
-                    return execute_task(d, assigned, wctx)
+                def spmd(comm: Comm) -> Any:
+                    # The paper's master "first distributes brain data to
+                    # the worker nodes": the broadcast shares the dataset
+                    # reference.
+                    ds = comm.bcast(dataset if comm.rank == 0 else None)
+                    if comm.rank == 0:
+                        if tiled:
+                            result = tiled_master_loop(
+                                comm,
+                                tiles,
+                                n_voxels,
+                                n_epochs,
+                                max_retries=self.max_retries,
+                            )
+                        else:
+                            result = _master_loop(
+                                comm, tasks, max_retries=self.max_retries
+                            )
+                        master_stats.append(comm.stats)
+                        return result
+                    wctx = worker_ctxs[comm.rank - 1]
+                    if tiled:
+                        return tiled_worker_loop(comm, ds, ctx.config, wctx)
 
-                return _worker_loop(comm, ds, ctx.config, run=run_one)
+                    def run_one(
+                        d: FMRIDataset,
+                        assigned: NDArray[np.int64],
+                        _cfg: FCMAConfig,
+                    ) -> VoxelScores:
+                        return execute_task(d, assigned, wctx)
 
-            results = run_ranks(self.n_workers + 1, spmd)
-            for wctx in worker_ctxs:
-                ctx.merge(wctx)
-            scores = results[0]
+                    return _worker_loop(comm, ds, ctx.config, run=run_one)
+
+                results = run_ranks(self.n_workers + 1, spmd, timeout=timeout)
+                for wctx in worker_ctxs:
+                    ctx.merge(wctx)
+                for stats in master_stats:
+                    ctx.increment("comm.bytes_sent", stats.bytes_sent)
+                    ctx.increment("comm.bytes_recv", stats.bytes_recv)
+                scores = results[0]
+
             assert isinstance(scores, VoxelScores)
             elapsed = time.perf_counter() - t0
-            _finish(ctx, self, len(tasks), elapsed)
+            _finish(ctx, self, n_work, elapsed)
             ctx.metadata["n_workers"] = self.n_workers
+            ctx.metadata["transport"] = self.transport
+            ctx.metadata["partition"] = self.partition
             # The predicted-vs-measured replay runs inside the run span,
             # so the simulator's own kernel span lands in the trace.
             predicted = predicted_schedule(ctx, dataset, self.n_workers)
@@ -271,6 +388,76 @@ class MasterWorkerExecutor:
                 "n_workers": predicted.n_workers,
             }
         return scores
+
+    def _run_tcp(
+        self,
+        dataset: FMRIDataset,
+        ctx: RunContext,
+        tasks: list[NDArray[np.int64]],
+        tiles: list[Any],
+        timeout: float,
+    ) -> VoxelScores:
+        from ..parallel.master_worker import _master_loop
+        from ..parallel.tiled import collect_worker_reports, tiled_master_loop
+        from ..parallel.transport import TcpListener, spawn_local_workers
+
+        _, z = preprocess_dataset(dataset)
+        n_epochs, n_voxels = z.shape[0], z.shape[1]
+        listener = TcpListener(self.host, self.port)
+        address = listener.address
+        procs: list[Any] = []
+        transport = None
+        try:
+            if self.spawn:
+                procs = spawn_local_workers(
+                    address, self.n_workers, timeout=timeout
+                )
+            transport = listener.accept(self.n_workers, timeout=timeout)
+            comm = Comm(transport, 0)
+            comm.bcast(
+                {
+                    "config": ctx.config,
+                    "dataset": dataset,
+                    "partition": self.partition,
+                }
+            )
+            early_reports: dict[int, Any] = {}
+            if self.partition == "tiles":
+                scores = tiled_master_loop(
+                    comm,
+                    tiles,
+                    n_voxels,
+                    n_epochs,
+                    max_retries=self.max_retries,
+                    reports=early_reports,
+                )
+            else:
+                scores = _master_loop(
+                    comm,
+                    tasks,
+                    max_retries=self.max_retries,
+                    reports=early_reports,
+                )
+            reports = collect_worker_reports(
+                comm, set(transport.alive_workers()), early_reports
+            )
+            for _rank, report in sorted(reports.items()):
+                ctx.merge_export(report["export"])
+            stats = comm.stats
+            ctx.increment("comm.bytes_sent", stats.bytes_sent)
+            ctx.increment("comm.bytes_recv", stats.bytes_recv)
+            ctx.metadata["tcp_address"] = list(address)
+            return scores
+        finally:
+            if transport is not None:
+                transport.close()
+            else:
+                listener.close()
+            for proc in procs:
+                try:
+                    proc.wait(timeout=10)
+                except Exception:
+                    proc.kill()
 
 
 def predicted_schedule(

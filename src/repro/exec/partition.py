@@ -10,6 +10,7 @@ decomposition happens exactly once.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
@@ -17,7 +18,15 @@ from numpy.typing import NDArray
 
 from ..core.tiling import iter_blocks, n_blocks
 
-__all__ = ["partition_tasks", "n_tasks", "auto_chunksize", "partition_rows_by_nnz"]
+__all__ = [
+    "TileTask",
+    "partition_tasks",
+    "partition_tiles",
+    "tile_cols_for",
+    "n_tasks",
+    "auto_chunksize",
+    "partition_rows_by_nnz",
+]
 
 
 def partition_tasks(
@@ -46,6 +55,99 @@ def partition_tasks(
     if out.ndim != 1 or out.size == 0:
         raise ValueError("voxels must be a non-empty 1D index array")
     return [out[start:stop] for start, stop in iter_blocks(out.size, task_voxels)]
+
+
+@dataclass(frozen=True)
+class TileTask:
+    """One 2-D tile of the (assigned × all-voxels) correlation matrix.
+
+    Tiles partition the output of stage 1/2 both ways: ``rows`` is the
+    row panel's assigned voxel ids (what 1-D partitioning called a
+    task), ``col_start:col_stop`` the target-voxel column range.  A
+    worker computes the tile's fused stage-1/2 block; the master merges
+    column tiles back into full row panels
+    (:class:`repro.core.results.PanelAssembler`) before stage 3 scores
+    them.  ``index`` is the deterministic row-major dispatch order.
+    """
+
+    index: int
+    #: Which row panel this tile extends (0-based, row-major).
+    panel: int
+    #: Assigned voxel ids of the row panel, shape (rows,).
+    rows: NDArray[np.int64]
+    #: Half-open target-voxel column range of this tile.
+    col_start: int
+    col_stop: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0 or self.panel < 0:
+            raise ValueError("tile index and panel must be >= 0")
+        if not 0 <= self.col_start < self.col_stop:
+            raise ValueError(
+                f"bad column range [{self.col_start}, {self.col_stop})"
+            )
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.rows.size)
+
+    @property
+    def n_cols(self) -> int:
+        return self.col_stop - self.col_start
+
+    def result_nbytes(self, n_epochs: int) -> int:
+        """Bytes of the float32 normalized block this tile produces."""
+        return self.n_rows * n_epochs * self.n_cols * 4
+
+
+def tile_cols_for(
+    n_voxels: int, target_block: int, n_workers: int, n_panels: int
+) -> int:
+    """Column width of a distributed tile.
+
+    Multiple of the blocking planner's ``target_block`` (so each tile's
+    inner gemm walks whole planner blocks), sized to give every worker
+    a few tiles per row panel: enough parallelism for dynamic balance,
+    few enough that per-tile message overhead stays amortized.
+    """
+    if min(n_voxels, target_block, n_workers, n_panels) < 1:
+        raise ValueError("tile_cols_for arguments must be >= 1")
+    # ~2 column tiles per worker per panel, at least one planner block.
+    want = max(1, n_workers * 2 // max(n_panels, 1), n_workers // n_panels)
+    cols = max(target_block, -(-n_voxels // max(want * target_block, 1)) * target_block)
+    return min(cols, n_voxels)
+
+
+def partition_tiles(
+    n_voxels: int,
+    task_voxels: int,
+    tile_cols: int,
+    voxels: NDArray[Any] | None = None,
+) -> list[TileTask]:
+    """2-D tile partition: row panels × target-column blocks.
+
+    Row panels come from :func:`partition_tasks` (so the stage-3 unit
+    of aggregation is unchanged); each panel is split into column tiles
+    of ``tile_cols`` target voxels.  Tiles are ordered row-major —
+    panel 0's columns left to right, then panel 1 — which is the
+    deterministic dispatch order of the tiled master loop.
+    """
+    if tile_cols < 1:
+        raise ValueError("tile_cols must be >= 1")
+    panels = partition_tasks(n_voxels, task_voxels, voxels)
+    tiles: list[TileTask] = []
+    for panel_id, rows in enumerate(panels):
+        for start, stop in iter_blocks(n_voxels, tile_cols):
+            tiles.append(
+                TileTask(
+                    index=len(tiles),
+                    panel=panel_id,
+                    rows=rows,
+                    col_start=start,
+                    col_stop=stop,
+                )
+            )
+    return tiles
 
 
 def partition_rows_by_nnz(

@@ -33,6 +33,8 @@ __all__ = [
     "VOXELS",
     "TILES",
     "TILES_PRUNED",
+    "ROWS",
+    "COLS",
     "NNZ",
     "ELEMENTS",
     "DENSITY",
@@ -83,6 +85,10 @@ TILES = MetricSpec("tiles", "count", "stage-1/2 tiles processed")
 TILES_PRUNED = MetricSpec(
     "tiles_pruned", "count", "sparse tiles with no surviving entries"
 )
+#: Row extent of a 2-D correlation tile (owner panel's voxel count).
+ROWS = MetricSpec("rows", "count", "row extent of a 2-D tile")
+#: Column extent of a 2-D correlation tile.
+COLS = MetricSpec("cols", "count", "column extent of a 2-D tile")
 #: Stored entries of a sparse kernel's output (CSR nnz).
 NNZ = MetricSpec("nnz", "count", "stored (non-pruned) output entries")
 #: Dense elements the kernel scanned to produce its output.
@@ -125,6 +131,8 @@ METRICS: dict[str, MetricSpec] = {
         VOXELS,
         TILES,
         TILES_PRUNED,
+        ROWS,
+        COLS,
         NNZ,
         ELEMENTS,
         DENSITY,

@@ -61,6 +61,7 @@ from .report import (
     KernelComparison,
     format_density_section,
     format_perf_report,
+    format_scaleout_section,
     kernel_comparisons,
 )
 
@@ -88,6 +89,7 @@ __all__ = [
     "format_calibration_report",
     "format_density_section",
     "format_perf_report",
+    "format_scaleout_section",
     "geometry_from_spans",
     "ingest_legacy_bench",
     "is_timing_name",

@@ -36,6 +36,7 @@ from ...perf import (
     model_normalization,
     model_sparse_stage12,
     model_svm_cv,
+    model_tile2d_compute,
 )
 from ..span import Span, SpanNode, build_tree
 
@@ -151,6 +152,7 @@ def predict_kernel(
     target_block: int | None = None,
     density: float | None = None,
     epoch_len: int | None = None,
+    cols: int | None = None,
 ) -> tuple[PerfCounters, float] | None:
     """Model one kernel span's counters and elapsed seconds.
 
@@ -198,7 +200,12 @@ def predict_kernel(
     if name == "correlate_normalize_batched":
         sweep = voxel_sweep if voxel_sweep else n_assigned
         return _combine([model_batched_stage12(spec, n_assigned, hw, sweep)])
-    if name == "score_voxels":
+    if name == "correlate_normalize_tile2d":
+        # One 2-D tile of the scale-out path: the blocked gemm + merged
+        # normalization restricted to the tile's column slab.
+        width = cols if cols else spec.n_voxels
+        return model_tile2d_compute(spec, n_assigned, min(width, spec.n_voxels), hw)
+    if name in ("score_voxels", "score_panel"):
         if variant == "baseline":
             syrk_impl, svm_impl = "mkl", "libsvm"
         else:
@@ -217,9 +224,11 @@ MODELED_KERNELS = (
     "correlate_blocked+merge",
     "correlate_normalize_batched",
     "correlate_normalize_sparse",
+    "correlate_normalize_tile2d",
     "incremental_tr_update",
     "incremental_epoch_close",
     "score_voxels",
+    "score_panel",
 )
 
 
@@ -286,8 +295,16 @@ def enrich_spans(
         target_block: int | None = None
         density: float | None = None
         epoch_len: int | None = None
+        cols: int | None = None
         scale = 1.0
-        if span.name.startswith("incremental_"):
+        if span.name == "correlate_normalize_tile2d":
+            # The 2-D tile records its own geometry: row extent is the
+            # assigned voxel count, column extent bounds the slab.
+            if span.metrics.get("rows"):
+                n_assigned = int(span.metrics["rows"])
+            if span.metrics.get("cols"):
+                cols = int(span.metrics["cols"])
+        elif span.name.startswith("incremental_"):
             if span.metrics.get("trs"):
                 epoch_len = int(span.metrics["trs"])
             if span.name == "incremental_tr_update":
@@ -318,6 +335,7 @@ def enrich_spans(
                 target_block=target_block,
                 density=density,
                 epoch_len=epoch_len,
+                cols=cols,
             )
         except (ValueError, ZeroDivisionError):
             continue

@@ -16,10 +16,16 @@ from typing import Iterable
 
 from ...hw.spec import HardwareSpec
 from ...perf import (
+    LOOPBACK_TCP,
+    InterconnectSpec,
+    TileCommShape,
     dense_crossover_density,
     density_sweep,
     format_density_sweep,
     format_roofline_report,
+    model_panel_comm,
+    model_tile_comm,
+    predict_scaleout,
     roofline_rows,
 )
 from ..span import Span
@@ -29,6 +35,7 @@ __all__ = [
     "KernelComparison",
     "format_density_section",
     "format_perf_report",
+    "format_scaleout_section",
     "kernel_comparisons",
 ]
 
@@ -161,6 +168,97 @@ def format_density_section(
     )
 
 
+def format_scaleout_section(
+    spans: Iterable[Span],
+    hw: HardwareSpec | None = None,
+    net: InterconnectSpec | None = None,
+) -> str | None:
+    """Wire-model table for a trace with 2-D tile spans.
+
+    Replays every ``correlate_normalize_tile2d`` and ``score_panel``
+    kernel span through the scale-out communication model
+    (:mod:`repro.perf.scaleout_model`) on the chosen interconnect
+    (default: loopback TCP, the CI smoke topology), then appends the
+    predicted strong-scaling envelope for the trace's tile geometry.
+    Returns ``None`` when the trace has no tile spans or no recorded
+    geometry.
+    """
+    if hw is None:
+        hw = default_hardware()
+    if net is None:
+        net = LOOPBACK_TCP
+    span_list = list(spans)
+    tiles = [
+        s
+        for s in span_list
+        if s.kind == "kernel" and s.name == "correlate_normalize_tile2d"
+    ]
+    if not tiles:
+        return None
+    geometry = geometry_from_spans(span_list)
+    if geometry is None:
+        return None
+    try:
+        spec = geometry.spec()
+    except ValueError:
+        return None
+    panels = [
+        s for s in span_list if s.kind == "kernel" and s.name == "score_panel"
+    ]
+
+    tile_seconds = 0.0
+    tile_bytes = 0.0
+    max_rows = 0
+    max_cols = 0
+    for s in tiles:
+        rows = int(s.metrics.get("rows", 0)) or 1
+        cols = int(s.metrics.get("cols", 0)) or 1
+        max_rows = max(max_rows, rows)
+        max_cols = max(max_cols, cols)
+        est = model_tile_comm(
+            TileCommShape(rows=rows, cols=cols, n_epochs=spec.n_epochs), net
+        )
+        tile_seconds += est.seconds
+        tile_bytes += est.total_bytes
+    panel_seconds = 0.0
+    panel_bytes = 0.0
+    for s in panels:
+        rows = int(s.metrics.get("voxels", 0)) or 1
+        est = model_panel_comm(rows, spec.n_epochs, spec.n_voxels, net)
+        panel_seconds += est.seconds
+        panel_bytes += est.total_bytes
+
+    lines = [
+        f"scale-out wire model ({net.name}: "
+        f"{net.latency_s * 1e6:.0f} us latency, "
+        f"{net.bandwidth_bytes_s / 1e9:.2f} GB/s)",
+        f"  {len(tiles)} tile transfer(s): "
+        f"{tile_bytes / 1e6:>8.2f} MB  {tile_seconds * 1e3:>8.2f} ms predicted",
+    ]
+    if panels:
+        lines.append(
+            f"  {len(panels)} panel transfer(s): "
+            f"{panel_bytes / 1e6:>8.2f} MB  "
+            f"{panel_seconds * 1e3:>8.2f} ms predicted"
+        )
+    if max_rows and max_cols:
+        points = predict_scaleout(
+            spec, hw, net, max_rows, max_cols, workers=(1, 2, 4, 8)
+        )
+        base = points[0].elapsed_seconds
+        curve = "  ".join(
+            f"{p.n_workers}w {base / p.elapsed_seconds:.2f}x"
+            + ("*" if p.comm_bound else "")
+            for p in points
+        )
+        lines.append(
+            f"  predicted strong scaling (rows={max_rows}, cols={max_cols}; "
+            "* = comm-bound):"
+        )
+        lines.append(f"    {curve}")
+    return "\n".join(lines)
+
+
 def format_perf_report(
     spans: Iterable[Span], hw: HardwareSpec | None = None
 ) -> str:
@@ -171,7 +269,9 @@ def format_perf_report(
     paper's table vocabulary).  Section 2: the roofline placement of
     the same kernels on the chosen machine model.  Section 3 (only when
     the trace ran the sparse variant): the density sweep of
-    :func:`format_density_section`.
+    :func:`format_density_section`.  Section 4 (only when the trace ran
+    the 2-D tiled partition): the wire model and predicted scaling of
+    :func:`format_scaleout_section`.
     """
     if hw is None:
         hw = default_hardware()
@@ -203,4 +303,8 @@ def format_perf_report(
     if density_section is not None:
         lines.append("")
         lines.append(density_section)
+    scaleout_section = format_scaleout_section(span_list, hw)
+    if scaleout_section is not None:
+        lines.append("")
+        lines.append(scaleout_section)
     return "\n".join(lines)

@@ -1,7 +1,19 @@
-"""Parallel runtime: MPI-like comm, the master-worker protocol, and the
-multiprocessing executor."""
+"""Parallel runtime: MPI-like comm over pluggable transports (in-process
+threads, length-prefixed TCP), the master-worker protocol with 1-D row and
+2-D tile partitioning, and the multiprocessing executor."""
 
-from .comm import ANY_SOURCE, ANY_TAG, Comm, CommGroup, run_ranks
+from .comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Comm,
+    CommGroup,
+    CommStats,
+    CommTimeoutError,
+    TAG_PEER_LOST,
+    Transport,
+    default_timeout,
+    run_ranks,
+)
 from .executor import (
     SharedDatasetHandle,
     attach_shared_dataset,
@@ -10,19 +22,32 @@ from .executor import (
     share_dataset,
 )
 from .master_worker import master_loop, mpi_voxel_selection, worker_loop
+from .tiled import collect_worker_reports, tiled_master_loop, tiled_worker_loop
+from .transport import TcpListener, TcpTransport, spawn_local_workers
 
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
     "Comm",
     "CommGroup",
+    "CommStats",
+    "CommTimeoutError",
     "SharedDatasetHandle",
+    "TAG_PEER_LOST",
+    "TcpListener",
+    "TcpTransport",
+    "Transport",
     "attach_shared_dataset",
+    "collect_worker_reports",
+    "default_timeout",
     "master_loop",
     "mpi_voxel_selection",
     "parallel_voxel_selection",
     "run_ranks",
     "serial_voxel_selection",
     "share_dataset",
+    "spawn_local_workers",
+    "tiled_master_loop",
+    "tiled_worker_loop",
     "worker_loop",
 ]

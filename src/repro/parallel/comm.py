@@ -1,22 +1,49 @@
-"""In-process MPI-like communicator.
+"""MPI-like communicator over pluggable transports.
 
 The paper's cluster framework communicates "via MPI calls".  mpi4py is
 not available in this environment, so this module provides a faithful
-subset of the MPI point-to-point and collective API over thread-backed
-rank groups: ``send``/``recv`` with tags, ``bcast``, ``scatter``,
-``gather``, ``allgather``, ``allreduce``, and ``barrier``.  The
-master-worker protocol in :mod:`repro.parallel.master_worker` is written
-against this interface, so it reads like the MPI original and is tested
-deterministically in a single process.
+subset of the MPI point-to-point and collective API — ``send``/``recv``
+with tags, ``bcast``, ``scatter``, ``gather``, ``allgather``,
+``allreduce``, and ``barrier`` — over a *transport* seam:
+
+* :class:`CommGroup` is the in-process thread transport (the historical
+  default): rank mailboxes are queues, the barrier is
+  ``threading.Barrier``, and everything runs deterministically in one
+  process.  Results through this transport are bitwise-identical to the
+  pre-transport implementation.
+* :class:`repro.parallel.transport.TcpTransport` speaks the same
+  interface over length-prefixed socket frames, so the unchanged
+  master-worker protocol spans real processes and hosts.
+
+A transport implements the small :class:`Transport` surface —
+``deliver`` / ``poll`` / ``stash`` / ``barrier`` / ``stats`` — and
+:class:`Comm` layers the MPI-flavoured API (selective receive,
+collectives, timeout errors with rank/tag/elapsed context) on top.
 """
 
 from __future__ import annotations
 
+import os
 import queue
+import sys
 import threading
-from typing import Any, Callable, Sequence
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Protocol, Sequence
 
-__all__ = ["Comm", "CommGroup", "run_ranks", "ANY_SOURCE", "ANY_TAG"]
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Comm",
+    "CommGroup",
+    "CommStats",
+    "CommTimeoutError",
+    "TAG_PEER_LOST",
+    "Transport",
+    "default_timeout",
+    "payload_nbytes",
+    "run_ranks",
+]
 
 #: Wildcard source rank for :meth:`Comm.recv`.
 ANY_SOURCE = -1
@@ -24,36 +51,211 @@ ANY_SOURCE = -1
 ANY_TAG = -1
 
 #: Seconds before a blocked collective/recv aborts (deadlock guard in
-#: tests; generous enough for real work).
+#: tests; generous enough for real work).  Overridable per run via the
+#: ``FCMA_COMM_TIMEOUT`` environment variable or
+#: ``FCMAConfig.comm_timeout``.
 _DEFAULT_TIMEOUT = 120.0
+
+#: Environment override for the default communicator timeout.
+_TIMEOUT_ENV_VAR = "FCMA_COMM_TIMEOUT"
+
+#: First tag reserved for internal (collective/control) messages; user
+#: tags must stay below it.
+_COLL_TAG_BASE = 1_000_000
+
+#: Control tag a transport delivers when a peer dies (connection reset,
+#: missed heartbeats).  Payload is ``None``; the source rank is the lost
+#: peer.  Only transports with real failure domains (TCP) emit it — the
+#: thread transport cannot lose a rank silently.
+TAG_PEER_LOST = _COLL_TAG_BASE + 99
+
+
+def default_timeout() -> float:
+    """The communicator timeout: ``FCMA_COMM_TIMEOUT`` env or 120 s."""
+    raw = os.environ.get(_TIMEOUT_ENV_VAR)
+    if raw is None:
+        return _DEFAULT_TIMEOUT
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"{_TIMEOUT_ENV_VAR}={raw!r} is not a number"
+        ) from exc
+    if value <= 0:
+        raise ValueError(f"{_TIMEOUT_ENV_VAR} must be positive, got {value}")
+    return value
+
+
+class CommTimeoutError(TimeoutError):
+    """A blocked receive or collective exceeded the transport timeout."""
+
+
+@dataclass
+class CommStats:
+    """Per-rank traffic accounting a transport maintains.
+
+    Byte counts are exact for framed transports (TCP) and payload-size
+    estimates (:func:`payload_nbytes`) for the in-process transport,
+    where no serialization happens.
+    """
+
+    bytes_sent: int = 0
+    bytes_recv: int = 0
+    msgs_sent: int = 0
+    msgs_recv: int = 0
+
+    def add_sent(self, nbytes: int) -> None:
+        self.bytes_sent += int(nbytes)
+        self.msgs_sent += 1
+
+    def add_recv(self, nbytes: int) -> None:
+        self.bytes_recv += int(nbytes)
+        self.msgs_recv += 1
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "bytes_sent": self.bytes_sent,
+            "bytes_recv": self.bytes_recv,
+            "msgs_sent": self.msgs_sent,
+            "msgs_recv": self.msgs_recv,
+        }
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Cheap wire-size estimate of a message payload.
+
+    Counts numpy buffers exactly (they dominate) and containers
+    recursively; everything else is a flat object-header estimate.  The
+    thread transport uses this so ``comm.bytes_sent``/``bytes_recv``
+    stay meaningful without serializing anything.
+    """
+    nbytes = getattr(obj, "nbytes", None)
+    if isinstance(nbytes, (int, float)):
+        return int(nbytes)
+    if isinstance(obj, (tuple, list)):
+        return 56 + sum(payload_nbytes(item) for item in obj)
+    if isinstance(obj, dict):
+        return 64 + sum(
+            payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items()
+        )
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, str):
+        return 49 + len(obj)
+    if obj is None:
+        return 8
+    if hasattr(obj, "__dataclass_fields__"):
+        return 56 + sum(
+            payload_nbytes(getattr(obj, name))
+            for name in obj.__dataclass_fields__
+        )
+    return int(sys.getsizeof(obj, 64))
+
+
+#: One queued message: ``(source, tag, payload, arrival_monotonic)``.
+Message = tuple[int, int, Any, float]
+
+
+class Transport(Protocol):
+    """What a communicator fabric must provide per rank.
+
+    ``deliver`` moves a message toward ``dest``'s mailbox (possibly over
+    a wire) and returns the bytes charged to the sender; ``poll`` blocks
+    for the next message addressed to ``rank``; ``stash`` is the
+    per-rank buffer of messages popped but not yet matched (selective
+    receive); ``barrier`` synchronizes all ranks; ``stats`` exposes the
+    per-rank traffic counters.
+    """
+
+    @property
+    def size(self) -> int: ...
+
+    @property
+    def timeout(self) -> float: ...
+
+    def deliver(self, src: int, dest: int, tag: int, payload: Any) -> int: ...
+
+    def poll(self, rank: int, timeout: float) -> Message: ...
+
+    def stash(self, rank: int) -> list[Message]: ...
+
+    def barrier(self, rank: int) -> None: ...
+
+    def stats(self, rank: int) -> CommStats: ...
 
 
 class CommGroup:
-    """Shared state of one communicator: mailboxes and barrier."""
+    """The in-process thread transport: queue mailboxes + a Barrier.
 
-    def __init__(self, size: int, timeout: float = _DEFAULT_TIMEOUT):
+    Shared state of one communicator; :meth:`comm` hands out the
+    per-rank :class:`Comm` endpoints the SPMD ranks use.
+    """
+
+    def __init__(self, size: int, timeout: float | None = None):
         if size < 1:
             raise ValueError("communicator size must be >= 1")
-        self.size = size
-        self.timeout = timeout
-        # One mailbox per destination rank holding (source, tag, payload).
-        self._boxes: list[queue.Queue] = [queue.Queue() for _ in range(size)]
+        self._size = size
+        self._timeout = default_timeout() if timeout is None else timeout
+        if self._timeout <= 0:
+            raise ValueError("timeout must be positive")
+        # One mailbox per destination rank holding Message tuples.
+        self._boxes: list["queue.Queue[Message]"] = [
+            queue.Queue() for _ in range(size)
+        ]
         # Per-rank stash of messages popped while matching selectively.
-        self._stashes: list[list[tuple[int, int, Any]]] = [[] for _ in range(size)]
+        self._stashes: list[list[Message]] = [[] for _ in range(size)]
+        self._stats = [CommStats() for _ in range(size)]
         self._barrier = threading.Barrier(size)
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def timeout(self) -> float:
+        return self._timeout
 
     def comm(self, rank: int) -> "Comm":
         """The communicator endpoint for one rank."""
-        if not 0 <= rank < self.size:
-            raise ValueError(f"rank {rank} out of range for size {self.size}")
+        if not 0 <= rank < self._size:
+            raise ValueError(f"rank {rank} out of range for size {self._size}")
         return Comm(self, rank)
+
+    # -- Transport interface ---------------------------------------------
+
+    def deliver(self, src: int, dest: int, tag: int, payload: Any) -> int:
+        nbytes = payload_nbytes(payload)
+        self._boxes[dest].put((src, tag, payload, time.monotonic()))
+        self._stats[dest].add_recv(nbytes)
+        return nbytes
+
+    def poll(self, rank: int, timeout: float) -> Message:
+        try:
+            return self._boxes[rank].get(timeout=timeout)
+        except queue.Empty:
+            raise CommTimeoutError("mailbox empty") from None
+
+    def stash(self, rank: int) -> list[Message]:
+        return self._stashes[rank]
+
+    def barrier(self, rank: int) -> None:
+        try:
+            self._barrier.wait(timeout=self._timeout)
+        except threading.BrokenBarrierError:
+            raise CommTimeoutError(
+                f"rank {rank}: barrier broken or timed out after "
+                f"{self._timeout}s"
+            ) from None
+
+    def stats(self, rank: int) -> CommStats:
+        return self._stats[rank]
 
 
 class Comm:
-    """One rank's endpoint: the MPI-like API surface."""
+    """One rank's endpoint: the MPI-like API surface over a transport."""
 
-    def __init__(self, group: CommGroup, rank: int):
-        self._group = group
+    def __init__(self, transport: Transport, rank: int):
+        self._transport = transport
         self._rank = rank
 
     # -- introspection ---------------------------------------------------
@@ -66,22 +268,36 @@ class Comm:
     @property
     def size(self) -> int:
         """Number of ranks (``Get_size``)."""
-        return self._group.size
+        return self._transport.size
+
+    @property
+    def transport(self) -> Transport:
+        """The fabric this endpoint speaks over."""
+        return self._transport
+
+    @property
+    def stats(self) -> CommStats:
+        """This rank's traffic counters (bytes/messages sent+received)."""
+        return self._transport.stats(self._rank)
 
     # -- point to point ----------------------------------------------------
+
+    _COLL_TAG_BASE = _COLL_TAG_BASE
 
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         """Deliver ``obj`` to ``dest``'s mailbox (non-blocking buffered)."""
         if not 0 <= dest < self.size:
             raise ValueError(f"dest {dest} out of range")
-        if not 0 <= tag < self._COLL_TAG_BASE:
+        if not 0 <= tag < _COLL_TAG_BASE:
             raise ValueError(
-                f"user tags must be in [0, {self._COLL_TAG_BASE})"
+                f"user tags must be in [0, {_COLL_TAG_BASE})"
             )
-        self._group._boxes[dest].put((self._rank, tag, obj))
+        nbytes = self._transport.deliver(self._rank, dest, tag, obj)
+        self.stats.add_sent(nbytes)
 
     def _send_internal(self, obj: Any, dest: int, tag: int) -> None:
-        self._group._boxes[dest].put((self._rank, tag, obj))
+        nbytes = self._transport.deliver(self._rank, dest, tag, obj)
+        self.stats.add_sent(nbytes)
 
     def recv(
         self, source: int = ANY_SOURCE, tag: int = ANY_TAG
@@ -92,45 +308,72 @@ class Comm:
         messages are stashed and re-examined first on later calls, so
         ordering per (source, tag) pair is preserved.
         """
-        stash = self._group._stashes[self._rank]
-        for idx, (src, t, obj) in enumerate(stash):
+        src, t, obj, _ = self.recv_timed(source=source, tag=tag)
+        return src, t, obj
+
+    def recv_timed(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Message:
+        """:meth:`recv` plus the message's transport arrival time.
+
+        The fourth element is the ``time.monotonic()`` stamp of when the
+        message landed in this rank's mailbox — what the overlap
+        accounting in the tiled worker loop subtracts its exposed wait
+        from to compute ``overlap_hidden_seconds``.
+        """
+        stash = self._transport.stash(self._rank)
+        for idx, (src, t, obj, arrived) in enumerate(stash):
             if (source in (ANY_SOURCE, src)) and (tag in (ANY_TAG, t)):
                 return stash.pop(idx)
-        box = self._group._boxes[self._rank]
+        started = time.monotonic()
+        timeout = self._transport.timeout
         while True:
+            remaining = timeout - (time.monotonic() - started)
+            if remaining <= 0:
+                self._raise_timeout(source, tag, started)
             try:
-                src, t, obj = box.get(timeout=self._group.timeout)
-            except queue.Empty:
-                raise TimeoutError(
-                    f"rank {self._rank}: recv(source={source}, tag={tag}) "
-                    f"timed out after {self._group.timeout}s"
-                ) from None
+                src, t, obj, arrived = self._transport.poll(
+                    self._rank, remaining
+                )
+            except CommTimeoutError:
+                self._raise_timeout(source, tag, started)
             if (source in (ANY_SOURCE, src)) and (tag in (ANY_TAG, t)):
-                return src, t, obj
-            stash.append((src, t, obj))
+                return src, t, obj, arrived
+            stash.append((src, t, obj, arrived))
+
+    def _raise_timeout(self, source: int, tag: int, started: float) -> None:
+        elapsed = time.monotonic() - started
+        stashed = len(self._transport.stash(self._rank))
+        raise CommTimeoutError(
+            f"rank {self._rank}/{self.size}: recv(source="
+            f"{'ANY' if source == ANY_SOURCE else source}, "
+            f"tag={'ANY' if tag == ANY_TAG else tag}) timed out after "
+            f"{elapsed:.1f}s (transport timeout {self._transport.timeout}s, "
+            f"{stashed} non-matching message(s) stashed); raise "
+            f"FCMA_COMM_TIMEOUT or FCMAConfig.comm_timeout if the work "
+            f"is legitimately this slow"
+        ) from None
 
     # -- collectives -------------------------------------------------------
 
-    _COLL_TAG_BASE = 1_000_000
-
     def barrier(self) -> None:
         """Synchronize all ranks."""
-        self._group._barrier.wait(timeout=self._group.timeout)
+        self._transport.barrier(self._rank)
 
     def bcast(self, obj: Any = None, root: int = 0) -> Any:
         """Broadcast ``obj`` from ``root`` to everyone; returns it."""
-        tag = self._COLL_TAG_BASE + 1
+        tag = _COLL_TAG_BASE + 1
         if self._rank == root:
             for dest in range(self.size):
                 if dest != root:
                     self._send_internal(obj, dest, tag)
             return obj
-        _, _, received = self.recv(source=root, tag=tag)
+        _, _, received, _ = self.recv_timed(source=root, tag=tag)
         return received
 
     def scatter(self, objs: Sequence[Any] | None = None, root: int = 0) -> Any:
         """Scatter one element of ``objs`` to each rank."""
-        tag = self._COLL_TAG_BASE + 2
+        tag = _COLL_TAG_BASE + 2
         if self._rank == root:
             if objs is None or len(objs) != self.size:
                 raise ValueError(f"scatter needs exactly {self.size} items")
@@ -138,17 +381,17 @@ class Comm:
                 if dest != root:
                     self._send_internal(objs[dest], dest, tag)
             return objs[root]
-        _, _, received = self.recv(source=root, tag=tag)
+        _, _, received, _ = self.recv_timed(source=root, tag=tag)
         return received
 
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
         """Gather one object per rank at ``root`` (rank order preserved)."""
-        tag = self._COLL_TAG_BASE + 3
+        tag = _COLL_TAG_BASE + 3
         if self._rank == root:
             out: list[Any] = [None] * self.size
             out[root] = obj
             for _ in range(self.size - 1):
-                src, _, payload = self.recv(tag=tag)
+                src, _, payload, _ = self.recv_timed(tag=tag)
                 out[src] = payload
             return out
         self._send_internal(obj, root, tag)
@@ -157,7 +400,7 @@ class Comm:
     def allgather(self, obj: Any) -> list[Any]:
         """Gather at rank 0, then broadcast the list."""
         gathered = self.gather(obj, root=0)
-        return self.bcast(gathered, root=0)
+        return list(self.bcast(gathered, root=0))
 
     def allreduce(self, obj: Any, op: Callable[[Any, Any], Any]) -> Any:
         """Reduce with binary ``op`` across ranks; all ranks get the result."""
@@ -171,15 +414,17 @@ class Comm:
 def run_ranks(
     size: int,
     target: Callable[[Comm], Any],
-    timeout: float = _DEFAULT_TIMEOUT,
+    timeout: float | None = None,
 ) -> list[Any]:
     """SPMD launcher: run ``target(comm)`` on ``size`` thread ranks.
 
     Returns each rank's return value in rank order.  Exceptions in any
     rank are re-raised in the caller after all threads stop (the first
-    failing rank wins).
+    failing rank wins).  ``timeout`` defaults to :func:`default_timeout`
+    (the ``FCMA_COMM_TIMEOUT`` environment variable, or 120 s).
     """
-    group = CommGroup(size, timeout=timeout)
+    resolved = default_timeout() if timeout is None else timeout
+    group = CommGroup(size, timeout=resolved)
     results: list[Any] = [None] * size
     errors: list[tuple[int, BaseException]] = []
     lock = threading.Lock()
@@ -198,7 +443,7 @@ def run_ranks(
     for t in threads:
         t.start()
     for t in threads:
-        t.join(timeout=timeout)
+        t.join(timeout=resolved)
     if any(t.is_alive() for t in threads):
         raise TimeoutError("rank threads did not finish before timeout")
     if errors:

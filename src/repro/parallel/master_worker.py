@@ -22,7 +22,9 @@ failure on one node cannot lose voxels from the analysis.
 
 from __future__ import annotations
 
+import bisect
 import warnings
+from collections import deque
 from typing import Callable, Sequence
 
 import numpy as np
@@ -30,7 +32,7 @@ import numpy as np
 from ..core.pipeline import FCMAConfig, run_task
 from ..core.results import VoxelScores
 from ..data.dataset import FMRIDataset
-from .comm import Comm
+from .comm import Comm, TAG_PEER_LOST
 
 __all__ = ["mpi_voxel_selection", "master_loop", "worker_loop", "TaskFailedError"]
 
@@ -40,6 +42,7 @@ TAG_TASK = 2     # master -> worker: (task_index, voxel ndarray)
 TAG_RESULT = 3   # worker -> master: (task_index, VoxelScores)
 TAG_STOP = 4     # master -> worker: no more tasks
 TAG_ERROR = 5    # worker -> master: (task_index, error message)
+TAG_DONE = 6     # worker -> master: post-stop telemetry (ctx export, comm stats)
 
 
 class TaskFailedError(RuntimeError):
@@ -50,6 +53,7 @@ def _master_loop(
     comm: Comm,
     tasks: Sequence[np.ndarray],
     max_retries: int = 2,
+    reports: dict[int, object] | None = None,
 ) -> VoxelScores:
     """Serve ``tasks`` to workers on demand and aggregate their results.
 
@@ -57,42 +61,111 @@ def _master_loop(
     results arrive in any order.  A reported task failure re-queues the
     task until ``max_retries`` attempts are spent, after which the
     master drains the workers and raises :class:`TaskFailedError`.
+
+    Two fault domains are handled distinctly:
+
+    * **task failures** (TAG_ERROR): the retry queue is kept sorted, so
+      when several workers fail concurrently the re-dispatch order is
+      the task order, not the failure-arrival order — deterministic
+      scheduling regardless of which failure report races in first;
+    * **worker loss** (:data:`~repro.parallel.comm.TAG_PEER_LOST`, TCP
+      transport only): the dead worker's in-flight tasks are re-queued
+      without charging their retry budget, and a worker that asks for
+      work while tasks are still in flight elsewhere is *parked* rather
+      than stopped, so it stays available to absorb those re-queues.
     """
     if comm.rank != 0:
         raise ValueError("master_loop must run on rank 0")
     if max_retries < 1:
         raise ValueError("max_retries must be >= 1")
-    n_workers = comm.size - 1
-    if n_workers < 1:
+    if comm.size - 1 < 1:
         raise ValueError("need at least one worker rank")
 
-    pending = list(range(len(tasks)))
-    attempts = {i: 0 for i in pending}
+    pending = deque(range(len(tasks)))
+    retry: list[int] = []  # sorted: deterministic re-dispatch order
+    attempts = {i: 0 for i in range(len(tasks))}
     results: dict[int, VoxelScores] = {}
     failure: tuple[int, str] | None = None
-    stopped = 0
-    while stopped < n_workers:
+    in_flight: dict[int, set[int]] = {}
+    parked: deque[int] = deque()
+    active = set(range(1, comm.size))
+    stopped: set[int] = set()
+
+    def dispatch(dest: int) -> bool:
+        if retry:
+            idx = retry.pop(0)
+        elif pending:
+            idx = pending.popleft()
+        else:
+            return False
+        attempts[idx] += 1
+        in_flight.setdefault(dest, set()).add(idx)
+        comm.send((idx, np.asarray(tasks[idx])), dest, TAG_TASK)
+        return True
+
+    def work_outstanding() -> bool:
+        return bool(retry or pending or any(in_flight.values()))
+
+    def drain_parked() -> None:
+        while parked and (retry or pending):
+            dispatch(parked.popleft())
+        if not work_outstanding():
+            while parked:
+                rank = parked.popleft()
+                comm.send(None, rank, TAG_STOP)
+                stopped.add(rank)
+
+    while len(stopped) < len(active):
         src, tag, payload = comm.recv()
+        if tag == TAG_DONE:
+            # Post-stop telemetry from an already-stopped worker (TCP
+            # workers report before disconnecting); collected here for
+            # collect_worker_reports to pick up after the loop.
+            if reports is not None:
+                reports[src] = payload
+            continue
         if tag == TAG_REQUEST:
             # Even after a permanent task failure the master keeps
             # serving the remaining healthy tasks, so one bad task
             # yields the maximum information before the raise below.
-            if pending:
-                idx = pending.pop(0)
-                attempts[idx] += 1
-                comm.send((idx, np.asarray(tasks[idx])), src, TAG_TASK)
+            if dispatch(src):
+                pass
+            elif work_outstanding():
+                parked.append(src)  # may absorb a re-queue later
             else:
                 comm.send(None, src, TAG_STOP)
-                stopped += 1
+                stopped.add(src)
         elif tag == TAG_RESULT:
             idx, scores = payload
+            in_flight.get(src, set()).discard(idx)
             results[idx] = scores
+            drain_parked()
         elif tag == TAG_ERROR:
             idx, message = payload
+            in_flight.get(src, set()).discard(idx)
             if attempts[idx] < max_retries:
-                pending.insert(0, idx)  # retry promptly, likely transient
+                bisect.insort(retry, idx)
             elif failure is None:
                 failure = (idx, message)
+            drain_parked()
+        elif tag == TAG_PEER_LOST:
+            if src not in active:
+                continue
+            active.discard(src)
+            stopped.discard(src)
+            if src in parked:
+                parked.remove(src)
+            for idx in sorted(in_flight.pop(src, set())):
+                # A dead worker is not a task failure: give the task
+                # its attempt back and re-queue in sorted order.
+                attempts[idx] = max(0, attempts[idx] - 1)
+                bisect.insort(retry, idx)
+            if not active and work_outstanding():
+                raise RuntimeError(
+                    f"all workers lost with {len(retry) + len(pending)} "
+                    f"task(s) unfinished"
+                )
+            drain_parked()
         else:
             raise RuntimeError(f"master got unexpected tag {tag} from {src}")
 

@@ -5,7 +5,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.exec.partition import auto_chunksize, n_tasks, partition_tasks
+from repro.exec.partition import (
+    TileTask,
+    auto_chunksize,
+    n_tasks,
+    partition_tasks,
+    partition_tiles,
+    tile_cols_for,
+)
 
 
 class TestPartitionTasks:
@@ -63,6 +70,77 @@ class TestNTasks:
             n_tasks(0, 4)
         with pytest.raises(ValueError):
             n_tasks(10, 0)
+
+
+class TestPartitionTiles:
+    def test_row_major_order_and_indices(self):
+        tiles = partition_tiles(10, 4, 6)
+        # 3 row panels x 2 column tiles, row-major.
+        assert [(t.panel, t.col_start, t.col_stop) for t in tiles] == [
+            (0, 0, 6), (0, 6, 10),
+            (1, 0, 6), (1, 6, 10),
+            (2, 0, 6), (2, 6, 10),
+        ]
+        assert [t.index for t in tiles] == list(range(6))
+
+    def test_rows_match_1d_partition(self):
+        tasks = partition_tasks(10, 4)
+        tiles = partition_tiles(10, 4, 6)
+        for panel_id, task in enumerate(tasks):
+            panel_tiles = [t for t in tiles if t.panel == panel_id]
+            for t in panel_tiles:
+                np.testing.assert_array_equal(t.rows, task)
+
+    def test_tiles_cover_every_output_element_once(self):
+        tiles = partition_tiles(11, 3, 4)
+        covered = np.zeros((11, 11), dtype=int)
+        for t in tiles:
+            covered[np.ix_(t.rows, np.arange(t.col_start, t.col_stop))] += 1
+        assert (covered == 1).all()
+
+    def test_explicit_voxel_subset(self):
+        voxels = np.array([9, 4, 7])
+        tiles = partition_tiles(12, 2, 12, voxels)
+        assert [t.rows.tolist() for t in tiles] == [[9, 4], [7]]
+        assert all((t.col_start, t.col_stop) == (0, 12) for t in tiles)
+
+    def test_result_nbytes(self):
+        tile = TileTask(
+            index=0, panel=0,
+            rows=np.arange(5, dtype=np.int64), col_start=0, col_stop=7,
+        )
+        assert tile.n_rows == 5
+        assert tile.n_cols == 7
+        assert tile.result_nbytes(n_epochs=8) == 5 * 8 * 7 * 4
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError, match="tile_cols"):
+            partition_tiles(10, 4, 0)
+        with pytest.raises(ValueError, match="column range"):
+            TileTask(
+                index=0, panel=0,
+                rows=np.arange(3, dtype=np.int64), col_start=5, col_stop=5,
+            )
+
+
+class TestTileColsFor:
+    def test_multiple_of_target_block(self):
+        cols = tile_cols_for(1000, 32, n_workers=4, n_panels=2)
+        assert cols % 32 == 0
+
+    def test_never_exceeds_n_voxels(self):
+        assert tile_cols_for(20, 32, n_workers=4, n_panels=1) == 20
+
+    def test_more_workers_means_narrower_tiles(self):
+        wide = tile_cols_for(4096, 32, n_workers=1, n_panels=1)
+        narrow = tile_cols_for(4096, 32, n_workers=16, n_panels=1)
+        assert narrow <= wide
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            tile_cols_for(0, 32, 2, 2)
+        with pytest.raises(ValueError):
+            tile_cols_for(100, 32, 0, 2)
 
 
 class TestAutoChunksize:
