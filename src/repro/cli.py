@@ -3,6 +3,9 @@
 Commands
 --------
 ``generate``  write a synthetic dataset to a .npz file
+``scenarios`` ground-truth accuracy matrix: sweep design x SNR x SF x
+              subjects, score voxel selection against planted truth,
+              and optionally record ``acc.*`` metrics to the history
 ``run``       voxel selection on any executor, with per-stage timings
 ``select``    run FCMA voxel selection on a dataset file
 ``offline``   nested leave-one-subject-out analysis
@@ -49,6 +52,60 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--epochs-per-subject", type=int, default=None,
                      help="override epochs per subject")
     gen.add_argument("--seed", type=int, default=None)
+    gen.add_argument("--design", choices=["block", "event", "jittered"],
+                     default=None,
+                     help="generate a ground-truth scenario dataset from "
+                          "this task design instead of a --preset")
+    gen.add_argument("--snr", type=float, default=None,
+                     help="--design only: target SNR = SD_signal/SD_noise "
+                          "(<= 0 disables noise)")
+    gen.add_argument("--sf", type=float, default=None,
+                     help="--design only: TMFC scaling factor "
+                          "SF = SD_oscill/SD_coact (<= 0 disables "
+                          "co-activations)")
+
+    scn = sub.add_parser(
+        "scenarios",
+        help="run the ground-truth accuracy matrix and score selection "
+             "against the planted informative set",
+    )
+    scn.add_argument("--matrix", choices=["smoke", "default"],
+                     default="default",
+                     help="preset grid: smoke = block design at the SNR "
+                          "extremes; default = every design across the "
+                          "SNR ladder")
+    scn.add_argument("--design", action="append",
+                     choices=["block", "event", "jittered"], default=None,
+                     help="restrict to these designs (repeatable)")
+    scn.add_argument("--snr", type=float, nargs="+", default=None,
+                     help="override the SNR grid")
+    scn.add_argument("--sf", type=float, nargs="+", default=None,
+                     help="override the scaling-factor grid")
+    scn.add_argument("--subjects", type=int, nargs="+", default=None,
+                     help="override the subject-count grid")
+    scn.add_argument("--voxels", type=int, default=None,
+                     help="override the voxel count")
+    scn.add_argument("--seed", type=int, default=None,
+                     help="override the scenario seed")
+    scn.add_argument("--executor",
+                     choices=["serial", "pool", "master-worker"],
+                     default="serial",
+                     help="executor running voxel selection (all produce "
+                          "identical selections)")
+    scn.add_argument("--workers", type=int, default=2,
+                     help="worker count for pool/master-worker")
+    scn.add_argument("--min-auc", type=float, default=None,
+                     help="fail (exit 1) when the best ROC-AUC across "
+                          "the matrix is below this floor")
+    scn.add_argument("--json", action="store_true",
+                     help="emit the matrix report as JSON")
+    scn.add_argument("--history", default=None, metavar="PATH",
+                     help="append the matrix's acc.* metrics to the "
+                          "benchmark history registry at PATH (gate with "
+                          "'fcma perf check --latest')")
+    scn.add_argument("--history-name", default="scenario-accuracy",
+                     metavar="NAME",
+                     help="series name the history record is filed under")
 
     run = sub.add_parser(
         "run",
@@ -352,6 +409,56 @@ def _machine_for(name: str):
     return {"phi": PHI_5110P, "xeon": E5_2670, "knl": KNL_7250}[name]
 
 
+def _cmd_generate_design(args: argparse.Namespace) -> int:
+    """The ``--design`` path: a ground-truth scenario dataset."""
+    from .data import (
+        DESIGN_PRESETS,
+        GroundTruthConfig,
+        design_ground_truth,
+        generate_design_dataset,
+        save_dataset,
+    )
+
+    design = DESIGN_PRESETS[args.design]()
+    if args.epochs_per_subject is not None:
+        per_condition, rem = divmod(
+            args.epochs_per_subject, design.n_conditions
+        )
+        if rem or per_condition < 1:
+            print(
+                f"error: --epochs-per-subject must be a positive "
+                f"multiple of {design.n_conditions} (the design's "
+                f"condition count)",
+                file=sys.stderr,
+            )
+            return 2
+        design = design.scaled(epochs_per_condition=per_condition)
+    cfg = GroundTruthConfig(design=design, name=f"scenario-{args.design}")
+    overrides: dict[str, object] = {}
+    if args.voxels is not None:
+        overrides["n_voxels"] = args.voxels
+    if args.subjects is not None:
+        overrides["n_subjects"] = args.subjects
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    conn_overrides: dict[str, object] = {}
+    if args.snr is not None:
+        conn_overrides["snr"] = args.snr
+    if args.sf is not None:
+        conn_overrides["sf"] = args.sf
+    if conn_overrides:
+        overrides["connectivity"] = cfg.connectivity.scaled(**conn_overrides)
+    if overrides:
+        cfg = cfg.scaled(**overrides)
+    dataset = generate_design_dataset(cfg)
+    path = save_dataset(dataset, args.output)
+    truth = design_ground_truth(cfg)
+    print(f"wrote {dataset} -> {path}")
+    print(f"design: {args.design} (snr={cfg.connectivity.snr:g}, "
+          f"sf={cfg.connectivity.sf:g}, {truth.size} planted voxels)")
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     from .data import (
         attention_scaled,
@@ -362,6 +469,11 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         sparse_100k_config,
     )
 
+    if args.design is not None:
+        return _cmd_generate_design(args)
+    if args.snr is not None or args.sf is not None:
+        print("error: --snr/--sf require --design", file=sys.stderr)
+        return 2
     if args.preset == "quickstart":
         cfg = quickstart_config()
     elif args.preset == "face-scene":
@@ -386,6 +498,104 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     path = save_dataset(dataset, args.output)
     print(f"wrote {dataset} -> {path}")
     return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from .eval import (
+        default_matrix,
+        format_accuracy_table,
+        matrix_record,
+        max_roc_auc,
+        run_matrix,
+        smoke_matrix,
+    )
+
+    matrix = smoke_matrix() if args.matrix == "smoke" else default_matrix()
+    overrides: dict[str, object] = {}
+    if args.design:
+        overrides["designs"] = tuple(dict.fromkeys(args.design))
+    if args.snr:
+        overrides["snrs"] = tuple(args.snr)
+    if args.sf:
+        overrides["sfs"] = tuple(args.sf)
+    if args.subjects:
+        overrides["subjects"] = tuple(args.subjects)
+    if args.voxels is not None:
+        overrides["n_voxels"] = args.voxels
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        matrix = matrix.scaled(**overrides)
+
+    def _progress(result) -> None:
+        if not args.json:
+            print(f"  {result.scenario.key}: "
+                  f"auc={result.score.roc_auc:.3f} "
+                  f"({result.wall_seconds:.1f} s)", file=sys.stderr)
+
+    results = run_matrix(
+        matrix,
+        executor=args.executor,
+        n_workers=args.workers,
+        progress=_progress,
+    )
+    best = max_roc_auc(results)
+    below_floor = args.min_auc is not None and best < args.min_auc
+
+    history_path = None
+    if args.history:
+        from .obs.perf import HistoryRegistry
+
+        record = matrix_record(
+            matrix, results, name=args.history_name, executor=args.executor
+        )
+        history_path = str(HistoryRegistry(args.history).append(record))
+
+    if args.json:
+        report: dict[str, object] = {
+            "matrix": {
+                "designs": list(matrix.designs),
+                "snrs": list(matrix.snrs),
+                "sfs": list(matrix.sfs),
+                "subjects": list(matrix.subjects),
+                "n_voxels": matrix.n_voxels,
+                "seed": matrix.seed,
+            },
+            "executor": args.executor,
+            "n_scenarios": len(results),
+            "scenarios": [
+                {
+                    "key": r.scenario.key,
+                    "roc_auc": r.score.roc_auc,
+                    "average_precision": r.score.average_precision,
+                    "top_k_hit_rate": r.score.top_k_hit_rate,
+                    "wall_seconds": r.wall_seconds,
+                }
+                for r in results
+            ],
+            "max_roc_auc": best,
+        }
+        if args.min_auc is not None:
+            report["min_auc"] = args.min_auc
+            report["passed"] = not below_floor
+        if history_path is not None:
+            report["history"] = {
+                "path": history_path,
+                "name": args.history_name,
+            }
+        print(json.dumps(report, indent=2))
+    else:
+        print(format_accuracy_table(results))
+        print(f"best ROC-AUC {best:.3f} across {len(results)} scenario(s) "
+              f"on executor '{args.executor}'")
+        if args.min_auc is not None:
+            verdict = "BELOW" if below_floor else "meets"
+            print(f"accuracy floor: best ROC-AUC {best:.3f} {verdict} "
+                  f"{args.min_auc:.3f}")
+        if history_path is not None:
+            print(f"history: recorded '{args.history_name}' "
+                  f"-> {history_path}")
+    return 1 if below_floor else 0
 
 
 def _write_trace(spans, path: str, fmt: str) -> int:
@@ -988,6 +1198,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "generate": _cmd_generate,
+    "scenarios": _cmd_scenarios,
     "run": _cmd_run,
     "worker": _cmd_worker,
     "select": _cmd_select,

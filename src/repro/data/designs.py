@@ -1,0 +1,527 @@
+"""Ground-truth task designs: simulated scans with planted connectivity.
+
+The paper's premise is that task-condition information can live purely in
+*correlation structure* — invisible to amplitude MVPA but recoverable by
+FCMA.  This module grows :mod:`repro.data` a design-driven generator in
+the spirit of the TMFC simulation pipelines (Wilson–Cowan oscillations +
+co-activations + noise against a known ground-truth connectivity
+matrix): experimental *designs* (block, event-related, jittered-ISI)
+describe stimulus onsets/durations/ISIs, a canonical double-gamma HRF
+turns stimulus trains into BOLD-shaped co-activations, and a
+:class:`ConnectivityConfig` plants a symmetric task-modulated
+connectivity matrix among a set of informative voxels.
+
+Generative model (per subject)
+------------------------------
+* ``n_regions`` neural sources emit unit-variance Gaussian series; inside
+  an epoch of condition ``c`` they are mixed through the Cholesky factor
+  of the condition's planted covariance ``Sigma_c`` (oscillatory
+  coupling), so which regions co-fluctuate is task-modulated while every
+  marginal stays unit variance.  Rest periods mix through the identity.
+* Informative voxels carry their region's series; the remaining voxels
+  carry independent unit-variance noise — marginally indistinguishable.
+* Co-activations: every condition's stimulus train (onsets/durations from
+  the design) is convolved with the double-gamma HRF and added to *all*
+  voxels with amplitude ``1/sf`` (TMFC's scaling factor
+  ``SF = SD_oscill / SD_coact``; ``sf <= 0`` disables them).  The same
+  spatial pattern responds in every condition, so co-activations raise
+  correlations uniformly without carrying condition information.
+* Additive white Gaussian observation noise at the target SNR
+  (``SNR = SD_signal / SD_noise``; ``snr <= 0`` disables it).
+
+Everything is deterministic given the config seed, and the output is the
+ordinary :class:`~repro.data.dataset.FMRIDataset` /
+:class:`~repro.data.epochs.EpochTable` pair, so every executor, emitter,
+and analysis path consumes generated scenarios unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from .dataset import FMRIDataset
+from .epochs import EpochTable
+
+__all__ = [
+    "ConnectivityConfig",
+    "DESIGN_PRESETS",
+    "DesignConfig",
+    "GroundTruthConfig",
+    "block_design",
+    "convolve_hrf",
+    "design_epoch_table",
+    "design_ground_truth",
+    "double_gamma_hrf",
+    "event_design",
+    "generate_design_dataset",
+    "ground_truth_regions",
+    "hrf_regressor",
+    "jittered_design",
+]
+
+#: Fine-grid samples per TR used when rasterizing stimulus trains.
+_OVERSAMPLE = 16
+
+
+# ---------------------------------------------------------------------------
+# Canonical double-gamma HRF
+# ---------------------------------------------------------------------------
+
+
+def _gamma_pdf(t: np.ndarray, shape: float, scale: float) -> np.ndarray:
+    """Gamma density evaluated at ``t`` (vectorized, no scipy)."""
+    t = np.maximum(t, 0.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        log_pdf = (
+            (shape - 1.0) * np.log(t)
+            - t / scale
+            - shape * math.log(scale)
+            - math.lgamma(shape)
+        )
+    pdf = np.where(t > 0.0, np.exp(log_pdf), 0.0)
+    return np.asarray(pdf, dtype=np.float64)
+
+
+def double_gamma_hrf(
+    dt_s: float,
+    duration_s: float = 32.0,
+    *,
+    peak_delay_s: float = 6.0,
+    undershoot_delay_s: float = 16.0,
+    dispersion_s: float = 1.0,
+    undershoot_ratio: float = 6.0,
+) -> np.ndarray:
+    """The canonical (SPM-style) double-gamma HRF sampled every ``dt_s``.
+
+    A positive gamma peaking at ``peak_delay_s`` minus an undershoot
+    gamma peaking at ``undershoot_delay_s``, scaled by
+    ``1 / undershoot_ratio``; the result is normalized to peak 1 so the
+    co-activation amplitude is controlled solely by the regressor scale.
+    """
+    if dt_s <= 0:
+        raise ValueError("dt_s must be positive")
+    if duration_s <= dt_s:
+        raise ValueError("duration_s must exceed dt_s")
+    t = np.arange(0.0, duration_s, dt_s, dtype=np.float64)
+    peak = _gamma_pdf(t, peak_delay_s / dispersion_s, dispersion_s)
+    undershoot = _gamma_pdf(t, undershoot_delay_s / dispersion_s, dispersion_s)
+    hrf = peak - undershoot / undershoot_ratio
+    top = float(np.max(np.abs(hrf)))
+    if top == 0.0:
+        raise ValueError("degenerate HRF (all zeros)")
+    return hrf / top
+
+
+def convolve_hrf(signal: np.ndarray, hrf: np.ndarray) -> np.ndarray:
+    """Causal convolution of ``signal`` (time on the last axis) with ``hrf``.
+
+    Returns the same shape as ``signal`` (the convolution tail past the
+    scan end is discarded).
+    """
+    signal = np.asarray(signal, dtype=np.float64)
+    hrf = np.asarray(hrf, dtype=np.float64)
+    if hrf.ndim != 1 or hrf.size == 0:
+        raise ValueError("hrf must be a non-empty 1D array")
+    n = signal.shape[-1]
+    flat = signal.reshape(-1, n)
+    out = np.empty_like(flat)
+    for i in range(flat.shape[0]):
+        out[i] = np.convolve(flat[i], hrf)[:n]
+    return out.reshape(signal.shape)
+
+
+# ---------------------------------------------------------------------------
+# Task designs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DesignConfig:
+    """One experimental design: how epochs of interest tile the scan.
+
+    Epoch placement reuses :meth:`repro.data.epochs.EpochTable.regular`
+    (balanced conditions, ``gap`` rest TRs between epochs, optional
+    shuffled order), so all downstream invariants — balance,
+    non-overlap, subject grouping — hold by construction.  The design
+    additionally carries the *within-epoch* stimulus timing (onsets,
+    durations, inter-stimulus intervals) that shapes the HRF-convolved
+    co-activation regressor.
+    """
+
+    kind: str
+    #: Repetition time in seconds (the TMFC pipelines use 2 s).
+    tr_s: float = 2.0
+    #: Task TRs per epoch of interest (block duration / TR).
+    epoch_length: int = 10
+    #: Epochs per condition per subject.
+    epochs_per_condition: int = 5
+    n_conditions: int = 2
+    #: Rest TRs between consecutive epochs.
+    gap: int = 5
+    #: Dummy TRs before the first epoch (discarded scanner warm-up).
+    dummy_trs: int = 3
+    #: Condition sequence: ``"alternating"`` or ``"shuffled"``.
+    order: str = "alternating"
+    #: Event kinds only: stimulus duration in seconds.
+    event_duration_s: float = 1.0
+    #: Event kinds only: mean inter-stimulus interval in seconds.
+    isi_s: float = 6.0
+    #: ``jittered`` only: ISIs are uniform in ``isi_s ± isi_jitter_s``.
+    isi_jitter_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in DESIGN_PRESETS:
+            raise ValueError(
+                f"unknown design kind {self.kind!r}; "
+                f"choose from {sorted(DESIGN_PRESETS)}"
+            )
+        if self.tr_s <= 0:
+            raise ValueError("tr_s must be positive")
+        if self.epoch_length < 2:
+            raise ValueError("epoch_length must be >= 2")
+        if self.epochs_per_condition < 1:
+            raise ValueError("epochs_per_condition must be >= 1")
+        if self.n_conditions < 2:
+            raise ValueError("n_conditions must be >= 2")
+        if self.gap < 0 or self.dummy_trs < 0:
+            raise ValueError("gap and dummy_trs must be >= 0")
+        if self.order not in ("alternating", "shuffled"):
+            raise ValueError(f"unknown order {self.order!r}")
+        if self.kind in ("event", "jittered"):
+            if self.event_duration_s <= 0:
+                raise ValueError("event_duration_s must be positive")
+            if self.isi_s <= 0:
+                raise ValueError("isi_s must be positive")
+            if self.isi_jitter_s < 0:
+                raise ValueError("isi_jitter_s must be >= 0")
+            if self.isi_jitter_s >= self.isi_s:
+                raise ValueError("isi_jitter_s must be < isi_s")
+
+    @property
+    def epochs_per_subject(self) -> int:
+        """Total epochs each subject contributes (balanced)."""
+        return self.epochs_per_condition * self.n_conditions
+
+    @property
+    def epoch_duration_s(self) -> float:
+        """Seconds spanned by one epoch of interest."""
+        return self.epoch_length * self.tr_s
+
+    @property
+    def scan_trs(self) -> int:
+        """TRs a subject's scan must contain (incl. a trailing rest)."""
+        per_epoch = self.epoch_length + self.gap
+        return self.dummy_trs + self.epochs_per_subject * per_epoch
+
+    def scaled(self, **overrides: object) -> "DesignConfig":
+        """Copy of this design with fields replaced."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+    def event_onsets(
+        self, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Within-epoch stimulus onset times in seconds.
+
+        Block designs stimulate the whole epoch (one onset at 0 s).
+        Event designs place ``event_duration_s`` stimuli separated by
+        the ISI grid; the ``jittered`` kind draws each ISI uniformly
+        from ``isi_s ± isi_jitter_s`` (an ``rng`` is then required).
+        """
+        if self.kind == "block":
+            return np.zeros(1, dtype=np.float64)
+        onsets: list[float] = []
+        t = 0.0
+        while t + self.event_duration_s <= self.epoch_duration_s:
+            onsets.append(t)
+            isi = self.isi_s
+            if self.kind == "jittered" and self.isi_jitter_s > 0:
+                if rng is None:
+                    raise ValueError("jittered onsets need an rng")
+                isi = float(
+                    rng.uniform(
+                        self.isi_s - self.isi_jitter_s,
+                        self.isi_s + self.isi_jitter_s,
+                    )
+                )
+            t += self.event_duration_s + isi
+        return np.asarray(onsets, dtype=np.float64)
+
+    @property
+    def event_duration_or_epoch_s(self) -> float:
+        """Stimulus duration: the whole epoch for blocks, else the event."""
+        if self.kind == "block":
+            return self.epoch_duration_s
+        return self.event_duration_s
+
+
+def block_design(**overrides: object) -> DesignConfig:
+    """The TMFC block preset, scaled: 2 s TR, 20 s task blocks."""
+    cfg = DesignConfig(kind="block", epoch_length=10, gap=5,
+                       order="alternating")
+    return cfg.scaled(**overrides) if overrides else cfg
+
+
+def event_design(**overrides: object) -> DesignConfig:
+    """Event-related preset: 1 s events at a fixed 6 s mean ISI."""
+    cfg = DesignConfig(kind="event", epoch_length=12, gap=4,
+                       order="shuffled", event_duration_s=1.0, isi_s=6.0)
+    return cfg.scaled(**overrides) if overrides else cfg
+
+
+def jittered_design(**overrides: object) -> DesignConfig:
+    """Jittered-ISI preset: 1 s events, ISI uniform in 4–8 s."""
+    cfg = DesignConfig(kind="jittered", epoch_length=12, gap=4,
+                       order="shuffled", event_duration_s=1.0, isi_s=6.0,
+                       isi_jitter_s=2.0)
+    return cfg.scaled(**overrides) if overrides else cfg
+
+
+#: Factories by design kind (the ``--design`` CLI vocabulary).
+DESIGN_PRESETS = {
+    "block": block_design,
+    "event": event_design,
+    "jittered": jittered_design,
+}
+
+
+def design_epoch_table(
+    design: DesignConfig, n_subjects: int, seed: int = 0
+) -> EpochTable:
+    """The design's balanced epoch table for ``n_subjects`` subjects."""
+    return EpochTable.regular(
+        n_subjects=n_subjects,
+        epochs_per_subject=design.epochs_per_subject,
+        epoch_length=design.epoch_length,
+        gap=design.gap,
+        n_conditions=design.n_conditions,
+        start_offset=design.dummy_trs,
+        order=design.order,
+        seed=seed,
+    )
+
+
+def hrf_regressor(
+    design: DesignConfig,
+    epochs: EpochTable,
+    subject: int,
+    rng: np.random.Generator | None = None,
+    hrf: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-condition HRF-convolved task regressors for one subject.
+
+    Rasterizes every epoch's stimulus train (design onsets shifted to
+    the epoch start) on a fine grid of ``_OVERSAMPLE`` samples per TR,
+    convolves with the double-gamma HRF, and samples back at TR
+    resolution.  Returns shape ``(n_conditions, scan_trs)`` where
+    ``scan_trs`` covers the subject's epochs.
+    """
+    table = epochs.for_subject(subject)
+    scan_trs = max(epochs.scan_length_required(subject), design.scan_trs)
+    dt = design.tr_s / _OVERSAMPLE
+    fine_len = scan_trs * _OVERSAMPLE
+    if hrf is None:
+        hrf = double_gamma_hrf(dt)
+    fine = np.zeros((design.n_conditions, fine_len), dtype=np.float64)
+    duration = design.event_duration_or_epoch_s
+    for epoch in table:
+        onsets = design.event_onsets(rng) + epoch.start * design.tr_s
+        for onset in onsets:
+            a = int(round(onset / dt))
+            b = min(int(round((onset + duration) / dt)), fine_len)
+            if a < b:
+                fine[epoch.condition, a:b] = 1.0
+    convolved = convolve_hrf(fine, hrf)
+    return np.ascontiguousarray(convolved[:, ::_OVERSAMPLE])
+
+
+# ---------------------------------------------------------------------------
+# Planted connectivity
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConnectivityConfig:
+    """The planted, task-modulated connectivity ground truth.
+
+    Condition ``c`` couples regions at circular distance ``c + 1`` on a
+    ring of ``n_regions`` sources with weight ``coupling`` — a symmetric
+    matrix per condition, distinct across conditions, and positive
+    definite for ``coupling < 0.5`` (circulant eigenvalues
+    ``1 + 2 * coupling * cos(...) > 0``).
+    """
+
+    n_regions: int = 6
+    #: Number of planted informative voxels (the ground-truth ROI).
+    n_informative: int = 24
+    #: Oscillatory coupling weight between task-linked regions, (0, 0.5).
+    coupling: float = 0.45
+    #: Target SNR = SD_signal / SD_noise; ``<= 0`` disables noise.
+    snr: float = 2.0
+    #: TMFC scaling factor SF = SD_oscill / SD_coact; ``<= 0`` disables
+    #: co-activations.
+    sf: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_regions < 2:
+            raise ValueError("n_regions must be >= 2")
+        if self.n_informative < self.n_regions:
+            raise ValueError(
+                "need at least one informative voxel per region "
+                f"({self.n_informative} < {self.n_regions})"
+            )
+        if not 0.0 < self.coupling < 0.5:
+            raise ValueError(
+                "coupling must be in (0, 0.5) for a positive-definite "
+                f"planted covariance, got {self.coupling}"
+            )
+
+    def scaled(self, **overrides: object) -> "ConnectivityConfig":
+        """Copy of this config with fields replaced."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+    def max_conditions(self) -> int:
+        """Conditions this ring supports with distinct coupling distances."""
+        return self.n_regions // 2
+
+    def ground_truth_matrix(self, condition: int) -> np.ndarray:
+        """The condition's planted symmetric connectivity matrix.
+
+        Shape ``(n_regions, n_regions)``: ones on the diagonal,
+        ``coupling`` between regions at ring distance ``condition + 1``.
+        """
+        if not 0 <= condition < self.max_conditions():
+            raise ValueError(
+                f"condition {condition} out of range; this ring supports "
+                f"{self.max_conditions()} distinct conditions"
+            )
+        n = self.n_regions
+        idx = np.arange(n)
+        dist = np.abs(idx[:, None] - idx[None, :])
+        dist = np.minimum(dist, n - dist)
+        sigma = np.where(dist == condition + 1, self.coupling, 0.0)
+        np.fill_diagonal(sigma, 1.0)
+        return sigma
+
+    def mixing_factors(self, n_conditions: int) -> dict[int, np.ndarray]:
+        """Cholesky factors of every condition's planted covariance."""
+        return {
+            c: np.linalg.cholesky(self.ground_truth_matrix(c))
+            for c in range(n_conditions)
+        }
+
+
+# ---------------------------------------------------------------------------
+# The generator
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GroundTruthConfig:
+    """A complete simulated scenario: design × connectivity × geometry."""
+
+    design: DesignConfig = field(default_factory=block_design)
+    connectivity: ConnectivityConfig = field(
+        default_factory=ConnectivityConfig
+    )
+    n_voxels: int = 96
+    n_subjects: int = 4
+    seed: int = 2015
+    name: str = "ground-truth"
+
+    def __post_init__(self) -> None:
+        if self.n_voxels < 4:
+            raise ValueError("n_voxels must be >= 4")
+        if self.n_subjects < 1:
+            raise ValueError("n_subjects must be >= 1")
+        if self.connectivity.n_informative > self.n_voxels:
+            raise ValueError("n_informative cannot exceed n_voxels")
+        if self.design.n_conditions > self.connectivity.max_conditions():
+            raise ValueError(
+                f"{self.design.n_conditions} conditions need at least "
+                f"{2 * self.design.n_conditions} regions on the ring, "
+                f"got {self.connectivity.n_regions}"
+            )
+
+    def scaled(self, **overrides: object) -> "GroundTruthConfig":
+        """Copy of this config with fields replaced."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+def design_ground_truth(cfg: GroundTruthConfig) -> np.ndarray:
+    """Sorted flat indices of the planted informative voxels.
+
+    A deterministic function of the config seed alone — the accuracy
+    harness recovers the planted set without side-channel state, exactly
+    like :func:`repro.data.synthetic.ground_truth_voxels`.
+    """
+    rng = np.random.default_rng(cfg.seed)
+    chosen = rng.choice(
+        cfg.n_voxels, size=cfg.connectivity.n_informative, replace=False
+    )
+    return np.asarray(np.sort(chosen), dtype=np.int64)
+
+
+def ground_truth_regions(cfg: GroundTruthConfig) -> np.ndarray:
+    """Region id of each planted voxel (aligned with the sorted set)."""
+    n = cfg.connectivity.n_informative
+    return np.arange(n, dtype=np.int64) % cfg.connectivity.n_regions
+
+
+def generate_design_dataset(cfg: GroundTruthConfig) -> FMRIDataset:
+    """Simulate the scenario into an :class:`FMRIDataset`.
+
+    Seed-deterministic: per-subject randomness comes from spawned
+    ``SeedSequence`` children of the config seed, so adding subjects
+    never perturbs earlier subjects' data.
+    """
+    design = cfg.design
+    conn = cfg.connectivity
+    epochs = design_epoch_table(design, cfg.n_subjects, cfg.seed + 1)
+    informative = design_ground_truth(cfg)
+    regions = ground_truth_regions(cfg)
+    factors = conn.mixing_factors(design.n_conditions)
+    noninformative = np.setdiff1d(
+        np.arange(cfg.n_voxels, dtype=np.int64), informative
+    )
+
+    scan_trs = max(epochs.scan_length_required(), design.scan_trs)
+    hrf = double_gamma_hrf(design.tr_s / _OVERSAMPLE)
+    children = np.random.SeedSequence(cfg.seed).spawn(cfg.n_subjects)
+
+    data: dict[int, np.ndarray] = {}
+    for subject in range(cfg.n_subjects):
+        rng = np.random.default_rng(children[subject])
+        # Oscillatory sources: unit-variance white series mixed through
+        # the active condition's Cholesky factor inside each epoch
+        # (identity mixing during rest) — the task-modulated coupling.
+        eta = rng.standard_normal((conn.n_regions, scan_trs))
+        sources = eta.copy()
+        for epoch in epochs.for_subject(subject):
+            window = epoch.as_slice()
+            sources[:, window] = factors[epoch.condition] @ eta[:, window]
+
+        bold = np.empty((cfg.n_voxels, scan_trs), dtype=np.float64)
+        bold[informative] = sources[regions]
+        bold[noninformative] = rng.standard_normal(
+            (noninformative.size, scan_trs)
+        )
+
+        if conn.sf > 0.0:
+            regressors = hrf_regressor(
+                design, epochs, subject, rng=rng, hrf=hrf
+            )
+            coact = regressors.sum(axis=0)
+            sd = float(coact.std())
+            if sd > 0.0:
+                bold += (coact / sd) / conn.sf
+
+        if conn.snr > 0.0:
+            signal_sd = float(bold[informative].std())
+            bold += rng.standard_normal(bold.shape) * (signal_sd / conn.snr)
+
+        data[subject] = bold.astype(np.float32)
+
+    return FMRIDataset(data, epochs, name=cfg.name)

@@ -10,7 +10,11 @@ extend it without registration:
 * ``pc.<field>`` — a :class:`~repro.hw.counters.PerfCounters` field
   (the paper's Table-1 vocabulary) attributed to the span;
 * ``ctr.<name>`` — a free-form run counter (plan-cache hits, ...)
-  mirrored from :meth:`repro.exec.context.RunContext.increment`.
+  mirrored from :meth:`repro.exec.context.RunContext.increment`;
+* ``acc.<scenario>.<metric>`` — ground-truth accuracy scores from the
+  scenario harness (:mod:`repro.eval.scenarios`): deterministic
+  retrieval metrics (``roc_auc``, ``average_precision``,
+  ``top_k_hit_rate``) plus a timing-classified ``wall_seconds``.
 
 Exporters and the regression harness rely on :func:`is_timing_metric`
 to know which metrics are wall-clock-dependent (and therefore excluded
@@ -146,8 +150,9 @@ METRICS: dict[str, MetricSpec] = {
     )
 }
 
-#: Open namespaces: ``pc.`` (PerfCounters fields), ``ctr.`` (run counters).
-_OPEN_PREFIXES = ("pc.", "ctr.")
+#: Open namespaces: ``pc.`` (PerfCounters fields), ``ctr.`` (run
+#: counters), ``acc.`` (scenario accuracy scores).
+_OPEN_PREFIXES = ("pc.", "ctr.", "acc.")
 
 
 def is_known_metric(name: str) -> bool:

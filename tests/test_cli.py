@@ -49,6 +49,129 @@ class TestGenerate:
         assert load_dataset(path).n_subjects == 2
 
 
+class TestGenerateDesign:
+    """The ``--design`` path and its golden-file determinism contract."""
+
+    ARGS = ["--design", "block", "--voxels", "48", "--subjects", "2",
+            "--seed", "3"]
+
+    #: The .npz schema every generated scenario archive must carry.
+    SCHEMA = {
+        "format_version", "name", "subjects", "epoch_records",
+        "bold_0", "bold_1",
+    }
+
+    def _generate(self, path):
+        assert main(["generate", str(path), *self.ARGS]) == 0
+
+    def test_writes_loadable_scenario_dataset(self, tmp_path, capsys):
+        path = tmp_path / "design.npz"
+        self._generate(path)
+        out = capsys.readouterr().out
+        assert "design: block" in out and "planted voxels" in out
+        from repro.data import load_dataset
+
+        ds = load_dataset(path)
+        assert ds.n_voxels == 48
+        assert ds.n_subjects == 2
+
+    def test_npz_schema(self, tmp_path):
+        path = tmp_path / "design.npz"
+        self._generate(path)
+        with np.load(path, allow_pickle=False) as archive:
+            assert set(archive.files) == self.SCHEMA
+            assert int(archive["format_version"]) == 1
+            assert str(archive["name"]) == "scenario-block"
+            assert archive["bold_0"].dtype == np.float32
+
+    def test_arrays_byte_stable_for_fixed_seed(self, tmp_path):
+        a_path, b_path = tmp_path / "a.npz", tmp_path / "b.npz"
+        self._generate(a_path)
+        self._generate(b_path)
+        with np.load(a_path) as a, np.load(b_path) as b:
+            assert a.files == b.files
+            for key in a.files:
+                assert a[key].tobytes() == b[key].tobytes(), key
+
+    def test_golden_epoch_records_and_planted_set(self, tmp_path):
+        """Integer outputs are platform-independent: pin them exactly."""
+        from repro.data import DESIGN_PRESETS, GroundTruthConfig
+        from repro.data.designs import design_ground_truth
+
+        path = tmp_path / "design.npz"
+        self._generate(path)
+        with np.load(path) as archive:
+            records = archive["epoch_records"]
+        # 2 subjects x 10 alternating epochs of 10 TRs, gap 5, offset 3.
+        assert records.shape == (20, 4)
+        np.testing.assert_array_equal(
+            records[:3],
+            [[0, 0, 3, 10], [0, 1, 18, 10], [0, 0, 33, 10]],
+        )
+        cfg = GroundTruthConfig(
+            design=DESIGN_PRESETS["block"](), n_voxels=48, n_subjects=2,
+            seed=3, name="scenario-block",
+        )
+        np.testing.assert_array_equal(
+            design_ground_truth(cfg)[:6], [1, 2, 3, 4, 5, 6]
+        )
+
+    @pytest.mark.parametrize("kind", ["event", "jittered"])
+    def test_other_designs_generate(self, tmp_path, kind):
+        path = tmp_path / f"{kind}.npz"
+        rc = main([
+            "generate", str(path), "--design", kind,
+            "--voxels", "48", "--subjects", "1", "--seed", "3",
+        ])
+        assert rc == 0
+        from repro.data import load_dataset
+
+        assert load_dataset(path).name == f"scenario-{kind}"
+
+    def test_snr_sf_require_design(self, tmp_path, capsys):
+        rc = main(["generate", str(tmp_path / "x.npz"), "--snr", "2.0"])
+        assert rc == 2
+        assert "--design" in capsys.readouterr().err
+
+    def test_epochs_per_subject_must_balance(self, tmp_path, capsys):
+        rc = main([
+            "generate", str(tmp_path / "x.npz"), "--design", "block",
+            "--epochs-per-subject", "5",
+        ])
+        assert rc == 2
+        assert "multiple" in capsys.readouterr().err
+
+
+class TestScenarios:
+    ARGS = ["scenarios", "--matrix", "smoke", "--design", "block",
+            "--snr", "6.0", "--voxels", "36", "--subjects", "3",
+            "--seed", "7"]
+
+    def test_table_and_floor_pass(self, capsys):
+        assert main([*self.ARGS, "--min-auc", "0.8"]) == 0
+        out = capsys.readouterr().out
+        assert "snr=6" in out
+        assert "meets 0.800" in out
+
+    def test_floor_failure_exits_nonzero(self, capsys):
+        assert main([*self.ARGS, "--min-auc", "1.01"]) == 1
+        assert "BELOW" in capsys.readouterr().out
+
+    def test_json_report_and_history(self, tmp_path, capsys):
+        history = tmp_path / "history.jsonl"
+        rc = main([*self.ARGS, "--json", "--history", str(history)])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["n_scenarios"] == 1
+        (scenario,) = report["scenarios"]
+        assert scenario["key"] == "block.snr6.sf1.subj3"
+        assert 0.0 <= scenario["roc_auc"] <= 1.0
+        assert report["history"]["name"] == "scenario-accuracy"
+        record = json.loads(history.read_text().splitlines()[-1])
+        assert record["name"] == "scenario-accuracy"
+        assert any(k.startswith("acc.") for k in record["metrics"])
+
+
 class TestRun:
     @pytest.mark.parametrize("executor", ["serial", "pool", "master-worker"])
     def test_runs_on_every_executor(self, dataset_file, capsys, executor):
