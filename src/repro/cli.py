@@ -13,6 +13,8 @@ Commands
 ``report``    the paper's Table-1 style instrumentation report
 ``simulate``  cluster scaling simulation (Tables 3-4 / Fig. 8 style)
 ``trace``     inspect or convert a span trace written by ``run --trace``
+``top``       live dashboard over the snapshot stream a ``run --live
+              --live-events`` (or ``rtfmri --live-events``) is writing
 ``perf``      the performance observatory: record runs into the
               benchmark history, check for drift, render
               predicted-vs-measured and roofline reports, and gate
@@ -183,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "history registry at PATH (JSON-lines)")
     run.add_argument("--history-name", default="fcma-run", metavar="NAME",
                      help="series name the history record is filed under")
+    _add_live_args(run)
 
     wrk = sub.add_parser(
         "worker",
@@ -255,6 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
     rt.add_argument("--history-name", default="rtfmri-session",
                     metavar="NAME",
                     help="series name the history record is filed under")
+    _add_live_args(rt)
 
     rep = sub.add_parser("report", help="instrumentation report (Table 1)")
     rep.add_argument("--dataset", choices=["face-scene", "attention"],
@@ -295,6 +299,19 @@ def build_parser() -> argparse.ArgumentParser:
                      help="tree view: clip spans deeper than this")
     trc.add_argument("--output", default=None, metavar="PATH",
                      help="write the view here instead of stdout")
+
+    top = sub.add_parser(
+        "top",
+        help="live dashboard over a snapshot stream "
+             "(run --live --live-events PATH)",
+    )
+    top.add_argument("events", help="JSON-lines snapshot stream written by "
+                                    "'fcma run --live --live-events'")
+    top.add_argument("--follow", action="store_true",
+                     help="keep refreshing until the run publishes its "
+                          "final snapshot")
+    top.add_argument("--refresh", type=float, default=1.0, metavar="SECONDS",
+                     help="--follow: redraw interval (default 1.0)")
 
     perf = sub.add_parser(
         "perf", help="performance observatory (history, drift, reports)"
@@ -395,6 +412,24 @@ def build_parser() -> argparse.ArgumentParser:
                      help="uniform scale on every tolerance band "
                           "(1.0 = defaults)")
     return parser
+
+
+def _add_live_args(p: argparse.ArgumentParser) -> None:
+    """The live telemetry plane's flags (``run`` and ``rtfmri``)."""
+    p.add_argument("--live", action="store_true",
+                   help="publish in-flight progress/ETA snapshots while "
+                        "the run executes (implied by --live-events / "
+                        "--prom-file)")
+    p.add_argument("--live-events", default=None, metavar="PATH",
+                   help="stream repro.live/v1 snapshots to PATH as JSON "
+                        "lines ('fcma top PATH --follow' watches it)")
+    p.add_argument("--prom-file", default=None, metavar="PATH",
+                   help="atomically rewrite PATH with the latest snapshot "
+                        "in Prometheus text format (node_exporter "
+                        "textfile-collector style)")
+    p.add_argument("--live-interval", type=float, default=0.5,
+                   metavar="SECONDS",
+                   help="snapshot publish interval (default 0.5)")
 
 
 def _spec_for(name: str):
@@ -599,14 +634,103 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
 
 
 def _write_trace(spans, path: str, fmt: str) -> int:
-    """Write a span list to ``path`` in the requested format."""
+    """Write a span list to ``path`` in the requested format.
+
+    The write goes through a sibling temp file + ``os.replace`` so a
+    reader (or a crash) never observes a half-written file — the same
+    path may hold the crash-durable incremental trace of the run that
+    just finished, and this rewrite must not tear it.
+    """
     from .obs import to_chrome_trace, write_jsonl
 
-    if fmt == "chrome":
-        with open(path, "w") as fh:
-            json.dump(to_chrome_trace(spans), fh, indent=2)
-        return len(spans)
-    return write_jsonl(spans, path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        if fmt == "chrome":
+            with open(tmp, "w") as fh:
+                json.dump(to_chrome_trace(spans), fh, indent=2)
+            n_spans = len(spans)
+        else:
+            n_spans = write_jsonl(spans, tmp)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    return n_spans
+
+
+class _LivePlane:
+    """CLI-side assembly of the live telemetry plane (``--live``).
+
+    Owns the :class:`~repro.obs.live.LiveRuntime`, the sink stack
+    (in-memory ring always; JSON-lines / Prometheus when asked for),
+    and the periodic publisher.  ``start``/``stop`` bracket the run:
+    activation makes the runtime visible to executors and loops via
+    :func:`~repro.obs.live.current_live`, and ``stop`` returns the
+    final snapshot for the run report.
+    """
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        self.enabled = bool(args.live or args.live_events or args.prom_file)
+        self.final: dict | None = None
+        self.runtime = None
+        self._publisher = None
+        self._tracer = None
+        if not self.enabled:
+            return
+        from .obs.live import (
+            JsonlSink,
+            LiveRuntime,
+            PrometheusFileSink,
+            RingSink,
+            SnapshotPublisher,
+        )
+
+        self.runtime = LiveRuntime()
+        self.ring = RingSink()
+        sinks = [self.ring]
+        if args.live_events:
+            sinks.append(JsonlSink(args.live_events))
+        if args.prom_file:
+            sinks.append(PrometheusFileSink(args.prom_file))
+        self._publisher = SnapshotPublisher(
+            self.runtime, sinks, interval=args.live_interval
+        )
+
+    def start(self, tracer=None) -> None:
+        if not self.enabled:
+            return
+        from .obs.live import activate
+
+        if tracer is not None:
+            self._tracer = tracer
+            self.runtime.attach_tracer(tracer)
+        activate(self.runtime)
+        self._publisher.start()
+
+    def stop(self) -> dict | None:
+        if not self.enabled or self._publisher is None:
+            return None
+        from .obs.live import deactivate
+
+        self.final = self._publisher.stop()
+        self._publisher = None
+        deactivate()
+        if self._tracer is not None:
+            self.runtime.detach_tracer(self._tracer)
+            self._tracer = None
+        return self.final
+
+    def summary_line(self) -> str | None:
+        """One text-mode line describing what the plane observed."""
+        if self.final is None:
+            return None
+        progress = self.final.get("progress", {})
+        done = progress.get("done", 0)
+        total = progress.get("total", 0)
+        fraction = progress.get("fraction")
+        pct = f"{fraction:.0%}" if fraction is not None else "n/a"
+        return (f"live: {self.final.get('seq', 0) + 1} snapshots, "
+                f"progress {done:g}/{total:g} ({pct})")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -670,7 +794,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
     executor = make_executor(args.executor, n_workers=args.workers, **mw_opts)
-    scores = executor.run(dataset, ctx)
+
+    # Crash durability: while the run is in flight every closing span
+    # is appended (and flushed) straight to the trace path, so a killed
+    # process still leaves a readable prefix.  On success the standard
+    # counted-header rewrite below replaces it atomically.
+    inc_writer = None
+    if args.trace and args.trace_format == "jsonl":
+        from .obs import IncrementalJsonlWriter
+
+        inc_writer = IncrementalJsonlWriter(args.trace)
+        ctx.tracer.add_listener(inc_writer.on_span_close)
+
+    live = _LivePlane(args)
+    live.start(ctx.tracer)
+    try:
+        scores = executor.run(dataset, ctx)
+    finally:
+        live.stop()
+        if inc_writer is not None:
+            ctx.tracer.remove_listener(inc_writer.on_span_close)
+            inc_writer.close()
     top = scores.top(args.top)
 
     trace_info = None
@@ -721,6 +865,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "path": history_path,
                 "name": args.history_name,
             }
+        if live.final is not None:
+            report["live"] = live.final
         print(json.dumps(report, indent=2))
         return 0
 
@@ -744,6 +890,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"({trace_info['format']}) -> {trace_info['path']}")
     if history_path is not None:
         print(f"history: appended '{args.history_name}' -> {history_path}")
+    live_line = live.summary_line()
+    if live_line is not None:
+        print(live_line)
+        if args.live_events:
+            print(f"live events: {args.live_events} "
+                  f"('fcma top {args.live_events}' to view)")
+        if args.prom_file:
+            print(f"prometheus exposition: {args.prom_file}")
     return 0
 
 
@@ -825,7 +979,19 @@ def _cmd_rtfmri(args: argparse.Namespace) -> int:
         retrain_every=args.retrain_every,
         window_epochs=args.window_epochs,
     )
-    result = session.run()
+    live = _LivePlane(args)
+    if live.enabled and args.latency_budget_ms is not None:
+        live.runtime.set_gauge(
+            "rtfmri_latency_budget_s", args.latency_budget_ms / 1e3
+        )
+    # The session's internal training/retrain executors declare task
+    # totals through the process-global hook; the matching completions
+    # tick through the tracer's close listener, so both seams attach.
+    live.start(session.context.tracer)
+    try:
+        result = session.run()
+    finally:
+        live.stop()
     stats = result.streaming
     p99_ms = stats.p99_step_latency_s * 1e3
 
@@ -898,6 +1064,8 @@ def _cmd_rtfmri(args: argparse.Namespace) -> int:
                 "path": history_path,
                 "name": args.history_name,
             }
+        if live.final is not None:
+            report["live"] = live.final
         print(json.dumps(report, indent=2))
     else:
         print(f"dataset: {dataset}")
@@ -921,6 +1089,9 @@ def _cmd_rtfmri(args: argparse.Namespace) -> int:
         if history_path is not None:
             print(f"history: recorded '{args.history_name}' "
                   f"-> {history_path}")
+        live_line = live.summary_line()
+        if live_line is not None:
+            print(live_line)
     return 1 if over_budget else 0
 
 
@@ -1018,6 +1189,34 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     else:
         print(text)
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from .obs.live import read_latest_snapshot, render_snapshot
+
+    if not args.follow:
+        snapshot = read_latest_snapshot(args.events)
+        if snapshot is None:
+            print(f"top: no snapshots in {args.events}", file=sys.stderr)
+            return 1
+        print(render_snapshot(snapshot))
+        return 0
+
+    last_seq = None
+    while True:
+        snapshot = read_latest_snapshot(args.events)
+        if snapshot is not None and snapshot.get("seq") != last_seq:
+            last_seq = snapshot.get("seq")
+            # ANSI clear + home keeps the dashboard in place on a
+            # terminal; redirected output degrades to appended frames.
+            if sys.stdout.isatty():
+                print("\x1b[2J\x1b[H", end="")
+            print(render_snapshot(snapshot))
+        if snapshot is not None and snapshot.get("final"):
+            return 0
+        time.sleep(args.refresh)
 
 
 def _perf_run_record(args: argparse.Namespace):
@@ -1209,6 +1408,7 @@ _COMMANDS = {
     "reproduce": _cmd_reproduce,
     "simulate": _cmd_simulate,
     "trace": _cmd_trace,
+    "top": _cmd_top,
     "perf": _cmd_perf,
 }
 

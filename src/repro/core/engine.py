@@ -42,11 +42,13 @@ Bitwise contracts the emitters pin (see
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Protocol, runtime_checkable
 
 import numpy as np
 
+from ..obs.live.runtime import current_live
 from .normalization import (
     NormalizationWorkspace,
     fuse_normalize_tile,
@@ -263,9 +265,14 @@ def _run_full_width(
             workspace=workspace,
         )
     sweep = n_rows if plan.voxel_sweep is None else plan.voxel_sweep
+    live = current_live()
     for v0, v1 in iter_blocks(n_rows, sweep):
+        t_tile = time.perf_counter() if live is not None else 0.0
         emitter.emit(out[v0:v1], v0, v1, 0, shape.n_voxels)
         emitter.end_sweep(v0, v1)
+        if live is not None:
+            live.inc("engine_tiles")
+            live.observe("tile_seconds", time.perf_counter() - t_tile)
 
 
 def _run_tiled(
@@ -287,11 +294,13 @@ def _run_tiled(
     n_epochs, n_voxels = shape.n_epochs, shape.n_voxels
     zt = z.swapaxes(1, 2)
     tiles: dict[tuple[int, int], np.ndarray] = {}
+    live = current_live()
     for v0, v1 in iter_blocks(shape.n_assigned, plan.voxel_sweep):
         width = v1 - v0
         panel = z[:, assigned[v0:v1]]  # (E, width, T) contiguous copy
         for n0, n1 in iter_blocks(n_voxels, plan.target_block):
             nb = n1 - n0
+            t_tile = time.perf_counter() if live is not None else 0.0
             tile = tiles.get((width, nb))
             if tile is None:
                 tile = tiles.setdefault(
@@ -304,6 +313,9 @@ def _run_tiled(
                     tile, shape.epochs_per_subject, workspace=workspace
                 )
             emitter.emit(tile, v0, v1, n0, n1)
+            if live is not None:
+                live.inc("engine_tiles")
+                live.observe("tile_seconds", time.perf_counter() - t_tile)
         emitter.end_sweep(v0, v1)
 
 

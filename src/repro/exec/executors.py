@@ -31,6 +31,7 @@ from ..cluster.workload import FoldSpec, TaskSpec, Workload
 from ..core.pipeline import FCMAConfig, preprocess_dataset
 from ..core.results import VoxelScores
 from ..data.dataset import FMRIDataset
+from ..obs.live.runtime import current_live
 from ..parallel.comm import Comm, run_ranks
 from ..parallel.executor import (
     SharedDatasetHandle,
@@ -97,6 +98,12 @@ class SerialExecutor:
         with ctx.run_span(self.name, dataset):
             t0 = time.perf_counter()
             tasks = _task_stream(dataset, ctx, voxels)
+            live = current_live()
+            if live is not None:
+                # Completions tick through the tracer's close listener
+                # (every task span closes on ctx.tracer in-process), so
+                # only the denominator is declared here.
+                live.set_total("tasks", len(tasks))
             parts = [execute_task(dataset, task, ctx) for task in tasks]
             scores = VoxelScores.concatenate(parts).sorted_by_accuracy()
             _finish(ctx, self, len(tasks), time.perf_counter() - t0)
@@ -176,6 +183,10 @@ class ProcessPoolExecutor:
                 if config.chunksize is not None
                 else auto_chunksize(len(tasks), workers)
             )
+            live = current_live()
+            if live is not None:
+                live.set_total("tasks", len(tasks))
+                live.set_gauge("n_workers", float(workers))
             shm, handle = share_dataset(dataset)
             try:
                 with _StdProcessPool(
@@ -183,9 +194,20 @@ class ProcessPoolExecutor:
                     initializer=_init_worker,
                     initargs=(handle, config),
                 ) as pool:
-                    results = list(
-                        pool.map(_run_assigned_timed, tasks, chunksize=chunksize)
-                    )
+                    # pool.map yields results lazily *in submission
+                    # order* (results
+                    # stay bitwise-identical to collecting the full
+                    # list), which lets the parent tick live progress as
+                    # each task's result arrives — worker-process task
+                    # spans close out of reach of this process's tracer
+                    # listener.
+                    results: list[tuple[VoxelScores, dict[str, Any]]] = []
+                    for item in pool.map(
+                        _run_assigned_timed, tasks, chunksize=chunksize
+                    ):
+                        results.append(item)
+                        if live is not None:
+                            live.inc("tasks")
             finally:
                 shm.close()
                 shm.unlink()
@@ -319,6 +341,15 @@ class MasterWorkerExecutor:
                 else []
             )
             n_work = len(tiles) + len(tasks) if tiled else len(tasks)
+            live = current_live()
+            if live is not None:
+                # Declare the blocking plan's denominators up front so
+                # the first snapshot already knows 0/N; the master loops
+                # tick the matching counters as results arrive.
+                live.set_total("tasks", len(tasks))
+                if tiled:
+                    live.set_total("tiles", len(tiles))
+                live.set_gauge("n_workers", float(self.n_workers))
 
             if self.transport == "tcp":
                 scores = self._run_tcp(dataset, ctx, tasks, tiles, timeout)
@@ -407,12 +438,17 @@ class MasterWorkerExecutor:
         address = listener.address
         procs: list[Any] = []
         transport = None
+        live = current_live()
         try:
             if self.spawn:
                 procs = spawn_local_workers(
                     address, self.n_workers, timeout=timeout
                 )
             transport = listener.accept(self.n_workers, timeout=timeout)
+            if live is not None:
+                # Socket-level heartbeat ages are fresher than protocol
+                # traffic; snapshots read them straight off the transport.
+                live.set_heartbeat_probe(transport.heartbeat_ages)
             comm = Comm(transport, 0)
             comm.bcast(
                 {
@@ -449,6 +485,8 @@ class MasterWorkerExecutor:
             ctx.metadata["tcp_address"] = list(address)
             return scores
         finally:
+            if live is not None:
+                live.set_heartbeat_probe(None)
             if transport is not None:
                 transport.close()
             else:

@@ -28,6 +28,7 @@ from __future__ import annotations
 from .compare import TIMING_METRICS, assert_same_structure, span_structure
 from .export import (
     SCHEMA,
+    IncrementalJsonlWriter,
     format_metrics_table,
     from_chrome_trace,
     metrics_table,
@@ -36,6 +37,19 @@ from .export import (
     spans_from_cluster_trace,
     to_chrome_trace,
     write_jsonl,
+)
+from .live import (
+    SNAPSHOT_SCHEMA,
+    JsonlSink,
+    LiveRuntime,
+    PrometheusFileSink,
+    RingSink,
+    SnapshotPublisher,
+    activate,
+    activated,
+    build_snapshot,
+    current_live,
+    deactivate,
 )
 from .metrics import (
     METRICS,
@@ -49,18 +63,30 @@ from .span import KINDS, Span, SpanNode, build_tree
 from .tracer import SpanHandle, Tracer
 
 __all__ = [
+    "IncrementalJsonlWriter",
+    "JsonlSink",
     "KINDS",
     "METRICS",
+    "LiveRuntime",
     "MetricSpec",
+    "PrometheusFileSink",
+    "RingSink",
     "SCHEMA",
+    "SNAPSHOT_SCHEMA",
+    "SnapshotPublisher",
     "Span",
     "SpanHandle",
     "SpanNode",
     "TIMING_METRICS",
     "Tracer",
+    "activate",
+    "activated",
     "assert_same_structure",
+    "build_snapshot",
     "build_tree",
+    "current_live",
     "current_tracer",
+    "deactivate",
     "format_metrics_table",
     "from_chrome_trace",
     "is_known_metric",

@@ -20,8 +20,8 @@ simulator: a simulated schedule becomes a span tree (one worker per
 
 from __future__ import annotations
 
-import io
 import json
+import threading
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable, Mapping, TextIO
 
@@ -32,6 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "SCHEMA",
+    "IncrementalJsonlWriter",
     "write_jsonl",
     "read_jsonl",
     "to_chrome_trace",
@@ -79,18 +80,27 @@ def read_jsonl(source: str | Path | TextIO) -> list[Span]:
     """Load spans from a JSON-lines export.
 
     Unknown record types are skipped (forward compatibility); a schema
-    mismatch in the meta header raises ``ValueError``.
+    mismatch in the meta header raises ``ValueError``.  An undecodable
+    *final* line is tolerated — an incrementally appended trace from a
+    process that died mid-write still loads as its valid prefix.  A
+    decode error anywhere earlier is real corruption and raises.
     """
     if isinstance(source, (str, Path)):
         text = Path(source).read_text()
     else:
         text = source.read()
+    lines = text.splitlines()
     spans: list[Span] = []
-    for lineno, line in enumerate(io.StringIO(text), start=1):
+    for lineno, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
             continue
-        record = json.loads(line)
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if lineno == len(lines):
+                break
+            raise
         rtype = record.get("type")
         if rtype == "meta":
             if record.get("schema") != SCHEMA:
@@ -101,6 +111,60 @@ def read_jsonl(source: str | Path | TextIO) -> list[Span]:
         elif rtype == "span":
             spans.append(Span.from_dict(record))
     return spans
+
+
+class IncrementalJsonlWriter:
+    """Crash-durable JSON-lines trace writer: append-on-close, flush-per-span.
+
+    Attach :meth:`on_span_close` as a tracer listener
+    (``tracer.add_listener(writer.on_span_close)``) and every span is
+    appended — and flushed to the OS — the moment it closes, so a run
+    killed midway leaves a valid trace prefix on disk instead of
+    nothing.  The meta header carries ``"incremental": true`` and no
+    span count (the count is unknowable up front); :func:`read_jsonl`
+    loads such files unchanged, tolerating a torn final line.
+
+    On a *successful* run the CLI rewrites the file with
+    :func:`write_jsonl` (complete, enriched, counted header); this
+    writer is purely the crash-safety net underneath.
+    """
+
+    def __init__(self, target: str | Path) -> None:
+        self.path = Path(target)
+        self._lock = threading.Lock()
+        self._fh: TextIO | None = open(self.path, "w")
+        self._n_spans = 0
+        header = {"type": "meta", "schema": SCHEMA, "incremental": True}
+        self._fh.write(json.dumps(header, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    @property
+    def n_spans(self) -> int:
+        """Number of span records appended so far."""
+        return self._n_spans
+
+    def on_span_close(self, span: Span) -> None:
+        """Tracer listener: append one closed span and flush."""
+        line = json.dumps({"type": "span", **span.to_dict()}, sort_keys=True)
+        with self._lock:
+            if self._fh is None:
+                return
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            self._n_spans += 1
+
+    def close(self) -> None:
+        """Stop accepting spans and close the file (idempotent)."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "IncrementalJsonlWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
 
 # -- Chrome trace_event ---------------------------------------------------

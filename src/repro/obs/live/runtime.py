@@ -1,0 +1,353 @@
+"""The in-flight telemetry runtime: counters, gauges, histograms, heartbeats.
+
+Post-hoc tracing (:mod:`repro.obs.tracer`) answers "what happened";
+this module answers "what is happening".  A :class:`LiveRuntime` is a
+small lock-protected aggregate the hot paths update as work completes:
+
+* **monotonic counters** (``inc``) — task/tile completions, span
+  closes, comm bytes;
+* **gauges** (``set_gauge``) — worker counts, latency budgets;
+* **totals** (``set_total``) — the blocking plan's known task/tile
+  counts, the denominators progress and ETA are derived from;
+* **fixed-bucket histograms** (``observe``) — per-TR / per-tile
+  latency distributions with cheap p50/p99 estimates;
+* **per-rank heartbeats** (``heartbeat`` / ``worker_lost``) — ages fed
+  either by protocol traffic at the master or by a transport-level
+  probe (:meth:`set_heartbeat_probe`).
+
+The tracer dual-writes into the runtime through the listener seam
+(:meth:`attach_tracer` registers :meth:`on_span_close`), so every
+closed ``task`` span becomes a completion tick and a latency sample
+without touching executor code.
+
+One runtime may be installed process-global (:func:`activate` /
+:func:`current_live`) so deep loops — the engine's tile loop, the
+master-worker protocol loops, the rtfmri feedback step — can publish
+without threading a handle through every signature.  The global is a
+plain module attribute, *not* a ``ContextVar``: master-worker ranks run
+on freshly spawned threads where context vars do not propagate.  All
+publish methods are cheap no-ops to guard (``live is not None``), and
+the whole plane costs nothing when no runtime is active.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..span import Span
+    from ..tracer import Tracer
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "LiveHistogram",
+    "LiveRuntime",
+    "activate",
+    "activated",
+    "current_live",
+    "deactivate",
+]
+
+#: Default histogram bucket upper bounds: a 1-2-5 ladder from 10 µs to
+#: 500 s, covering per-TR feedback steps through multi-minute stages.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(
+    m * (10.0**e) for e in range(-5, 3) for m in (1.0, 2.0, 5.0)
+)
+
+#: Seconds of heartbeat silence after which a worker is flagged stale in
+#: snapshots.  Matches the TCP transport's loss threshold, so a stale
+#: flag here is the early warning of the peer-loss path firing.
+DEFAULT_STALE_AFTER = 30.0
+
+
+class LiveHistogram:
+    """A fixed-bucket latency histogram with cumulative-bucket quantiles.
+
+    Buckets are upper bounds (Prometheus ``le`` semantics) plus one
+    overflow bucket.  ``observe`` is O(len(bounds)) with no allocation;
+    quantile estimates return the upper bound of the bucket containing
+    the requested rank (clamped to the observed max), which is exact
+    enough for live p50/p99 displays.  Not internally locked — the
+    owning :class:`LiveRuntime` serializes access.
+    """
+
+    __slots__ = ("bounds", "counts", "total", "count", "max")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("bucket bounds must be a sorted non-empty tuple")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last = overflow
+        self.total = 0.0
+        self.count = 0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += value
+        self.count += 1
+        if value > self.max:
+            self.max = value
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile sample."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            cumulative += bucket_count
+            if cumulative >= target:
+                return min(bound, self.max)
+        return self.max
+
+    def state(self) -> dict[str, Any]:
+        """JSON-ready snapshot (cumulative bucket counts, ``le`` keyed)."""
+        cumulative = 0
+        buckets: list[list[Any]] = []
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            cumulative += bucket_count
+            buckets.append([bound, cumulative])
+        buckets.append(["+Inf", self.count])
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "max": self.max,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
+            "buckets": buckets,
+        }
+
+
+@dataclass
+class _WorkerState:
+    """Last-seen bookkeeping for one remote rank."""
+
+    last_seen: float
+    completed: float | None = None
+    lost: bool = False
+
+
+class LiveRuntime:
+    """Thread-safe in-flight telemetry aggregate of one run.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic seconds source (default ``time.monotonic``); inject a
+        fake for deterministic tests.
+    stale_after:
+        Heartbeat age (seconds) past which a worker is flagged stale in
+        snapshots.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.monotonic,
+        *,
+        stale_after: float = DEFAULT_STALE_AFTER,
+    ) -> None:
+        if stale_after <= 0:
+            raise ValueError("stale_after must be positive")
+        self.clock = clock
+        self.stale_after = stale_after
+        self._lock = threading.Lock()
+        self._t0 = clock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._totals: dict[str, float] = {}
+        self._hists: dict[str, LiveHistogram] = {}
+        self._workers: dict[int, _WorkerState] = {}
+        self._probe: Callable[[], Mapping[int, float]] | None = None
+
+    # -- publishing (hot path) -------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to a monotonic counter (negative deltas rejected)."""
+        if value < 0:
+            raise ValueError("counters are monotonic; value must be >= 0")
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time gauge (may move either direction)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def set_total(self, name: str, value: float) -> None:
+        """Declare the known denominator for progress counter ``name``."""
+        if value < 0:
+            raise ValueError("totals must be >= 0")
+        with self._lock:
+            self._totals[name] = float(value)
+            self._counters.setdefault(name, 0.0)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into the named histogram."""
+        with self._lock:
+            hist = self._hists.get(name)
+            if hist is None:
+                hist = self._hists.setdefault(name, LiveHistogram())
+            hist.observe(value)
+
+    def heartbeat(
+        self, rank: int, completed: float | None = None
+    ) -> None:
+        """Note a sign of life from ``rank`` (any protocol traffic)."""
+        now = self.clock()
+        with self._lock:
+            state = self._workers.get(rank)
+            if state is None:
+                state = self._workers.setdefault(rank, _WorkerState(now))
+            state.last_seen = now
+            state.lost = False
+            if completed is not None:
+                state.completed = float(completed)
+
+    def worker_lost(self, rank: int) -> None:
+        """Flag ``rank`` as lost (the transport's peer-loss verdict)."""
+        now = self.clock()
+        with self._lock:
+            state = self._workers.get(rank)
+            if state is None:
+                state = self._workers.setdefault(rank, _WorkerState(now))
+            state.lost = True
+
+    def set_heartbeat_probe(
+        self, probe: Callable[[], Mapping[int, float]] | None
+    ) -> None:
+        """Install a transport-level age source (rank -> seconds).
+
+        Probe ages override the message-derived ages at snapshot time —
+        the TCP transport knows socket liveness more precisely than the
+        protocol traffic does.
+        """
+        with self._lock:
+            self._probe = probe
+
+    # -- tracer dual-write -----------------------------------------------
+
+    def on_span_close(self, span: "Span") -> None:
+        """Tracer listener: fold one closed span into the live aggregate.
+
+        Every close ticks ``spans_<kind>``; ``task`` spans additionally
+        tick the ``tasks`` completion counter and feed the
+        ``task_seconds`` histogram.  Merged (foreign) spans do not
+        notify, so executors that count completions at the master never
+        double-count against this listener.
+        """
+        wall = float(span.metrics.get("wall_seconds", span.duration))
+        with self._lock:
+            key = f"spans_{span.kind}"
+            self._counters[key] = self._counters.get(key, 0.0) + 1.0
+            if span.kind == "task":
+                self._counters["tasks"] = self._counters.get("tasks", 0.0) + 1.0
+                hist = self._hists.get("task_seconds")
+                if hist is None:
+                    hist = self._hists.setdefault(
+                        "task_seconds", LiveHistogram()
+                    )
+                hist.observe(wall)
+
+    def attach_tracer(self, tracer: "Tracer") -> None:
+        """Register the dual-write listener on ``tracer``."""
+        tracer.add_listener(self.on_span_close)
+
+    def detach_tracer(self, tracer: "Tracer") -> None:
+        """Remove the dual-write listener from ``tracer``."""
+        tracer.remove_listener(self.on_span_close)
+
+    # -- reading ---------------------------------------------------------
+
+    def elapsed(self) -> float:
+        """Seconds since the runtime was constructed."""
+        return self.clock() - self._t0
+
+    def counter(self, name: str) -> float:
+        """Current value of one counter (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0.0)
+
+    def snapshot_state(self) -> dict[str, Any]:
+        """A consistent copy of all live state (one lock acquisition).
+
+        The heartbeat probe (if any) is sampled *outside* the lock —
+        it belongs to the transport and must not nest under ours.
+        """
+        probe = self._probe
+        probe_ages: Mapping[int, float] = probe() if probe is not None else {}
+        now = self.clock()
+        with self._lock:
+            workers: dict[int, dict[str, Any]] = {}
+            for rank, state in self._workers.items():
+                workers[rank] = {
+                    "age_s": max(0.0, now - state.last_seen),
+                    "completed": state.completed,
+                    "lost": state.lost,
+                }
+            for rank, age in probe_ages.items():
+                entry = workers.setdefault(
+                    rank, {"age_s": 0.0, "completed": None, "lost": False}
+                )
+                entry["age_s"] = float(age)
+            return {
+                "elapsed_s": now - self._t0,
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "totals": dict(self._totals),
+                "histograms": {
+                    name: hist.state() for name, hist in self._hists.items()
+                },
+                "workers": workers,
+            }
+
+
+# -- the process-global active runtime -------------------------------------
+
+_ACTIVE: LiveRuntime | None = None
+_ACTIVE_LOCK = threading.Lock()
+
+
+def activate(runtime: LiveRuntime) -> None:
+    """Install ``runtime`` as the process-global live runtime."""
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        _ACTIVE = runtime
+
+
+def deactivate() -> None:
+    """Clear the process-global live runtime."""
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        _ACTIVE = None
+
+
+def current_live() -> LiveRuntime | None:
+    """The active runtime, or ``None`` when no live plane is running."""
+    return _ACTIVE
+
+
+@contextmanager
+def activated(runtime: LiveRuntime) -> Iterator[LiveRuntime]:
+    """Scoped :func:`activate` / :func:`deactivate` (restores previous)."""
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        previous = _ACTIVE
+        _ACTIVE = runtime
+    try:
+        yield runtime
+    finally:
+        with _ACTIVE_LOCK:
+            _ACTIVE = previous

@@ -1,0 +1,169 @@
+"""Run-wide telemetry snapshots and the periodic publisher.
+
+A snapshot is one JSON-ready dict — schema ``repro.live/v1`` — that
+fuses everything a :class:`~repro.obs.live.runtime.LiveRuntime` knows at
+an instant: overall progress and ETA (known totals vs. completion
+counters), raw counters and gauges, histogram summaries (count / sum /
+p50 / p99 / max / cumulative buckets), per-rank heartbeat ages with
+stale/lost flags, and a ``/proc`` resource sample.  The
+:class:`SnapshotPublisher` assembles one on a background thread at a
+fixed cadence and hands it to every registered sink (JSON-lines stream,
+Prometheus file, in-memory ring); ``stop()`` emits one final snapshot
+flagged ``"final": true`` so tailing consumers know the run ended.
+
+ETA is the classic remaining-work extrapolation: with fraction ``f``
+done after ``t`` elapsed seconds, the remaining time is estimated as
+``t * (1 - f) / f``.  It is ``null`` until the first completion lands
+and ``0`` once progress hits 100% — monotone inputs (counters never
+decrease, totals are fixed up front) make the reported fraction
+non-decreasing across snapshots.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Sequence
+
+from .resources import sample_resources
+from .runtime import LiveRuntime
+from .sinks import Sink
+
+__all__ = ["SNAPSHOT_SCHEMA", "SnapshotPublisher", "build_snapshot"]
+
+#: Version tag carried by every snapshot; bump on breaking key changes.
+SNAPSHOT_SCHEMA = "repro.live/v1"
+
+
+def _progress(state: dict[str, Any]) -> dict[str, Any]:
+    """Fold per-kind totals/counters into one progress block."""
+    totals: dict[str, float] = state["totals"]
+    counters: dict[str, float] = state["counters"]
+    by_kind: dict[str, dict[str, float]] = {}
+    done_sum = 0.0
+    total_sum = 0.0
+    for name, total in sorted(totals.items()):
+        done = min(counters.get(name, 0.0), total)
+        by_kind[name] = {"done": done, "total": total}
+        done_sum += done
+        total_sum += total
+    fraction = min(1.0, done_sum / total_sum) if total_sum > 0 else 0.0
+    elapsed = float(state["elapsed_s"])
+    eta_s: float | None
+    if fraction >= 1.0 and total_sum > 0:
+        eta_s = 0.0
+    elif fraction > 0.0:
+        eta_s = elapsed * (1.0 - fraction) / fraction
+    else:
+        eta_s = None
+    return {
+        "done": done_sum,
+        "total": total_sum,
+        "fraction": fraction,
+        "eta_s": eta_s,
+        "by_kind": by_kind,
+    }
+
+
+def build_snapshot(
+    runtime: LiveRuntime,
+    *,
+    seq: int,
+    final: bool = False,
+    resource_sampler: Callable[[], dict[str, Any] | None] = sample_resources,
+) -> dict[str, Any]:
+    """Assemble one ``repro.live/v1`` snapshot from ``runtime``."""
+    state = runtime.snapshot_state()
+    workers: dict[str, dict[str, Any]] = {}
+    for rank, entry in sorted(state["workers"].items()):
+        age = float(entry["age_s"])
+        workers[str(rank)] = {
+            "age_s": age,
+            "completed": entry["completed"],
+            "stale": bool(age > runtime.stale_after and not entry["lost"]),
+            "lost": bool(entry["lost"]),
+        }
+    return {
+        "type": "snapshot",
+        "schema": SNAPSHOT_SCHEMA,
+        "seq": seq,
+        "final": final,
+        "elapsed_s": float(state["elapsed_s"]),
+        "progress": _progress(state),
+        "counters": dict(sorted(state["counters"].items())),
+        "gauges": dict(sorted(state["gauges"].items())),
+        "histograms": dict(sorted(state["histograms"].items())),
+        "workers": workers,
+        "resources": resource_sampler(),
+    }
+
+
+class SnapshotPublisher:
+    """Periodically snapshot a runtime and fan out to sinks.
+
+    The publish loop runs on a daemon thread; a misbehaving sink is
+    disabled after its first error instead of killing the loop (the
+    telemetry plane must never take the computation down with it).
+    ``stop()`` joins the thread, publishes one final snapshot, closes
+    every sink, and returns that final snapshot for the run report.
+    """
+
+    def __init__(
+        self,
+        runtime: LiveRuntime,
+        sinks: Sequence[Sink],
+        *,
+        interval: float = 0.5,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("publish interval must be positive")
+        self.runtime = runtime
+        self.interval = interval
+        self._sinks: list[Sink] = list(sinks)
+        self._broken: set[int] = set()
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def publish(self, *, final: bool = False) -> dict[str, Any]:
+        """Build one snapshot now and emit it to all healthy sinks."""
+        with self._lock:
+            snapshot = build_snapshot(self.runtime, seq=self._seq, final=final)
+            self._seq += 1
+            for i, sink in enumerate(self._sinks):
+                if i in self._broken:
+                    continue
+                try:
+                    sink.emit(snapshot)
+                except Exception:  # noqa: BLE001 - sinks must not kill runs
+                    self._broken.add(i)
+            return snapshot
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.publish()
+
+    def start(self) -> None:
+        """Start the periodic publish thread (idempotent)."""
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="fcma-live-publisher", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> dict[str, Any]:
+        """Stop the loop, emit the final snapshot, close sinks."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        snapshot = self.publish(final=True)
+        for i, sink in enumerate(self._sinks):
+            if i in self._broken:
+                continue
+            try:
+                sink.close()
+            except Exception:  # noqa: BLE001 - sinks must not kill runs
+                self._broken.add(i)
+        return snapshot

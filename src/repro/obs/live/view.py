@@ -1,0 +1,159 @@
+"""Terminal rendering for ``fcma top``: a refreshing run dashboard.
+
+Pure functions from a ``repro.live/v1`` snapshot dict to text — the CLI
+owns the refresh loop and the file tailing; keeping the rendering pure
+makes it trivially golden-testable.  :func:`read_snapshots` /
+:func:`read_latest_snapshot` tolerate a truncated final line, because
+the JSON-lines stream they read is written by a process that may die
+mid-line.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "read_latest_snapshot",
+    "read_snapshots",
+    "render_snapshot",
+]
+
+
+def read_snapshots(path: str | Path) -> list[dict[str, Any]]:
+    """All complete snapshots in a live-events JSONL file, oldest first.
+
+    A truncated (undecodable) final line is skipped — the writer may be
+    mid-append or may have died mid-line; every earlier line must parse.
+    A missing file reads as empty: ``fcma top --follow`` may legitimately
+    start before the run opens its event stream.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return []
+    lines = text.splitlines()
+    snapshots: list[dict[str, Any]] = []
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break
+            raise
+        if isinstance(record, dict) and record.get("type") == "snapshot":
+            snapshots.append(record)
+    return snapshots
+
+
+def read_latest_snapshot(path: str | Path) -> dict[str, Any] | None:
+    """The most recent complete snapshot in the file, if any."""
+    snapshots = read_snapshots(path)
+    return snapshots[-1] if snapshots else None
+
+
+def _fmt_seconds(value: float | None) -> str:
+    if value is None:
+        return "--"
+    if value >= 3600:
+        return f"{value / 3600:.1f}h"
+    if value >= 60:
+        return f"{value / 60:.1f}m"
+    if value >= 1:
+        return f"{value:.1f}s"
+    return f"{value * 1000:.1f}ms"
+
+
+def _fmt_bytes(value: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024
+    return f"{value:.1f}GiB"  # pragma: no cover - unreachable
+
+
+def _progress_bar(fraction: float, width: int = 30) -> str:
+    filled = int(round(fraction * width))
+    filled = max(0, min(width, filled))
+    return "[" + "#" * filled + "-" * (width - filled) + "]"
+
+
+def render_snapshot(snapshot: dict[str, Any]) -> str:
+    """Render one snapshot as the ``fcma top`` dashboard text."""
+    lines: list[str] = []
+    state = "final" if snapshot.get("final") else "running"
+    lines.append(
+        f"fcma top — {snapshot.get('schema', '?')} · snapshot "
+        f"#{snapshot.get('seq', '?')} · {state} · elapsed "
+        f"{_fmt_seconds(float(snapshot.get('elapsed_s', 0.0)))}"
+    )
+
+    progress = snapshot.get("progress", {})
+    fraction = float(progress.get("fraction", 0.0))
+    lines.append(
+        f"progress {_progress_bar(fraction)} {fraction * 100:5.1f}%  "
+        f"({progress.get('done', 0):.0f}/{progress.get('total', 0):.0f})  "
+        f"eta {_fmt_seconds(progress.get('eta_s'))}"
+    )
+    by_kind = progress.get("by_kind", {})
+    if by_kind:
+        parts = [
+            f"{name} {pair['done']:.0f}/{pair['total']:.0f}"
+            for name, pair in sorted(by_kind.items())
+        ]
+        lines.append("  " + "   ".join(parts))
+
+    workers = snapshot.get("workers", {})
+    if workers:
+        lines.append("")
+        lines.append(f"{'rank':>6}  {'age':>8}  {'done':>8}  state")
+        for rank, entry in sorted(workers.items(), key=lambda kv: int(kv[0])):
+            if entry.get("lost"):
+                status = "LOST"
+            elif entry.get("stale"):
+                status = "STALE"
+            else:
+                status = "ok"
+            done = entry.get("completed")
+            done_text = f"{done:.0f}" if done is not None else "--"
+            lines.append(
+                f"{rank:>6}  {_fmt_seconds(float(entry['age_s'])):>8}  "
+                f"{done_text:>8}  {status}"
+            )
+
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("")
+        lines.append(
+            f"{'histogram':<24}{'count':>8}  {'p50':>9}  {'p99':>9}  "
+            f"{'max':>9}"
+        )
+        for name, hist in sorted(histograms.items()):
+            lines.append(
+                f"{name:<24}{hist['count']:>8}  "
+                f"{_fmt_seconds(float(hist['p50'])):>9}  "
+                f"{_fmt_seconds(float(hist['p99'])):>9}  "
+                f"{_fmt_seconds(float(hist['max'])):>9}"
+            )
+
+    counters = snapshot.get("counters", {})
+    interesting = {
+        name: value
+        for name, value in sorted(counters.items())
+        if not name.startswith("spans_")
+    }
+    if interesting:
+        lines.append("")
+        parts = [f"{name}={value:.0f}" for name, value in interesting.items()]
+        lines.append("counters: " + "  ".join(parts))
+
+    resources = snapshot.get("resources")
+    if resources:
+        lines.append(
+            f"resources: rss {_fmt_bytes(float(resources['rss_bytes']))}  "
+            f"cpu {_fmt_seconds(float(resources['cpu_seconds']))}"
+        )
+    return "\n".join(lines) + "\n"

@@ -49,6 +49,8 @@ __all__ = [
     "CALLS",
     "PREDICTED_SECONDS",
     "PREDICTED_GFLOPS",
+    "COMM_FETCH_WAIT",
+    "OVERLAP_HIDDEN_SECONDS",
     "is_known_metric",
     "is_timing_metric",
     "validate_metric",
@@ -121,6 +123,23 @@ PREDICTED_SECONDS = MetricSpec(
 PREDICTED_GFLOPS = MetricSpec(
     "predicted_gflops", "GFLOPS", "model-predicted achieved GFLOPS"
 )
+#: Exposed (non-overlapped) seconds a tiled worker waited for its next
+#: work item (the prefetch-overlap instrumentation's residual).  Pure
+#: wall clock, so excluded from cross-executor trace equivalence.
+COMM_FETCH_WAIT = MetricSpec(
+    "comm.fetch_wait", "s", "exposed wait for the next work item",
+    timing=True,
+)
+#: Seconds of fetch latency hidden behind compute by prefetching.
+#: Recorded through :meth:`repro.exec.context.RunContext.increment`, so
+#: the metric name carries the counter-namespace ``ctr.`` prefix; the
+#: explicit registration (rather than open-namespace fallback) is what
+#: classifies it as a timing metric.
+OVERLAP_HIDDEN_SECONDS = MetricSpec(
+    "ctr.overlap_hidden_seconds", "s",
+    "fetch latency hidden behind compute by prefetch overlap",
+    timing=True,
+)
 
 #: The closed part of the vocabulary, keyed by metric name.
 METRICS: dict[str, MetricSpec] = {
@@ -147,6 +166,8 @@ METRICS: dict[str, MetricSpec] = {
         CALLS,
         PREDICTED_SECONDS,
         PREDICTED_GFLOPS,
+        COMM_FETCH_WAIT,
+        OVERLAP_HIDDEN_SECONDS,
     )
 }
 

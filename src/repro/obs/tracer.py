@@ -55,6 +55,7 @@ class SpanHandle:
         if self._tracer.enabled:
             runtime._uninstall(self._token)
             self._tracer._pop(span)
+            self._tracer._notify(span)
 
 
 class Tracer:
@@ -83,6 +84,40 @@ class Tracer:
         self._next_id = 0
         self._lock = threading.Lock()
         self._local = threading.local()
+        self._listeners: list[Callable[[Span], None]] = []
+
+    # -- close listeners ---------------------------------------------------
+
+    def add_listener(self, listener: Callable[[Span], None]) -> None:
+        """Register a callback fired on every locally closed span.
+
+        Listeners are the dual-write seam of the live telemetry plane
+        (:mod:`repro.obs.live`) and the incremental trace writer: they
+        fire when a ``with``-managed span exits and when :meth:`record`
+        appends a synthetic span, but **not** for spans folded in via
+        :meth:`merge` — merged worker exports were already observed (or
+        counted) where they closed, and re-notifying here would double
+        count them.  Callbacks run on the closing thread and must be
+        fast and thread-safe.
+        """
+        with self._lock:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[Span], None]) -> None:
+        """Unregister a close listener (no-op if absent)."""
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+    def _notify(self, span: Span) -> None:
+        if not self._listeners:
+            return
+        with self._lock:
+            listeners = tuple(self._listeners)
+        for listener in listeners:
+            listener(span)
 
     # -- nesting bookkeeping ---------------------------------------------
 
@@ -178,6 +213,7 @@ class Tracer:
             )
             self._next_id += 1
             self._spans.append(span)
+        self._notify(span)
         return span
 
     def add_metric(self, name: str, value: float) -> bool:

@@ -39,6 +39,7 @@ __all__ = [
     "CommStats",
     "CommTimeoutError",
     "TAG_PEER_LOST",
+    "TAG_TELEMETRY",
     "Transport",
     "default_timeout",
     "payload_nbytes",
@@ -68,6 +69,13 @@ _COLL_TAG_BASE = 1_000_000
 #: peer.  Only transports with real failure domains (TCP) emit it — the
 #: thread transport cannot lose a rank silently.
 TAG_PEER_LOST = _COLL_TAG_BASE + 99
+
+#: Control tag for live-telemetry frames piggybacked on the transport
+#: (:meth:`Comm.send_telemetry`).  Workers emit small progress dicts at
+#: a bounded rate; the master folds them into the active
+#: :class:`~repro.obs.live.runtime.LiveRuntime` (or drops them when no
+#: live plane is running).  Loops that predate the tag must ignore it.
+TAG_TELEMETRY = _COLL_TAG_BASE + 98
 
 
 def default_timeout() -> float:
@@ -298,6 +306,20 @@ class Comm:
     def _send_internal(self, obj: Any, dest: int, tag: int) -> None:
         nbytes = self._transport.deliver(self._rank, dest, tag, obj)
         self.stats.add_sent(nbytes)
+
+    def send_telemetry(self, obj: Any, dest: int = 0) -> None:
+        """Best-effort live-telemetry frame to ``dest`` (default master).
+
+        Rides the control-tag space (:data:`TAG_TELEMETRY`), so it never
+        collides with user tags, and swallows connection errors —
+        telemetry must never take a healthy worker down with it.
+        """
+        if not 0 <= dest < self.size:
+            raise ValueError(f"dest {dest} out of range")
+        try:
+            self._send_internal(obj, dest, TAG_TELEMETRY)
+        except (ConnectionError, OSError):
+            pass
 
     def recv(
         self, source: int = ANY_SOURCE, tag: int = ANY_TAG

@@ -23,6 +23,7 @@ failure on one node cannot lose voxels from the analysis.
 from __future__ import annotations
 
 import bisect
+import time
 import warnings
 from collections import deque
 from typing import Callable, Sequence
@@ -32,7 +33,8 @@ import numpy as np
 from ..core.pipeline import FCMAConfig, run_task
 from ..core.results import VoxelScores
 from ..data.dataset import FMRIDataset
-from .comm import Comm, TAG_PEER_LOST
+from ..obs.live.runtime import current_live
+from .comm import Comm, TAG_PEER_LOST, TAG_TELEMETRY
 
 __all__ = ["mpi_voxel_selection", "master_loop", "worker_loop", "TaskFailedError"]
 
@@ -43,6 +45,12 @@ TAG_RESULT = 3   # worker -> master: (task_index, VoxelScores)
 TAG_STOP = 4     # master -> worker: no more tasks
 TAG_ERROR = 5    # worker -> master: (task_index, error message)
 TAG_DONE = 6     # worker -> master: post-stop telemetry (ctx export, comm stats)
+
+#: Minimum seconds between a worker's live-telemetry frames.  Bounds the
+#: piggybacked traffic to ~2 tiny messages per second per worker no
+#: matter how fast tasks complete; workers send unconditionally (the
+#: frames are dropped at the master when no live plane is active).
+TELEMETRY_INTERVAL = 0.5
 
 
 class TaskFailedError(RuntimeError):
@@ -115,8 +123,16 @@ def _master_loop(
                 comm.send(None, rank, TAG_STOP)
                 stopped.add(rank)
 
+    live = current_live()
     while len(stopped) < len(active):
         src, tag, payload = comm.recv()
+        if live is not None and tag != TAG_PEER_LOST:
+            # Any protocol traffic is a sign of life for heartbeat ages.
+            live.heartbeat(src)
+        if tag == TAG_TELEMETRY:
+            if live is not None and isinstance(payload, dict):
+                live.heartbeat(src, completed=payload.get("completed"))
+            continue
         if tag == TAG_DONE:
             # Post-stop telemetry from an already-stopped worker (TCP
             # workers report before disconnecting); collected here for
@@ -139,6 +155,8 @@ def _master_loop(
             idx, scores = payload
             in_flight.get(src, set()).discard(idx)
             results[idx] = scores
+            if live is not None:
+                live.inc("tasks")
             drain_parked()
         elif tag == TAG_ERROR:
             idx, message = payload
@@ -147,8 +165,12 @@ def _master_loop(
                 bisect.insort(retry, idx)
             elif failure is None:
                 failure = (idx, message)
+            if live is not None:
+                live.inc("task_errors")
             drain_parked()
         elif tag == TAG_PEER_LOST:
+            if live is not None:
+                live.worker_lost(src)
             if src not in active:
                 continue
             active.discard(src)
@@ -195,6 +217,7 @@ def _worker_loop(
     if comm.rank == 0:
         raise ValueError("worker_loop must not run on rank 0")
     completed = 0
+    last_telemetry = time.monotonic()
     while True:
         comm.send(None, 0, TAG_REQUEST)
         _, tag, payload = comm.recv(source=0)
@@ -210,6 +233,10 @@ def _worker_loop(
             continue
         comm.send((idx, scores), 0, TAG_RESULT)
         completed += 1
+        now = time.monotonic()
+        if now - last_telemetry >= TELEMETRY_INTERVAL:
+            comm.send_telemetry({"completed": completed})
+            last_telemetry = now
 
 
 def master_loop(

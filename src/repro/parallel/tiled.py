@@ -53,7 +53,8 @@ from ..core.normalization import NormalizationWorkspace, fuse_normalize_tile
 from ..core.pipeline import FCMAConfig, preprocess_dataset
 from ..core.results import PanelAssembler, VoxelScores
 from ..data.dataset import FMRIDataset
-from .comm import Comm, TAG_PEER_LOST
+from ..obs.live.runtime import current_live
+from .comm import Comm, TAG_PEER_LOST, TAG_TELEMETRY
 from .master_worker import (
     TAG_DONE,
     TAG_ERROR,
@@ -61,6 +62,7 @@ from .master_worker import (
     TAG_RESULT,
     TAG_STOP,
     TAG_TASK,
+    TELEMETRY_INTERVAL,
     TaskFailedError,
 )
 
@@ -253,8 +255,15 @@ def tiled_master_loop(
         else:
             bisect.insort(retry_scores, ident)
 
+    live = current_live()
     while len(stopped) < len(active):
         src, tag, payload = comm.recv()
+        if live is not None and tag != TAG_PEER_LOST:
+            live.heartbeat(src)
+        if tag == TAG_TELEMETRY:
+            if live is not None and isinstance(payload, dict):
+                live.heartbeat(src, completed=payload.get("completed"))
+            continue
         if tag == TAG_DONE:
             # Post-stop telemetry from an already-stopped worker (TCP
             # workers report before disconnecting); collected here for
@@ -275,12 +284,16 @@ def tiled_master_loop(
             if kind == "tile":
                 _, idx, panel_id, c0, c1, block = payload
                 in_flight.get(src, set()).discard(("tile", idx))
+                if live is not None:
+                    live.inc("tiles")
                 done = assembler.add(panel_id, c0, c1, block)
                 if done is not None:
                     bisect.insort(score_ready, panel_id)
             else:
                 _, panel_id, result = payload
                 in_flight.get(src, set()).discard(("score", panel_id))
+                if live is not None:
+                    live.inc("tasks")
                 if panel_id not in scores:
                     scores[panel_id] = result
                     assembler.release(panel_id)
@@ -293,8 +306,12 @@ def tiled_master_loop(
                 requeue(key, refund=False)
             elif failure is None:
                 failure = (key, message)
+            if live is not None:
+                live.inc("task_errors")
             drain_parked()
         elif tag == TAG_PEER_LOST:
+            if live is not None:
+                live.worker_lost(src)
             if src not in active:
                 continue
             active.discard(src)
@@ -346,6 +363,11 @@ def tiled_worker_loop(
     workspace = NormalizationWorkspace()
     panel_cache: tuple[int, np.ndarray] | None = None
     completed = 0
+    # In-process ranks (thread transport) see the master's live runtime
+    # and can feed per-tile latency histograms directly; TCP worker
+    # processes see None and publish only via telemetry frames.
+    live = current_live()
+    last_telemetry = time.monotonic()
 
     comm.send(None, 0, TAG_REQUEST)
     t_request = time.monotonic()
@@ -391,6 +413,8 @@ def tiled_worker_loop(
                         kspan.add_metric("cols", float(c1 - c0))
                         kspan.add_metric("bytes_moved", float(block.nbytes))
                     span.add_metric("voxels", float(rows.size))
+                if live is not None:
+                    live.observe("tile_seconds", kspan.duration)
                 comm.send(("tile", idx, panel_id, c0, c1, block), 0, TAG_RESULT)
             elif kind == "score":
                 _, panel_id, rows, corr = payload
@@ -409,6 +433,10 @@ def tiled_worker_loop(
             comm.send((key, f"{type(exc).__name__}: {exc}"), 0, TAG_ERROR)
             continue
         completed += 1
+        now = time.monotonic()
+        if now - last_telemetry >= TELEMETRY_INTERVAL:
+            comm.send_telemetry({"completed": completed})
+            last_telemetry = now
 
 
 def collect_worker_reports(

@@ -386,6 +386,21 @@ class TcpTransport:
         """Worker ranks still connected (master endpoint only)."""
         return sorted(r for r, p in self._peers.items() if p.alive)
 
+    def heartbeat_ages(self) -> dict[int, float]:
+        """Seconds since each live worker was last heard from.
+
+        Socket-level liveness (data frames and transport heartbeats both
+        refresh ``last_seen``), so it is fresher than protocol traffic
+        alone.  Master endpoint only; the live telemetry plane installs
+        this as its heartbeat probe for TCP runs.
+        """
+        now = time.monotonic()
+        return {
+            r: max(0.0, now - p.last_seen)
+            for r, p in self._peers.items()
+            if p.alive
+        }
+
     def barrier(self, rank: int) -> None:
         self._check(rank)
         if self._rank == 0:

@@ -34,6 +34,7 @@ from ..core.pipeline import FCMAConfig
 from ..data.dataset import FMRIDataset
 from ..data.epochs import Epoch, EpochTable
 from ..exec.context import RunContext
+from ..obs.live.runtime import current_live
 from ..svm.model import SVMModel, encode_labels
 from .assembler import CompletedEpoch, EpochAssembler
 from .scanner import ScannerSimulator, Volume
@@ -293,6 +294,7 @@ class ClosedLoopSession:
         since_retrain = 0
         discard_seen = 0
         update_seconds = 0.0
+        live = current_live()
 
         def start_streaming(training: OnlineResult) -> None:
             nonlocal emitter, partial_buf
@@ -391,7 +393,13 @@ class ClosedLoopSession:
                 if emitter.partial_correlations(out=partial_buf) is not None:
                     stats.partial_updates += 1
                 update_seconds += perf_counter() - update_start
-            stats.step_latencies_s.append(perf_counter() - step_start)
+            step_seconds = perf_counter() - step_start
+            stats.step_latencies_s.append(step_seconds)
+            if live is not None:
+                # Live p50/p99 of the feedback step against the latency
+                # budget gauge the CLI sets — the rtfmri dashboard line.
+                live.observe("rtfmri_step_seconds", step_seconds)
+                live.inc("rtfmri_steps")
 
         for volume in self._scanner.stream():
             if result is None:

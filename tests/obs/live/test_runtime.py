@@ -1,0 +1,273 @@
+"""LiveRuntime unit tests: counters, histograms, heartbeats, dual-write.
+
+Everything time-dependent runs on the deterministic fake clock so ages,
+elapsed seconds, and staleness are asserted exactly; the concurrency
+stress test at the bottom is the satellite thread-safety guarantee —
+many threads hammering one runtime must lose no updates.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import Tracer
+from repro.obs.live import (
+    LiveRuntime,
+    activate,
+    activated,
+    current_live,
+    deactivate,
+)
+from repro.obs.live.runtime import DEFAULT_BUCKETS, LiveHistogram
+
+
+class ManualClock:
+    """A monotonic clock advanced explicitly by the test."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture()
+def clock() -> ManualClock:
+    return ManualClock()
+
+
+@pytest.fixture()
+def rt(clock: ManualClock) -> LiveRuntime:
+    return LiveRuntime(clock=clock, stale_after=30.0)
+
+
+class TestCounters:
+    def test_inc_accumulates(self, rt):
+        rt.inc("tasks")
+        rt.inc("tasks", 2.0)
+        assert rt.counter("tasks") == 3.0
+
+    def test_unknown_counter_reads_zero(self, rt):
+        assert rt.counter("never") == 0.0
+
+    def test_negative_delta_rejected(self, rt):
+        with pytest.raises(ValueError, match="monotonic"):
+            rt.inc("tasks", -1.0)
+
+    def test_set_total_seeds_counter(self, rt):
+        rt.set_total("tiles", 10.0)
+        state = rt.snapshot_state()
+        assert state["totals"]["tiles"] == 10.0
+        assert state["counters"]["tiles"] == 0.0
+
+    def test_set_total_does_not_reset_progress(self, rt):
+        rt.inc("tiles", 4.0)
+        rt.set_total("tiles", 10.0)
+        assert rt.counter("tiles") == 4.0
+
+    def test_negative_total_rejected(self, rt):
+        with pytest.raises(ValueError):
+            rt.set_total("tiles", -1.0)
+
+    def test_gauges_move_both_directions(self, rt):
+        rt.set_gauge("n_workers", 4.0)
+        rt.set_gauge("n_workers", 2.0)
+        assert rt.snapshot_state()["gauges"]["n_workers"] == 2.0
+
+    def test_elapsed_follows_clock(self, rt, clock):
+        clock.advance(7.5)
+        assert rt.elapsed() == 7.5
+
+
+class TestHistogram:
+    def test_default_buckets_sorted_ladder(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert DEFAULT_BUCKETS[0] == pytest.approx(1e-5)
+        assert DEFAULT_BUCKETS[-1] == pytest.approx(500.0)
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            LiveHistogram(bounds=(2.0, 1.0))
+
+    def test_observe_counts_and_sum(self):
+        hist = LiveHistogram(bounds=(1.0, 10.0))
+        for v in (0.5, 5.0, 100.0):
+            hist.observe(v)
+        assert hist.counts == [1, 1, 1]  # one per bucket + overflow
+        assert hist.count == 3
+        assert hist.total == pytest.approx(105.5)
+        assert hist.max == 100.0
+
+    def test_quantile_clamped_to_observed_max(self):
+        hist = LiveHistogram(bounds=(1.0, 10.0))
+        hist.observe(0.25)
+        # Bucket upper bound is 1.0, but nothing observed exceeded 0.25.
+        assert hist.quantile(0.5) == 0.25
+
+    def test_quantile_empty_is_zero(self):
+        assert LiveHistogram().quantile(0.99) == 0.0
+
+    def test_quantile_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            LiveHistogram().quantile(1.5)
+
+    def test_state_buckets_cumulative_with_inf(self):
+        hist = LiveHistogram(bounds=(1.0, 10.0))
+        for v in (0.5, 0.6, 5.0):
+            hist.observe(v)
+        state = hist.state()
+        assert state["buckets"] == [[1.0, 2], [10.0, 3], ["+Inf", 3]]
+        assert state["count"] == 3
+        assert state["p50"] <= state["p99"] <= state["max"]
+
+    def test_runtime_observe_creates_histogram(self, rt):
+        rt.observe("tile_seconds", 0.02)
+        rt.observe("tile_seconds", 0.04)
+        hists = rt.snapshot_state()["histograms"]
+        assert hists["tile_seconds"]["count"] == 2
+
+
+class TestHeartbeats:
+    def test_heartbeat_records_age(self, rt, clock):
+        rt.heartbeat(1)
+        clock.advance(3.0)
+        workers = rt.snapshot_state()["workers"]
+        assert workers[1]["age_s"] == 3.0
+        assert workers[1]["lost"] is False
+
+    def test_heartbeat_carries_completions(self, rt):
+        rt.heartbeat(1, completed=5)
+        rt.heartbeat(1)  # traffic without a count keeps the last count
+        assert rt.snapshot_state()["workers"][1]["completed"] == 5.0
+
+    def test_worker_lost_then_heartbeat_revives(self, rt):
+        rt.worker_lost(2)
+        assert rt.snapshot_state()["workers"][2]["lost"] is True
+        rt.heartbeat(2)
+        assert rt.snapshot_state()["workers"][2]["lost"] is False
+
+    def test_probe_age_overrides_message_age(self, rt, clock):
+        rt.heartbeat(1)
+        clock.advance(10.0)
+        rt.set_heartbeat_probe(lambda: {1: 0.5, 3: 2.0})
+        workers = rt.snapshot_state()["workers"]
+        assert workers[1]["age_s"] == 0.5
+        # Probe-only ranks appear even without protocol traffic.
+        assert workers[3]["age_s"] == 2.0
+
+    def test_probe_cleared(self, rt, clock):
+        rt.heartbeat(1)
+        rt.set_heartbeat_probe(lambda: {1: 0.1})
+        rt.set_heartbeat_probe(None)
+        clock.advance(4.0)
+        assert rt.snapshot_state()["workers"][1]["age_s"] == 4.0
+
+
+class TestTracerDualWrite:
+    def test_task_span_close_ticks_completion(self, rt):
+        tracer = Tracer()
+        rt.attach_tracer(tracer)
+        with tracer.span("run", kind="run"):
+            with tracer.span("t0", kind="task"):
+                with tracer.span("k", kind="kernel"):
+                    pass
+        assert rt.counter("tasks") == 1.0
+        assert rt.counter("spans_task") == 1.0
+        assert rt.counter("spans_kernel") == 1.0
+        hists = rt.snapshot_state()["histograms"]
+        assert hists["task_seconds"]["count"] == 1
+
+    def test_detach_stops_dual_write(self, rt):
+        tracer = Tracer()
+        rt.attach_tracer(tracer)
+        rt.detach_tracer(tracer)
+        with tracer.span("t0", kind="task"):
+            pass
+        assert rt.counter("tasks") == 0.0
+
+    def test_merged_spans_do_not_notify(self, rt):
+        """Foreign spans merged at the master must not double-count
+        completions the protocol loop already ticked."""
+        worker = Tracer()
+        with worker.span("t0", kind="task"):
+            pass
+        master = Tracer()
+        rt.attach_tracer(master)
+        master.merge(worker.spans())
+        assert rt.counter("tasks") == 0.0
+
+    def test_disabled_tracer_does_not_notify(self, rt):
+        tracer = Tracer(enabled=False)
+        rt.attach_tracer(tracer)
+        with tracer.span("t0", kind="task"):
+            pass
+        assert rt.counter("tasks") == 0.0
+
+
+class TestActivation:
+    def test_activate_deactivate(self):
+        rt = LiveRuntime()
+        assert current_live() is None
+        activate(rt)
+        try:
+            assert current_live() is rt
+        finally:
+            deactivate()
+        assert current_live() is None
+
+    def test_activated_restores_previous(self):
+        outer, inner = LiveRuntime(), LiveRuntime()
+        with activated(outer):
+            with activated(inner):
+                assert current_live() is inner
+            assert current_live() is outer
+        assert current_live() is None
+
+
+class TestThreadSafety:
+    def test_concurrent_updates_lose_nothing(self):
+        """The satellite stress bound: 8 threads x 500 iterations of
+        mixed counter/gauge/histogram/heartbeat traffic with concurrent
+        snapshot reads must produce exact final aggregates."""
+        rt = LiveRuntime()
+        n_threads, n_iter = 8, 500
+        barrier = threading.Barrier(n_threads)
+        errors: list[BaseException] = []
+
+        def worker(rank: int) -> None:
+            try:
+                barrier.wait()
+                for i in range(n_iter):
+                    rt.inc("tasks")
+                    rt.inc("bytes", 3.0)
+                    rt.observe("task_seconds", 0.001 * (i % 7))
+                    rt.set_gauge(f"g{rank}", float(i))
+                    rt.heartbeat(rank, completed=i + 1)
+                    if i % 100 == 0:
+                        rt.snapshot_state()
+            except BaseException as exc:  # pragma: no cover - fail path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(r,))
+            for r in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert rt.counter("tasks") == n_threads * n_iter
+        assert rt.counter("bytes") == 3.0 * n_threads * n_iter
+        state = rt.snapshot_state()
+        assert state["histograms"]["task_seconds"]["count"] == (
+            n_threads * n_iter
+        )
+        assert len(state["workers"]) == n_threads
+        for rank in range(n_threads):
+            assert state["workers"][rank]["completed"] == n_iter

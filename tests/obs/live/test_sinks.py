@@ -1,0 +1,171 @@
+"""Sinks, Prometheus rendering, and the ``fcma top`` reader/renderer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.live import (
+    JsonlSink,
+    LiveRuntime,
+    PrometheusFileSink,
+    RingSink,
+    build_snapshot,
+)
+from repro.obs.live.sinks import render_prometheus, sanitize_metric_name
+from repro.obs.live.view import (
+    read_latest_snapshot,
+    read_snapshots,
+    render_snapshot,
+)
+
+
+def _snapshot(final: bool = False, seq: int = 0) -> dict:
+    rt = LiveRuntime()
+    rt.set_total("tasks", 4.0)
+    rt.inc("tasks", 2.0)
+    rt.set_gauge("n_workers", 2.0)
+    rt.observe("task_seconds", 0.02)
+    rt.heartbeat(1, completed=2)
+    rt.worker_lost(2)
+    return build_snapshot(rt, seq=seq, final=final)
+
+
+class TestSanitize:
+    @pytest.mark.parametrize(
+        ("raw", "expected"),
+        [
+            ("task_seconds", "task_seconds"),
+            ("comm.fetch_wait", "comm_fetch_wait"),
+            ("Tile-Seconds", "tile_seconds"),
+            ("2fast", "_2fast"),
+            ("...", "unnamed"),
+        ],
+    )
+    def test_names_land_on_prometheus_charset(self, raw, expected):
+        assert sanitize_metric_name(raw) == expected
+
+
+class TestJsonlSink:
+    def test_lines_parse_and_flush_per_emit(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        sink.emit(_snapshot(seq=0))
+        # Flushed before close: a tailing reader sees the line already.
+        assert len(path.read_text().splitlines()) == 1
+        sink.emit(_snapshot(seq=1))
+        sink.close()
+        lines = [json.loads(x) for x in path.read_text().splitlines()]
+        assert [x["seq"] for x in lines] == [0, 1]
+
+    def test_close_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "e.jsonl")
+        sink.close()
+        sink.close()
+
+
+class TestRingSink:
+    def test_latest_and_capacity(self):
+        ring = RingSink(capacity=2)
+        assert ring.latest is None
+        for seq in range(3):
+            ring.emit({"seq": seq})
+        assert ring.latest == {"seq": 2}
+        assert [s["seq"] for s in ring.snapshots()] == [1, 2]
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            RingSink(capacity=0)
+
+
+class TestPrometheus:
+    def test_text_format_parses(self):
+        """Every sample line must be `name{labels} value` with floats
+        Prometheus accepts; HELP/TYPE comments precede each series."""
+        text = render_prometheus(_snapshot())
+        seen_types: dict[str, str] = {}
+        for line in text.splitlines():
+            if line.startswith("# TYPE"):
+                _, _, name, kind = line.split()
+                assert kind in {"counter", "gauge", "histogram"}
+                seen_types[name] = kind
+                continue
+            if line.startswith("#") or not line:
+                continue
+            name_part, _, value = line.rpartition(" ")
+            float(value)  # must parse
+            base = name_part.split("{")[0]
+            assert any(
+                base == n or base.startswith(n + "_") for n in seen_types
+            ), f"sample {base} lacks a TYPE comment"
+
+    def test_conventions(self):
+        text = render_prometheus(_snapshot())
+        assert "fcma_progress_fraction 0.5" in text
+        assert "fcma_tasks_total 2" in text
+        assert 'fcma_progress_done{kind="tasks"} 2' in text
+        assert 'fcma_worker_heartbeat_age_seconds{rank="1"}' in text
+        assert 'fcma_worker_unhealthy{rank="2"} 1' in text
+        assert 'fcma_worker_completed{rank="1"} 2' in text
+        assert 'fcma_task_seconds_bucket{le="+Inf"} 1' in text
+        assert "fcma_task_seconds_count 1" in text
+        assert "fcma_task_seconds_sum" in text
+
+    def test_histogram_buckets_cumulative(self):
+        text = render_prometheus(_snapshot())
+        counts = [
+            int(line.rpartition(" ")[2])
+            for line in text.splitlines()
+            if line.startswith("fcma_task_seconds_bucket")
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 1
+
+    def test_file_sink_atomic_rewrite(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        sink = PrometheusFileSink(path)
+        sink.emit(_snapshot(seq=0))
+        first = path.read_text()
+        sink.emit(_snapshot(seq=1))
+        second = path.read_text()
+        assert "fcma_snapshot_seq 0" in first
+        assert "fcma_snapshot_seq 1" in second
+        assert not list(tmp_path.glob("*.tmp"))  # no temp litter
+        sink.close()
+
+
+class TestView:
+    def test_read_snapshots_tolerates_torn_tail(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        good = json.dumps(_snapshot(seq=0))
+        path.write_text(good + "\n" + good[: len(good) // 2])
+        snaps = read_snapshots(path)
+        assert [s["seq"] for s in snaps] == [0]
+
+    def test_read_snapshots_raises_on_mid_file_corruption(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        good = json.dumps(_snapshot(seq=0))
+        path.write_text("{broken\n" + good + "\n")
+        with pytest.raises(json.JSONDecodeError):
+            read_snapshots(path)
+
+    def test_render_snapshot_dashboard(self):
+        text = render_snapshot(_snapshot(final=True, seq=9))
+        assert "repro.live/v1" in text
+        assert "snapshot #9" in text
+        assert "final" in text
+        assert "50.0%" in text
+        assert "task_seconds" in text
+        # Worker table: rank 1 healthy, rank 2 lost.
+        assert "LOST" in text
+
+    def test_read_latest_snapshot(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        sink.emit(_snapshot(seq=0))
+        sink.emit(_snapshot(seq=1, final=True))
+        sink.close()
+        latest = read_latest_snapshot(path)
+        assert latest is not None and latest["seq"] == 1
+        assert read_latest_snapshot(tmp_path / "missing.jsonl") is None

@@ -1,0 +1,187 @@
+"""Snapshot assembly and the periodic publisher.
+
+The golden schema file pins the ``repro.live/v1`` key sets the way
+``run_report_schema.json`` pins the run report; progress/ETA math runs
+on the fake clock so the estimates are asserted exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.live import (
+    SNAPSHOT_SCHEMA,
+    LiveRuntime,
+    RingSink,
+    SnapshotPublisher,
+    build_snapshot,
+)
+
+from .test_runtime import ManualClock
+
+GOLDEN = Path(__file__).parent.parent / "golden" / "live_snapshot_schema.json"
+
+
+@pytest.fixture()
+def clock() -> ManualClock:
+    return ManualClock()
+
+
+@pytest.fixture()
+def rt(clock: ManualClock) -> LiveRuntime:
+    return LiveRuntime(clock=clock, stale_after=30.0)
+
+
+class TestGoldenSchema:
+    def test_snapshot_matches_golden_keys(self, rt, clock):
+        golden = json.loads(GOLDEN.read_text())
+        rt.set_total("tasks", 4.0)
+        rt.inc("tasks")
+        rt.observe("task_seconds", 0.5)
+        rt.heartbeat(1, completed=1)
+        clock.advance(1.0)
+        snap = build_snapshot(rt, seq=3)
+        assert snap["schema"] == SNAPSHOT_SCHEMA == golden["schema"]
+        assert sorted(snap) == sorted(golden["snapshot_keys"])
+        assert sorted(snap["progress"]) == sorted(golden["progress_keys"])
+        for entry in snap["progress"]["by_kind"].values():
+            assert sorted(entry) == sorted(golden["by_kind_keys"])
+        for worker in snap["workers"].values():
+            assert sorted(worker) == sorted(golden["worker_keys"])
+        for hist in snap["histograms"].values():
+            assert sorted(hist) == sorted(golden["histogram_keys"])
+        if snap["resources"] is not None:
+            assert sorted(snap["resources"]) == sorted(
+                golden["resource_keys"]
+            )
+
+    def test_snapshot_is_json_serializable(self, rt):
+        rt.set_total("tasks", 2.0)
+        rt.heartbeat(0)
+        json.dumps(build_snapshot(rt, seq=0))
+
+
+class TestProgress:
+    def test_eta_null_before_first_completion(self, rt, clock):
+        rt.set_total("tasks", 10.0)
+        clock.advance(5.0)
+        progress = build_snapshot(rt, seq=0)["progress"]
+        assert progress["fraction"] == 0.0
+        assert progress["eta_s"] is None
+
+    def test_eta_extrapolates_remaining_work(self, rt, clock):
+        rt.set_total("tasks", 10.0)
+        clock.advance(4.0)
+        rt.inc("tasks", 4.0)
+        progress = build_snapshot(rt, seq=0)["progress"]
+        assert progress["fraction"] == pytest.approx(0.4)
+        # 4 s for 40% -> 6 s remain.
+        assert progress["eta_s"] == pytest.approx(6.0)
+
+    def test_eta_zero_at_completion(self, rt, clock):
+        rt.set_total("tasks", 3.0)
+        clock.advance(2.0)
+        rt.inc("tasks", 3.0)
+        progress = build_snapshot(rt, seq=0)["progress"]
+        assert progress["fraction"] == 1.0
+        assert progress["eta_s"] == 0.0
+
+    def test_done_clamped_to_total(self, rt):
+        rt.set_total("tasks", 2.0)
+        rt.inc("tasks", 5.0)  # master retries can over-tick
+        progress = build_snapshot(rt, seq=0)["progress"]
+        assert progress["done"] == 2.0
+        assert progress["fraction"] == 1.0
+
+    def test_multiple_kinds_fold_into_one_fraction(self, rt):
+        rt.set_total("tasks", 4.0)
+        rt.set_total("tiles", 6.0)
+        rt.inc("tasks", 4.0)
+        rt.inc("tiles", 1.0)
+        progress = build_snapshot(rt, seq=0)["progress"]
+        assert progress["total"] == 10.0
+        assert progress["done"] == 5.0
+        assert progress["fraction"] == pytest.approx(0.5)
+        assert progress["by_kind"]["tiles"] == {"done": 1.0, "total": 6.0}
+
+    def test_no_totals_means_zero_fraction(self, rt):
+        rt.inc("tasks", 7.0)
+        progress = build_snapshot(rt, seq=0)["progress"]
+        assert progress["total"] == 0.0
+        assert progress["fraction"] == 0.0
+        assert progress["eta_s"] is None
+
+
+class TestWorkerFlags:
+    def test_stale_after_silence(self, rt, clock):
+        rt.heartbeat(1)
+        clock.advance(31.0)
+        workers = build_snapshot(rt, seq=0)["workers"]
+        assert workers["1"]["stale"] is True
+        assert workers["1"]["lost"] is False
+
+    def test_lost_worker_not_flagged_stale(self, rt, clock):
+        rt.heartbeat(1)
+        rt.worker_lost(1)
+        clock.advance(60.0)
+        workers = build_snapshot(rt, seq=0)["workers"]
+        assert workers["1"]["lost"] is True
+        assert workers["1"]["stale"] is False
+
+    def test_ranks_keyed_as_strings(self, rt):
+        rt.heartbeat(2)
+        assert set(build_snapshot(rt, seq=0)["workers"]) == {"2"}
+
+
+class _BrokenSink:
+    def __init__(self) -> None:
+        self.emits = 0
+        self.closed = False
+
+    def emit(self, snapshot) -> None:
+        self.emits += 1
+        raise RuntimeError("sink exploded")
+
+    def close(self) -> None:  # pragma: no cover - disabled before close
+        self.closed = True
+
+
+class TestPublisher:
+    def test_publish_sequences_and_final_flag(self, rt):
+        ring = RingSink()
+        pub = SnapshotPublisher(rt, [ring], interval=60.0)
+        pub.publish()
+        final = pub.stop()
+        snaps = ring.snapshots()
+        assert [s["seq"] for s in snaps] == [0, 1]
+        assert [s["final"] for s in snaps] == [False, True]
+        assert final == snaps[-1]
+
+    def test_broken_sink_disabled_not_fatal(self, rt):
+        broken, ring = _BrokenSink(), RingSink()
+        pub = SnapshotPublisher(rt, [broken, ring], interval=60.0)
+        pub.publish()
+        pub.publish()
+        pub.stop()
+        assert broken.emits == 1  # disabled after the first failure
+        assert len(ring.snapshots()) == 3  # healthy sink kept receiving
+
+    def test_background_thread_publishes(self, rt):
+        ring = RingSink()
+        pub = SnapshotPublisher(rt, [ring], interval=0.01)
+        pub.start()
+        import time
+
+        deadline = time.monotonic() + 5.0
+        while not ring.snapshots() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        final = pub.stop()
+        assert final["final"] is True
+        assert len(ring.snapshots()) >= 2
+
+    def test_nonpositive_interval_rejected(self, rt):
+        with pytest.raises(ValueError):
+            SnapshotPublisher(rt, [], interval=0.0)

@@ -68,3 +68,36 @@ class TestStructure:
     def test_timing_metrics_derived_from_registry(self):
         assert "wall_seconds" in TIMING_METRICS
         assert "voxels" not in TIMING_METRICS
+
+
+class TestOverlapCountersAreTiming:
+    """The prefetch-overlap instrumentation's counters are pure wall
+    clock; registering them as timing metrics keeps cross-executor
+    trace equivalence blind to them."""
+
+    def test_registered_as_timing(self):
+        from repro.obs import is_timing_metric
+
+        assert is_timing_metric("comm.fetch_wait")
+        assert is_timing_metric("ctr.overlap_hidden_seconds")
+        assert {"comm.fetch_wait", "ctr.overlap_hidden_seconds"} <= set(
+            TIMING_METRICS
+        )
+
+    def test_other_ctr_metrics_stay_structural(self):
+        from repro.obs import is_timing_metric
+
+        assert not is_timing_metric("ctr.stage12_tiles")
+
+    def test_traces_differing_only_in_overlap_counters_compare_equal(self):
+        def overlap_trace(wait: float, hidden: float):
+            tracer = Tracer(clock=FakeClock())
+            with tracer.span("run", kind="run"):
+                with tracer.span("fetch", kind="stage") as stage:
+                    stage.add_metric("comm.fetch_wait", wait)
+                    stage.add_metric("ctr.overlap_hidden_seconds", hidden)
+            return tracer.spans()
+
+        assert_same_structure(
+            overlap_trace(0.5, 0.1), overlap_trace(0.01, 0.9)
+        )

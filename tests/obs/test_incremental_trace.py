@@ -1,0 +1,196 @@
+"""Crash-durable incremental tracing (``--trace`` append-on-close).
+
+The satellite fix: a run killed mid-flight used to lose every span
+because the trace was only written after ``executor.run`` returned.
+These tests SIGKILL real subprocesses mid-run and assert the on-disk
+JSON-lines prefix still loads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.data import save_dataset
+from repro.obs import IncrementalJsonlWriter, SCHEMA, Tracer, read_jsonl
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _wait_for_lines(path: Path, n: int, timeout: float = 30.0) -> int:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if path.exists():
+            count = len(path.read_text().splitlines())
+            if count >= n:
+                return count
+        time.sleep(0.02)
+    raise AssertionError(f"{path} never reached {n} lines")
+
+
+class TestWriter:
+    def test_header_then_flush_per_span(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer()
+        writer = IncrementalJsonlWriter(path)
+        tracer.add_listener(writer.on_span_close)
+        with tracer.span("run", kind="run"):
+            with tracer.span("t0", kind="task"):
+                pass
+            # Flushed before the run span closes: the task span is
+            # already durable while the run is still in flight.
+            on_disk = path.read_text().splitlines()
+            assert len(on_disk) == 2
+            assert json.loads(on_disk[0]) == {
+                "type": "meta", "schema": SCHEMA, "incremental": True,
+            }
+        writer.close()
+        assert writer.n_spans == 2
+        spans = read_jsonl(path)
+        assert [s.name for s in spans] == ["t0", "run"]
+
+    def test_close_idempotent_and_silences_listener(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer()
+        writer = IncrementalJsonlWriter(path)
+        tracer.add_listener(writer.on_span_close)
+        writer.close()
+        writer.close()
+        with tracer.span("late", kind="task"):
+            pass  # listener fires after close; must be a no-op
+        assert writer.n_spans == 0
+
+    def test_context_manager(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with IncrementalJsonlWriter(path) as writer:
+            tracer = Tracer()
+            tracer.add_listener(writer.on_span_close)
+            with tracer.span("t", kind="task"):
+                pass
+        assert len(read_jsonl(path)) == 1
+
+
+class TestKilledProcess:
+    def test_sigkill_leaves_valid_prefix(self, tmp_path):
+        """A span-emitting process killed mid-stream leaves a loadable
+        trace prefix (possibly with one torn final line)."""
+        path = tmp_path / "trace.jsonl"
+        code = (
+            "import sys, time\n"
+            f"sys.path.insert(0, {SRC!r})\n"
+            "from repro.obs import IncrementalJsonlWriter, Tracer\n"
+            "tracer = Tracer()\n"
+            f"writer = IncrementalJsonlWriter({str(path)!r})\n"
+            "tracer.add_listener(writer.on_span_close)\n"
+            "for i in range(100000):\n"
+            "    with tracer.span(f'task{i}', kind='task'):\n"
+            "        pass\n"
+            "    time.sleep(0.002)\n"
+        )
+        proc = subprocess.Popen([sys.executable, "-c", code])
+        try:
+            _wait_for_lines(path, 6)  # meta + >= 5 spans
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        spans = read_jsonl(path)
+        assert len(spans) >= 5
+        assert [s.name for s in spans] == [
+            f"task{i}" for i in range(len(spans))
+        ]
+        for span in spans:
+            assert span.closed
+
+    def test_cli_run_killed_midway_recovers_prefix(self, tmp_path):
+        """``fcma run --trace`` killed mid-run: the trace file holds the
+        incremental header plus every span closed before the kill."""
+        from repro.data import SyntheticConfig, generate_dataset
+
+        dataset = generate_dataset(SyntheticConfig(
+            n_voxels=240, n_subjects=4, epochs_per_subject=8,
+            epoch_length=12, n_informative=24, n_groups=4, seed=11,
+            name="killme",
+        ))
+        ds_path = tmp_path / "killme.npz"
+        save_dataset(dataset, ds_path)
+        trace_path = tmp_path / "trace.jsonl"
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "run", str(ds_path),
+                "--task-voxels", "10", "--trace", str(trace_path),
+            ],
+            env={**os.environ, "PYTHONPATH": SRC},
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            # Wait until a few task spans are durable, then kill hard.
+            _wait_for_lines(trace_path, 4, timeout=60.0)
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        lines = trace_path.read_text().splitlines()
+        meta = json.loads(lines[0])
+        assert meta["schema"] == SCHEMA
+        assert meta.get("incremental") is True  # rewrite never happened
+        spans = read_jsonl(trace_path)
+        assert len(spans) >= 3
+        assert all(s.closed for s in spans)
+
+    def test_successful_run_rewrites_counted_header(self, tmp_path):
+        """On clean completion the CLI replaces the incremental file
+        with the standard counted-header export."""
+        import io
+        from contextlib import redirect_stdout
+
+        from repro.cli import main
+        from repro.data import SyntheticConfig, generate_dataset
+
+        dataset = generate_dataset(SyntheticConfig(
+            n_voxels=60, n_subjects=4, epochs_per_subject=8,
+            epoch_length=12, n_informative=12, n_groups=3, seed=3,
+            name="ok",
+        ))
+        ds_path = tmp_path / "ok.npz"
+        save_dataset(dataset, ds_path)
+        trace_path = tmp_path / "trace.jsonl"
+        with redirect_stdout(io.StringIO()):
+            assert main([
+                "run", str(ds_path), "--task-voxels", "40",
+                "--trace", str(trace_path),
+            ]) == 0
+        meta = json.loads(trace_path.read_text().splitlines()[0])
+        assert "incremental" not in meta
+        assert meta["n_spans"] == len(read_jsonl(trace_path))
+
+
+class TestTornTail:
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer()
+        with IncrementalJsonlWriter(path) as writer:
+            tracer.add_listener(writer.on_span_close)
+            for i in range(3):
+                with tracer.span(f"t{i}", kind="task"):
+                    pass
+            tracer.remove_listener(writer.on_span_close)
+        full = path.read_text()
+        torn = full[: -len(full.splitlines()[-1]) // 2 - 1]
+        path.write_text(torn)
+        assert len(read_jsonl(path)) == 2
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        header = json.dumps(
+            {"type": "meta", "schema": SCHEMA, "incremental": True}
+        )
+        path.write_text(header + "\n{torn-mid-file\n" + header + "\n")
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(path)
